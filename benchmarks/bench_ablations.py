@@ -1,0 +1,97 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation flips one mechanism and measures its effect:
+
+* ``max_alive`` (0/1/2): alive-interval buffering is what lets CMP defer
+  exact splits; with 0 every split degrades to a boundary split.
+* ``clouds_mode`` ss vs sse: what CLOUDS pays for exactness — the baseline
+  CMP-S's deferral removes.
+* ``x_tie_margin``: near-tie preference for the predicted X axis (enables
+  two-level growth on correlated attributes).
+* ``linear_trigger_gini``: the §2.3 heuristic gating linear-split search.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled, write_result
+from repro.baselines.clouds import CloudsBuilder
+from repro.core.cmp_b import CMPBBuilder
+from repro.core.cmp_full import CMPBuilder
+from repro.core.cmp_s import CMPSBuilder
+from repro.data.synthetic import generate_agrawal, generate_function_f
+from repro.eval import experiments
+from repro.eval.harness import run_builder
+
+N = scaled(50_000)[0]
+
+
+def _rows_for(builder_factory, variants, dataset):
+    rows = []
+    for label, cfg in variants:
+        record, result = run_builder(builder_factory(cfg), dataset)
+        row = record.as_dict()
+        row["variant"] = label
+        rows.append(row)
+    return rows
+
+
+def test_ablation_max_alive(benchmark, bench_config):
+    dataset = generate_agrawal("F2", N, seed=0)
+    variants = [
+        (f"max_alive={k}", bench_config.with_(max_alive=k)) for k in (0, 1, 2)
+    ]
+    rows = benchmark.pedantic(
+        _rows_for, args=(CMPSBuilder, variants, dataset), rounds=1, iterations=1
+    )
+    print("\n" + write_result("ablation_max_alive", rows))
+    accs = {r["variant"]: r["train_acc"] for r in rows}
+    # Alive-interval buffering must not hurt accuracy; disabling it
+    # (boundary-only splits) must not help.
+    assert accs["max_alive=2"] >= accs["max_alive=0"] - 0.01
+
+
+def test_ablation_clouds_mode(benchmark, bench_config):
+    dataset = generate_agrawal("F2", N, seed=0)
+    variants = [
+        ("clouds-ss", bench_config.with_(clouds_mode="ss")),
+        ("clouds-sse", bench_config.with_(clouds_mode="sse")),
+    ]
+    rows = benchmark.pedantic(
+        _rows_for, args=(CloudsBuilder, variants, dataset), rounds=1, iterations=1
+    )
+    print("\n" + write_result("ablation_clouds_mode", rows))
+    scans = {r["variant"]: r["scans"] for r in rows}
+    assert scans["clouds-ss"] < scans["clouds-sse"]
+
+
+def test_ablation_x_tie_margin(benchmark, bench_config):
+    dataset = generate_agrawal("F2", N, seed=0)
+    variants = [
+        (f"margin={m}", bench_config.with_(x_tie_margin=m)) for m in (0.0, 0.02, 0.05)
+    ]
+    rows = benchmark.pedantic(
+        _rows_for, args=(CMPBBuilder, variants, dataset), rounds=1, iterations=1
+    )
+    print("\n" + write_result("ablation_x_tie_margin", rows))
+    # The margin trades a bounded accuracy epsilon for prediction hits.
+    pred = {r["variant"]: r.get("pred_acc", 0.0) for r in rows}
+    acc = {r["variant"]: r["train_acc"] for r in rows}
+    assert pred["margin=0.05"] >= pred["margin=0.0"] - 0.02
+    assert acc["margin=0.05"] >= acc["margin=0.0"] - 0.02
+
+
+def test_ablation_linear_trigger(benchmark, bench_config):
+    dataset = generate_function_f(N, seed=0)
+    variants = [
+        ("trigger=off(1.0)", bench_config.with_(linear_trigger_gini=1.0)),
+        ("trigger=0.05", bench_config.with_(linear_trigger_gini=0.05)),
+    ]
+    rows = benchmark.pedantic(
+        _rows_for, args=(CMPBuilder, variants, dataset), rounds=1, iterations=1
+    )
+    print("\n" + write_result("ablation_linear_trigger", rows))
+    by = {r["variant"]: r for r in rows}
+    # Disabling linear splits on Function f inflates the tree.
+    assert by["trigger=off(1.0)"].get("linear", 0) == 0
+    assert by["trigger=0.05"].get("linear", 0) >= 1
+    assert by["trigger=0.05"]["nodes"] < by["trigger=off(1.0)"]["nodes"]

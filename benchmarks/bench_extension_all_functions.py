@@ -1,0 +1,48 @@
+"""Extension bench — accuracy parity across all ten Agrawal functions.
+
+The paper evaluates on Functions 2 and 7; this bench sweeps the full
+generator ([5], the source the paper draws its workloads from) and checks
+the §4 claim — "for large datasets, [CMP] is as accurate as SPRINT" —
+holds across the entire family, including the functions with categorical
+predicates (F3/F4 use elevel, F10 uses hvalue/hyears).
+"""
+
+from __future__ import annotations
+
+from conftest import scaled, write_result
+from repro.core.cmp_full import CMPBuilder
+from repro.baselines.rainforest import RainForestBuilder
+from repro.data.synthetic import FUNCTIONS, generate_agrawal
+from repro.eval.harness import run_builder
+
+N = scaled(20_000)[0]
+FUNCTION_NAMES = [f"F{i}" for i in range(1, 11)]
+
+
+def _run(bench_config):
+    rows = []
+    for fn in FUNCTION_NAMES:
+        dataset = generate_agrawal(fn, N, seed=0)
+        cmp_rec, __ = run_builder(CMPBuilder(bench_config), dataset)
+        exact_rec, __ = run_builder(RainForestBuilder(bench_config), dataset)
+        rows.append(
+            {
+                "function": fn,
+                "cmp_acc": cmp_rec.train_accuracy,
+                "exact_acc": exact_rec.train_accuracy,
+                "gap": round(exact_rec.train_accuracy - cmp_rec.train_accuracy, 4),
+                "cmp_scans": cmp_rec.scans,
+                "exact_scans": exact_rec.scans,
+                "cmp_nodes": cmp_rec.nodes,
+                "exact_nodes": exact_rec.nodes,
+                "linear": cmp_rec.linear_splits,
+            }
+        )
+    return rows
+
+
+def test_all_functions_accuracy_parity(benchmark, bench_config):
+    rows = benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)
+    print("\n" + write_result("extension_all_functions", rows))
+    for row in rows:
+        assert row["gap"] < 0.04, row

@@ -1,0 +1,57 @@
+"""Extension bench — the exact-algorithm design space (SLIQ vs SPRINT vs
+windowed C4.5).
+
+Not a paper figure: §1.1 discusses SLIQ (in-memory class list, lists read
+once per level) and C4.5's windowing (sample + misclassified records) as
+the context CMP improves on.  This bench quantifies the triangle:
+
+* SLIQ and SPRINT grow identical exact trees; SLIQ does less list I/O but
+  pins a class list in memory;
+* windowing does far less I/O than either but gives up exactness;
+* CMP (from the main benches) beats all three on the I/O-vs-accuracy
+  frontier.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled, write_result
+from repro.baselines.sliq import SliqBuilder
+from repro.baselines.sprint import SprintBuilder
+from repro.baselines.windowing import WindowingBuilder
+from repro.data.synthetic import generate_agrawal
+from repro.eval.harness import run_builder
+
+N = scaled(50_000)[0]
+
+
+def _run(bench_config):
+    dataset = generate_agrawal("F2", N, seed=0)
+    rows = []
+    trees = {}
+    for builder in (
+        SprintBuilder(bench_config),
+        SliqBuilder(bench_config),
+        WindowingBuilder(bench_config, initial_fraction=0.1),
+    ):
+        record, result = run_builder(builder, dataset)
+        row = record.as_dict()
+        row["aux_records"] = (
+            result.stats.io.aux_records_read + result.stats.io.aux_records_written
+        )
+        rows.append(row)
+        trees[builder.name] = result.tree
+    return rows, trees
+
+
+def test_exact_baseline_triangle(benchmark, bench_config):
+    rows, trees = benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)
+    print("\n" + write_result("extension_exact_baselines", rows))
+
+    by = {r["builder"]: r for r in rows}
+    # SLIQ == SPRINT trees; less auxiliary I/O; more memory.
+    assert trees["SLIQ"].render() == trees["SPRINT"].render()
+    assert by["SLIQ"]["aux_records"] < by["SPRINT"]["aux_records"]
+    assert by["SLIQ"]["peak_mem_MB"] > by["SPRINT"]["peak_mem_MB"]
+    # Windowing: least simulated time among the three, small accuracy gap.
+    assert by["C4.5-window"]["sim_ms"] < by["SLIQ"]["sim_ms"]
+    assert by["C4.5-window"]["train_acc"] > by["SPRINT"]["train_acc"] - 0.06

@@ -1,0 +1,39 @@
+"""Figure 14 — scalability of the CMP family on Function 2.
+
+The paper sweeps 200k-2.5M records and reports running time for CMP-S,
+CMP-B and CMP; time grows nearly linearly and CMP-B beats CMP-S (the
+paper: "almost 40% faster"; our measured gap is smaller — see
+EXPERIMENTS.md).  We sweep a 10x-scaled-down range and report the
+deterministic simulated time.
+"""
+
+from __future__ import annotations
+
+from conftest import by_builder, scaled, write_result
+from repro.eval import experiments
+
+
+SIZES = scaled(20_000, 50_000, 100_000)
+
+
+def _run(bench_config):
+    return experiments.scalability("F2", SIZES, bench_config, seed=0)
+
+
+def test_fig14_scalability_f2(benchmark, bench_config):
+    records = benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)
+    rows = experiments.records_as_rows(records)
+    print("\n" + write_result("fig14_scalability_f2", rows, note="Figure 14 (Function 2)."))
+
+    grouped = by_builder(records)
+    for name, series in grouped.items():
+        times = [series[n].simulated_ms for n in SIZES]
+        # Near-linear growth: time increases with n and the largest run is
+        # at most ~1.6x a linear extrapolation of the smallest.
+        assert times[0] < times[1] < times[2], name
+        linear_extrapolation = times[0] * SIZES[2] / SIZES[0]
+        assert times[2] < 1.6 * linear_extrapolation, name
+    # CMP-B at or below CMP-S; CMP (linear machinery on) close to CMP-B.
+    for n in SIZES:
+        assert grouped["CMP-B"][n].simulated_ms <= grouped["CMP-S"][n].simulated_ms * 1.02
+        assert grouped["CMP"][n].simulated_ms <= grouped["CMP-B"][n].simulated_ms * 1.25

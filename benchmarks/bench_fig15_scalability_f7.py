@@ -1,0 +1,36 @@
+"""Figure 15 — scalability of the CMP family on Function 7.
+
+Function 7 "generates a much larger decision tree and thus the
+construction takes much longer than for Function 2" — checked below
+alongside the near-linear growth of Figure 14.
+"""
+
+from __future__ import annotations
+
+from conftest import by_builder, scaled, write_result
+from repro.eval import experiments
+
+SIZES = scaled(20_000, 50_000, 100_000)
+
+
+def _run(bench_config):
+    return experiments.scalability("F7", SIZES, bench_config, seed=0)
+
+
+def test_fig15_scalability_f7(benchmark, bench_config):
+    records = benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)
+    rows = experiments.records_as_rows(records)
+    print("\n" + write_result("fig15_scalability_f7", rows, note="Figure 15 (Function 7)."))
+
+    grouped = by_builder(records)
+    for name, series in grouped.items():
+        times = [series[n].simulated_ms for n in SIZES]
+        assert times[0] < times[1] < times[2], name
+    for n in SIZES:
+        assert grouped["CMP-B"][n].simulated_ms <= grouped["CMP-S"][n].simulated_ms * 1.02
+
+    # Function 7's tree is bigger than Function 2's at the same size.
+    f2 = experiments.scalability("F2", (SIZES[0],), experiments.default_config(), seed=0)
+    f2_nodes = next(r.nodes for r in f2 if r.builder == "CMP-S")
+    f7_nodes = grouped["CMP-S"][SIZES[0]].nodes
+    assert f7_nodes > f2_nodes

@@ -1,0 +1,35 @@
+"""Figure 16 — CMP vs SPRINT, RainForest, CLOUDS on Function 2.
+
+Paper claims checked: RainForest slightly outperforms CMP (thanks to its
+in-memory AVC buffer), CMP beats CLOUDS (no second pass per level), and
+SPRINT is several times slower than CMP (the paper: "nearly five times").
+"""
+
+from __future__ import annotations
+
+from conftest import by_builder, scaled, write_result
+from repro.eval import experiments
+
+SIZES = scaled(20_000, 50_000, 100_000)
+
+
+def _run(bench_config):
+    return experiments.comparison("F2", SIZES, bench_config, seed=0)
+
+
+def test_fig16_comparison_f2(benchmark, bench_config):
+    records = benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)
+    rows = experiments.records_as_rows(records)
+    print("\n" + write_result("fig16_comparison_f2", rows, note="Figure 16 (Function 2)."))
+
+    grouped = by_builder(records)
+    ratios = []
+    for n in SIZES:
+        cmp_ms = grouped["CMP"][n].simulated_ms
+        ratios.append(grouped["SPRINT"][n].simulated_ms / cmp_ms)
+        assert grouped["SPRINT"][n].simulated_ms > 1.5 * cmp_ms
+        assert grouped["CLOUDS"][n].simulated_ms > cmp_ms
+        assert grouped["RainForest"][n].simulated_ms < cmp_ms * 1.25
+    # The SPRINT/CMP gap widens with the training set (paper: ~5x at 2.5M).
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 2.0

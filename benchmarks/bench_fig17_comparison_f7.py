@@ -1,0 +1,34 @@
+"""Figure 17 — CMP vs SPRINT, RainForest, CLOUDS on Function 7."""
+
+from __future__ import annotations
+
+from conftest import by_builder, scaled, write_result
+from repro.eval import experiments
+
+SIZES = scaled(20_000, 50_000, 100_000)
+
+
+def _run(bench_config):
+    return experiments.comparison("F7", SIZES, bench_config, seed=0)
+
+
+def test_fig17_comparison_f7(benchmark, bench_config):
+    records = benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)
+    rows = experiments.records_as_rows(records)
+    print("\n" + write_result("fig17_comparison_f7", rows, note="Figure 17 (Function 7)."))
+
+    grouped = by_builder(records)
+    ratios = []
+    for n in SIZES:
+        cmp_ms = grouped["CMP"][n].simulated_ms
+        ratios.append(grouped["SPRINT"][n].simulated_ms / cmp_ms)
+        assert grouped["SPRINT"][n].simulated_ms > 1.5 * cmp_ms
+        assert grouped["CLOUDS"][n].simulated_ms > cmp_ms
+        assert grouped["RainForest"][n].simulated_ms < cmp_ms * 1.25
+    # The SPRINT/CMP gap widens with the training set (paper: ~5x at 2.5M).
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 2.0
+    # Accuracy parity across algorithms (§4: "as accurate as SPRINT").
+    for n in SIZES:
+        exact_acc = grouped["SPRINT"][n].train_accuracy
+        assert grouped["CMP"][n].train_accuracy > exact_acc - 0.035

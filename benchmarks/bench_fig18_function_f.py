@@ -1,0 +1,37 @@
+"""Figure 18 — comparison on the linearly-correlated Function f.
+
+The paper: "When the underlying dataset is linearly correlated and this
+correlation is detected by CMP, CMP shows significant performance
+advantage over RainForest and other classifiers" — its tree is ~2 levels
+(Figure 13) where univariate trees sprawl (Figure 9).
+"""
+
+from __future__ import annotations
+
+from conftest import by_builder, scaled, write_result
+from repro.eval import experiments
+
+SIZES = scaled(20_000, 50_000)
+
+
+def _run(bench_config):
+    return experiments.comparison_f(SIZES, bench_config, seed=0)
+
+
+def test_fig18_function_f(benchmark, bench_config):
+    records = benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)
+    rows = experiments.records_as_rows(records)
+    print("\n" + write_result("fig18_function_f", rows, note="Figure 18 (Function f)."))
+
+    grouped = by_builder(records)
+    for n in SIZES:
+        cmp = grouped["CMP"][n]
+        # CMP discovers the linear structure...
+        assert cmp.linear_splits >= 1
+        # ...and builds a drastically smaller tree than univariate trees.
+        assert cmp.nodes < 0.75 * grouped["SPRINT"][n].nodes
+        assert cmp.nodes < 0.75 * grouped["RainForest"][n].nodes
+        # Faster than every univariate algorithm, without losing accuracy.
+        for other in ("SPRINT", "CLOUDS"):
+            assert cmp.simulated_ms < grouped[other][n].simulated_ms, other
+        assert cmp.train_accuracy > grouped["SPRINT"][n].train_accuracy - 0.02

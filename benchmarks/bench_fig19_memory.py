@@ -1,0 +1,45 @@
+"""Figure 19 — memory-space usage comparison.
+
+Paper setup: RF-Hybrid's fixed AVC buffer of 2.5M entries costs
+``2.5M * sizeof(int) * 2 = 20 MB``; "the memory space requirement for CMP,
+which consists of the alive interval buffer, the rid buffer and the
+histogram matrix, is considerably smaller"; SPRINT sits in between (its
+rid hash table is proportional to the node being partitioned).
+"""
+
+from __future__ import annotations
+
+from conftest import by_builder, scaled, write_result
+from repro.eval import experiments
+
+SIZES = scaled(20_000, 50_000, 100_000)
+
+
+def _run(bench_config):
+    return experiments.memory_usage("F2", SIZES, bench_config, seed=0)
+
+
+def test_fig19_memory(benchmark, bench_config):
+    records = benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)
+    rows = [
+        {
+            "builder": r.builder,
+            "n": r.n_records,
+            "peak_mem_MB": round(r.peak_memory_bytes / 1e6, 3),
+        }
+        for r in records
+    ]
+    print("\n" + write_result("fig19_memory", rows, note="Figure 19 (peak memory)."))
+
+    grouped = by_builder(records)
+    for n in SIZES:
+        rf = grouped["RainForest"][n].peak_memory_bytes
+        cmp_mem = grouped["CMP"][n].peak_memory_bytes
+        sprint = grouped["SPRINT"][n].peak_memory_bytes
+        # RF-Hybrid's flat 20 MB AVC buffer dominates everything.
+        assert rf == 2_500_000 * 4 * 2
+        assert rf > 3 * cmp_mem
+        assert rf > sprint
+    # SPRINT's hash table grows linearly with the training set.
+    sprint_series = [grouped["SPRINT"][n].peak_memory_bytes for n in SIZES]
+    assert sprint_series[0] < sprint_series[1] < sprint_series[2]

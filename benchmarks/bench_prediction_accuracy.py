@@ -1,0 +1,29 @@
+"""§2.2 — predictSplit accuracy on Function 2.
+
+The paper reports "about 80% of the predictions are accurate" for the
+9-attribute Function 2 dataset.  Our measured rate is lower (the
+correlated salary/commission pair and deep noise levels produce near-tie
+mispredictions; see EXPERIMENTS.md) but far above the ~17% baseline of
+picking one of the six continuous attributes at random.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled, write_result
+from repro.eval import experiments
+
+
+def _run(bench_config):
+    return experiments.prediction_accuracy(
+        scaled(100_000)[0], bench_config, seed=0
+    )
+
+
+def test_prediction_accuracy(benchmark, bench_config):
+    out = benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)
+    rows = [{k: round(v, 4) for k, v in out.items()}]
+    print("\n" + write_result("prediction_accuracy", rows, note="predictSplit accuracy (paper: ~0.8)."))
+
+    assert out["predictions_made"] > 20
+    assert out["accuracy"] > 0.35
+    benchmark.extra_info.update(rows[0])

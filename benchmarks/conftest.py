@@ -1,0 +1,54 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table or figure of the paper (DESIGN.md
+§4), asserts its *shape* claims, and writes the measured rows to
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Sizes default to laptop scale (paper: 200k-2.5M records on 1999 hardware);
+set ``CMP_BENCH_SCALE`` to multiply the record counts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval import experiments
+from repro.eval.harness import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Multiplier for record counts (CMP_BENCH_SCALE env var).
+SCALE = float(os.environ.get("CMP_BENCH_SCALE", "1.0"))
+
+
+def scaled(*sizes: int) -> tuple[int, ...]:
+    """Apply the global scale factor to a size sweep."""
+    return tuple(max(1000, int(s * SCALE)) for s in sizes)
+
+
+def write_result(name: str, rows: list[dict[str, object]], note: str = "") -> str:
+    """Persist a measured table under benchmarks/results/ and return it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = format_table(rows)
+    body = (note + "\n\n" if note else "") + text + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(body)
+    return text
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """The configuration used by all paper benchmarks."""
+    return experiments.default_config()
+
+
+def by_builder(records):
+    """Group RunRecords: {builder: {n: record}}."""
+    out: dict[str, dict[int, object]] = {}
+    for r in records:
+        out.setdefault(r.builder, {})[r.n_records] = r
+    return out

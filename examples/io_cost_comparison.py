@@ -1,0 +1,57 @@
+"""Head-to-head I/O, time and memory comparison (Figures 16 and 19 in one).
+
+Runs all five classifiers — the CMP family and the three baselines — on
+one Function 2 training set and prints the comparison the paper's
+evaluation section is built around: dataset scans, auxiliary-structure
+I/O, deterministic simulated time (1999-disk cost model), wall-clock time
+and peak tracked memory.
+
+Run:  python examples/io_cost_comparison.py [n_records]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import BuilderConfig, CMPBBuilder, CMPBuilder, CMPSBuilder, generate_agrawal
+from repro.baselines import CloudsBuilder, RainForestBuilder, SprintBuilder
+from repro.eval.harness import format_table, run_builder
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 50_000
+    dataset = generate_agrawal("F2", n, seed=1)
+    config = BuilderConfig(
+        n_intervals=100, max_depth=10, min_records=max(50, n // 1000), prune="public"
+    )
+
+    rows = []
+    for builder_cls in (
+        CMPSBuilder, CMPBBuilder, CMPBuilder,
+        CloudsBuilder, RainForestBuilder, SprintBuilder,
+    ):
+        record, result = run_builder(builder_cls(config), dataset)
+        row = record.as_dict()
+        row["aux_MB"] = round(
+            8
+            * (
+                result.stats.io.aux_records_read
+                + result.stats.io.aux_records_written
+            )
+            / 1e6,
+            1,
+        )
+        rows.append(row)
+
+    print(f"Function 2, {n} records — all classifiers, same configuration\n")
+    print(format_table(rows))
+    print()
+    print("Reading the table against the paper's claims:")
+    print(" * CMP-S needs ~half the scans of CLOUDS (no per-level exact pass)")
+    print(" * CMP-B <= CMP-S scans (two tree levels per scan when prediction hits)")
+    print(" * SPRINT's attribute-list traffic (aux_MB) dwarfs everyone's I/O")
+    print(" * RainForest is fastest but holds a 20 MB AVC buffer throughout")
+
+
+if __name__ == "__main__":
+    main()

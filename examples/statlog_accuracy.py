@@ -1,0 +1,48 @@
+"""Held-out accuracy across the STATLOG stand-ins (Table 1's datasets).
+
+Trains CMP and the exact SPRINT baseline on each STATLOG stand-in with a
+75/25 holdout and compares accuracies — the paper's claim being that CMP's
+discretization plus alive-interval resolution loses essentially nothing
+against exact split selection.
+
+Run:  python examples/statlog_accuracy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BuilderConfig, CMPSBuilder, generate_statlog
+from repro.baselines import SprintBuilder
+from repro.data.statlog import STATLOG_SPECS
+from repro.eval.harness import format_table, run_builder
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    config = BuilderConfig(
+        n_intervals=64, max_depth=12, min_records=20, prune="public"
+    )
+    rows = []
+    for name in sorted(STATLOG_SPECS):
+        dataset = generate_statlog(name, seed=0)
+        train, test = dataset.split_holdout(0.25, rng)
+        for builder_cls in (CMPSBuilder, SprintBuilder):
+            record, __ = run_builder(builder_cls(config), train, test)
+            rows.append(
+                {
+                    "dataset": name,
+                    "builder": record.builder,
+                    "classes": dataset.n_classes,
+                    "train_acc": round(record.train_accuracy, 4),
+                    "test_acc": round(record.test_accuracy or 0.0, 4),
+                    "nodes": record.nodes,
+                    "scans": record.scans,
+                }
+            )
+    print("STATLOG stand-ins (same record/attribute/class counts as Table 1)\n")
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

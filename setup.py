@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without PEP 517 build isolation.
+
+``pip install -e . --no-build-isolation`` (or ``python setup.py develop``)
+works offline with the pinned setuptools; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

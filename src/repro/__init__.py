@@ -1,0 +1,46 @@
+"""Reproduction of Wang & Zaniolo, "CMP: A Fast Decision Tree Classifier
+Using Multivariate Predictions" (ICDE 2000).
+
+Public API highlights:
+
+* :class:`repro.core.cmp_s.CMPSBuilder` — CMP-S (single-variable CMP).
+* :class:`repro.core.cmp_b.CMPBBuilder` — CMP-B (bivariate histograms +
+  split prediction, up to two tree levels per scan).
+* :class:`repro.core.cmp_full.CMPBuilder` — full CMP (CMP-B + linear
+  combination splits).
+* :mod:`repro.baselines` — SPRINT, CLOUDS and RainForest reimplementations.
+* :mod:`repro.data` — Agrawal synthetic functions, STATLOG stand-ins.
+* :mod:`repro.eval.experiments` — drivers for every table and figure of
+  the paper's evaluation.
+"""
+
+from repro.config import DEFAULT_CONFIG, BuilderConfig
+from repro.core import (
+    BuildResult,
+    CMPBBuilder,
+    CMPBuilder,
+    CMPSBuilder,
+    DecisionTree,
+    Node,
+    TreeBuilder,
+)
+from repro.data import Dataset, generate_agrawal, generate_function_f, generate_statlog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuilderConfig",
+    "DEFAULT_CONFIG",
+    "BuildResult",
+    "TreeBuilder",
+    "CMPSBuilder",
+    "CMPBBuilder",
+    "CMPBuilder",
+    "DecisionTree",
+    "Node",
+    "Dataset",
+    "generate_agrawal",
+    "generate_function_f",
+    "generate_statlog",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""From-scratch reimplementations of the paper's comparison systems."""
+
+from repro.baselines.clouds import CloudsBuilder
+from repro.baselines.rainforest import RainForestBuilder
+from repro.baselines.sliq import SliqBuilder
+from repro.baselines.sprint import SprintBuilder
+
+__all__ = ["CloudsBuilder", "RainForestBuilder", "SliqBuilder", "SprintBuilder"]

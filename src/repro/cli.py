@@ -1,0 +1,118 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage (installed as ``cmp-repro`` or via ``python -m repro``)::
+
+    cmp-repro table1
+    cmp-repro fig14 --sizes 20000 50000 100000
+    cmp-repro fig16 --function F2
+    cmp-repro fig18
+    cmp-repro fig19
+    cmp-repro prediction
+    cmp-repro demo --function Ff --records 50000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import BuilderConfig
+from repro.core.cmp_full import CMPBuilder
+from repro.data.synthetic import generate_agrawal
+from repro.eval import experiments
+from repro.eval.harness import format_table, run_builder
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--intervals", type=int, default=100)
+    parser.add_argument("--max-depth", type=int, default=12)
+
+
+def _config(args: argparse.Namespace) -> BuilderConfig:
+    return experiments.default_config(
+        n_intervals=args.intervals, max_depth=args.max_depth
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="cmp-repro",
+        description="Reproduce tables and figures of the CMP paper (ICDE 2000).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table 1: exact vs CMP root splits")
+    p.add_argument("--records", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=0)
+
+    for name, help_text in [
+        ("fig14", "Figure 14: CMP family scalability on Function 2"),
+        ("fig15", "Figure 15: CMP family scalability on Function 7"),
+        ("fig16", "Figure 16: comparison on Function 2"),
+        ("fig17", "Figure 17: comparison on Function 7"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--sizes", type=int, nargs="+", default=[20_000, 50_000, 100_000])
+        p.add_argument("--function", default=None)
+        _add_common(p)
+
+    p = sub.add_parser("fig18", help="Figure 18: comparison on Function f")
+    p.add_argument("--sizes", type=int, nargs="+", default=[20_000, 50_000])
+    _add_common(p)
+
+    p = sub.add_parser("fig19", help="Figure 19: memory usage comparison")
+    p.add_argument("--sizes", type=int, nargs="+", default=[20_000, 50_000, 100_000])
+    p.add_argument("--function", default="F2")
+    _add_common(p)
+
+    p = sub.add_parser("prediction", help="predictSplit accuracy on Function 2")
+    p.add_argument("--records", type=int, default=100_000)
+    _add_common(p)
+
+    p = sub.add_parser("demo", help="Train CMP on a synthetic function, print the tree")
+    p.add_argument("--function", default="Ff")
+    p.add_argument("--records", type=int, default=50_000)
+    _add_common(p)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        rows = experiments.table1(seed=args.seed, agrawal_records=args.records)
+        print(format_table(rows))
+        return 0
+    if args.command in ("fig14", "fig15"):
+        function = args.function or ("F2" if args.command == "fig14" else "F7")
+        records = experiments.scalability(function, args.sizes, _config(args), args.seed)
+        print(format_table(experiments.records_as_rows(records)))
+        return 0
+    if args.command in ("fig16", "fig17"):
+        function = args.function or ("F2" if args.command == "fig16" else "F7")
+        records = experiments.comparison(function, args.sizes, _config(args), args.seed)
+        print(format_table(experiments.records_as_rows(records)))
+        return 0
+    if args.command == "fig18":
+        records = experiments.comparison_f(args.sizes, _config(args), args.seed)
+        print(format_table(experiments.records_as_rows(records)))
+        return 0
+    if args.command == "fig19":
+        records = experiments.memory_usage(args.function, args.sizes, _config(args), args.seed)
+        print(format_table(experiments.records_as_rows(records)))
+        return 0
+    if args.command == "prediction":
+        print(experiments.prediction_accuracy(args.records, _config(args), args.seed))
+        return 0
+    if args.command == "demo":
+        dataset = generate_agrawal(args.function, args.records, seed=args.seed)
+        record, result = run_builder(CMPBuilder(_config(args)), dataset)
+        print(format_table([record.as_dict()]))
+        print()
+        print(result.tree.render())
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

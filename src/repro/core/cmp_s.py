@@ -1,0 +1,467 @@
+"""CMP-S: the single-variable CMP classifier (Figure 4 of the paper).
+
+CMP-S is "a variation of the CLOUDS algorithm specialized to reduce disk
+access up to 50%".  Per tree level it performs exactly **one** scan of the
+training set, during which it simultaneously:
+
+1. routes each record from its (pending) parent node into the preliminary
+   subnodes created by the parent's *estimated* split, updating the fresh
+   per-subnode histograms (Figure 4, lines 05-09);
+2. sets aside records that fall into an alive interval of the parent's
+   split in an in-memory buffer (line 07);
+
+and after the scan:
+
+3. sorts each buffer to resolve the parent's **exact** split threshold and
+   merges the preliminary subnodes accordingly (lines 11-13, Figure 3);
+4. analyzes the now-complete child histograms, picks each child's splitting
+   attribute, estimates its split and its alive intervals (lines 15-19).
+
+Bookkeeping follows the paper: the training set is never sorted, copied or
+modified; a ``nid`` array maps each record to its node (slot) and is charged
+as disk-swapped auxiliary I/O.  Two extra scans precede the loop: a
+quantiling pass that fixes the root interval grid (charged to CLOUDS
+identically, see DESIGN.md §3) and the root-histogram pass of line 03.
+Child grids are re-quantiled from the parent's histograms without touching
+the data (:func:`repro.data.discretize.edges_from_histogram`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.builder import (
+    PartState,
+    adaptive_intervals,
+    RecordBuffer,
+    TreeBuilder,
+    classify_zones,
+    make_part_hists,
+    resolve_exact_threshold,
+    zone_boundaries,
+)
+from repro.core.histogram import CategoryHistogram, ClassHistogram
+from repro.core.intervals import analyze_attribute, choose_split_attribute
+from repro.core.splits import CategoricalSplit, NumericSplit, Split
+from repro.core.tree import DecisionTree, Node, TreeAccount
+from repro.data.dataset import Dataset
+from repro.data.discretize import ReservoirSampler, edges_from_histogram, equal_depth_edges
+from repro.data.schema import Schema
+from repro.io.metrics import BuildStats
+from repro.io.pager import ScanChunk
+
+Hists = dict[int, ClassHistogram | CategoryHistogram]
+
+
+@dataclass
+class PendingSplit:
+    """A split decided (possibly only estimated) but not yet materialized.
+
+    ``exact_split`` is set for splits known exactly at decision time
+    (categorical subsets, boundary splits with no alive interval); then the
+    pending merely routes records into two parts on the next scan.
+    Otherwise the split is *estimated*: records are routed into
+    ``len(alive_bounds) + 1`` preliminary parts, alive-interval records are
+    buffered, and the threshold is resolved after the scan.
+    """
+
+    node: Node
+    parent_slot: int
+    child_edges: dict[int, np.ndarray]
+    exact_split: Split | None = None
+    attr: int = -1
+    zone_bounds: np.ndarray = field(default_factory=lambda: np.empty(0))
+    alive_bounds: list[tuple[float, float]] = field(default_factory=list)
+    alive_cum_below: list[np.ndarray] = field(default_factory=list)
+    totals: np.ndarray = field(default_factory=lambda: np.empty(0))
+    best_boundary_value: float | None = None
+    best_boundary_gini: float = np.inf
+    parts: list[PartState] = field(default_factory=list)
+    buffer: RecordBuffer = field(default_factory=RecordBuffer)
+
+    @property
+    def is_estimated(self) -> bool:
+        """True when the exact threshold is still pending."""
+        return self.exact_split is None
+
+    def region_bounds(self) -> list[tuple[float, float]]:
+        """Value range covered by each preliminary part, in order."""
+        bounds: list[tuple[float, float]] = []
+        prev_hi = -np.inf
+        for lo, hi in self.alive_bounds:
+            bounds.append((prev_hi, lo))
+            prev_hi = hi
+        bounds.append((prev_hi, np.inf))
+        return bounds
+
+
+def merge_contiguous(indices: list[int]) -> list[tuple[int, int]]:
+    """Collapse sorted interval indices into inclusive contiguous runs."""
+    runs: list[tuple[int, int]] = []
+    for i in indices:
+        if runs and i == runs[-1][1] + 1:
+            runs[-1] = (runs[-1][0], i)
+        else:
+            runs.append((i, i))
+    return runs
+
+
+class CMPSBuilder(TreeBuilder):
+    """The CMP-S classifier."""
+
+    name = "CMP-S"
+    supports_integrated_pruning = True
+
+    def _build(self, dataset: Dataset, stats: BuildStats) -> DecisionTree:
+        cfg = self.config
+        if cfg.criterion != "gini":
+            raise ValueError(f"{self.name} supports only the gini criterion")
+        schema = dataset.schema
+        n, c = dataset.n_records, dataset.n_classes
+        table = dataset.as_paged(stats.io, cfg.page_records)
+        account = TreeAccount()
+        rng = np.random.default_rng(cfg.seed)
+        cont = schema.continuous_indices()
+
+        # --- Scan 1: quantiling pass (root grid + class totals). ----------
+        reservoirs = {
+            j: ReservoirSampler(cfg.reservoir_capacity, rng) for j in cont
+        }
+        totals = np.zeros(c, dtype=np.float64)
+        for chunk in table.scan():
+            totals += np.bincount(chunk.y, minlength=c)
+            for j in cont:
+                reservoirs[j].extend(chunk.X[:, j])
+        root_edges = {
+            j: equal_depth_edges(reservoirs[j].sample(), cfg.n_intervals)
+            for j in cont
+        }
+        del reservoirs
+        root = account.new_node(0, totals)
+
+        nid = np.zeros(n, dtype=np.int64)
+        next_slot = iter(range(1, 2**62)).__next__
+
+        # --- Scan 2: root histograms (Figure 4, line 03). -----------------
+        root_part = PartState(0, c, make_part_hists(schema, root_edges))
+        stats.memory.allocate("hist/root", root_part.nbytes())
+        for chunk in table.scan():
+            root_part.update(chunk.X, chunk.y)
+        self._charge_nid(stats, n)
+
+        pendings: dict[int, PendingSplit] = {}
+        first = self._decide(root, 0, root_part.hists, next_slot, schema, stats)
+        stats.memory.release("hist/root")
+        if first is not None:
+            pendings[0] = first
+
+        # --- One scan per level (Figure 4, lines 01-21). ------------------
+        while pendings:
+            for chunk in table.scan():
+                self._route_chunk(chunk, nid, pendings)
+            self._charge_nid(stats, n)
+            for p in pendings.values():
+                stats.memory.allocate(f"buf/{p.node.node_id}", p.buffer.nbytes())
+
+            new_pendings: dict[int, PendingSplit] = {}
+            remap: dict[int, int] = {}
+            for p in pendings.values():
+                children = self._resolve(p, nid, remap, next_slot, account, schema, stats)
+                stats.memory.release(f"parts/{p.node.node_id}")
+                stats.memory.release(f"buf/{p.node.node_id}")
+                for child, slot, hists in children:
+                    stats.memory.allocate(f"hist/{child.node_id}", _hists_nbytes(hists))
+                    q = self._decide(child, slot, hists, next_slot, schema, stats)
+                    stats.memory.release(f"hist/{child.node_id}")
+                    if q is not None:
+                        new_pendings[slot] = q
+            if remap:
+                self._apply_remap(nid, remap, stats)
+            pendings = new_pendings
+            if cfg.prune == "public":
+                pendings = self._public_pass(root, pendings)
+
+        return DecisionTree(root, schema)
+
+    # -- scan-time routing ---------------------------------------------------
+
+    def _route_chunk(
+        self,
+        chunk: ScanChunk,
+        nid: np.ndarray,
+        pendings: dict[int, PendingSplit],
+    ) -> None:
+        slots = nid[chunk.start : chunk.stop]
+        for slot, p in pendings.items():
+            mask = slots == slot
+            if not mask.any():
+                continue
+            X = chunk.X[mask]
+            y = chunk.y[mask]
+            rids = chunk.rids[mask]
+            if p.exact_split is not None:
+                left = p.exact_split.goes_left(X)
+                p.parts[0].update(X[left], y[left])
+                p.parts[1].update(X[~left], y[~left])
+                nid[rids[left]] = p.parts[0].slot
+                nid[rids[~left]] = p.parts[1].slot
+                continue
+            zones = classify_zones(X[:, p.attr], p.zone_bounds)
+            alive = (zones & 1) == 1
+            if alive.any():
+                p.buffer.append(X[alive], y[alive], rids[alive])
+            for r, part in enumerate(p.parts):
+                m = zones == 2 * r
+                if m.any():
+                    part.update(X[m], y[m])
+                    nid[rids[m]] = part.slot
+
+    # -- decisions (Figure 4, lines 15-19) ------------------------------------
+
+    def _decide(
+        self,
+        node: Node,
+        slot: int,
+        hists: Hists,
+        next_slot: Callable[[], int],
+        schema: Schema,
+        stats: BuildStats,
+    ) -> PendingSplit | None:
+        """Pick the node's split (estimated or exact) or make it a leaf."""
+        cfg = self.config
+        if (
+            node.n_records < cfg.min_records
+            or node.gini <= cfg.min_gini
+            or node.depth >= cfg.max_depth
+        ):
+            return None
+        cont = schema.continuous_indices()
+        analyses = [analyze_attribute(j, hists[j]) for j in cont]  # type: ignore[arg-type]
+        winner = choose_split_attribute(analyses, cfg.max_alive)
+        cont_score = winner.score if winner is not None else np.inf
+
+        best_cat_gini = np.inf
+        best_cat: tuple[int, np.ndarray] | None = None
+        for j in schema.categorical_indices():
+            hist = hists[j]
+            assert isinstance(hist, CategoryHistogram)
+            try:
+                mask, g = hist.best_subset_split()
+            except ValueError:
+                continue
+            if g < best_cat_gini:
+                best_cat_gini, best_cat = g, (j, mask)
+
+        if min(cont_score, best_cat_gini) >= node.gini - cfg.min_gain:
+            return None
+
+        child_edges = self._refined_edges(hists, cont, node.n_records)
+        if best_cat is not None and best_cat_gini < cont_score:
+            j, mask = best_cat
+            split: Split = CategoricalSplit(j, tuple(bool(b) for b in mask))
+            return self._new_pending_exact(node, slot, split, child_edges, next_slot, schema, stats)
+
+        assert winner is not None
+        hist = hists[winner.attr]
+        assert isinstance(hist, ClassHistogram)
+        if not winner.alive:
+            split = NumericSplit(winner.attr, float(winner.edges[winner.best_boundary]))
+            return self._new_pending_exact(node, slot, split, child_edges, next_slot, schema, stats)
+
+        # Estimated split around the alive intervals.
+        q = hist.n_intervals
+        runs = merge_contiguous(winner.alive)
+        alive_bounds: list[tuple[float, float]] = []
+        alive_cum_below: list[np.ndarray] = []
+        for i0, i1 in runs:
+            lo = -np.inf if i0 == 0 else float(hist.edges[i0 - 1])
+            hi = np.inf if i1 == q - 1 else float(hist.edges[i1])
+            alive_bounds.append((lo, hi))
+            alive_cum_below.append(hist.cum_below(i0))
+        best_val = (
+            float(winner.edges[winner.best_boundary])
+            if winner.has_boundaries
+            else None
+        )
+        p = PendingSplit(
+            node=node,
+            parent_slot=slot,
+            child_edges=child_edges,
+            attr=winner.attr,
+            zone_bounds=zone_boundaries(alive_bounds),
+            alive_bounds=alive_bounds,
+            alive_cum_below=alive_cum_below,
+            totals=hist.totals(),
+            best_boundary_value=best_val,
+            best_boundary_gini=winner.gini_min,
+        )
+        n_parts = len(alive_bounds) + 1
+        p.parts = [
+            PartState(next_slot(), schema.n_classes, make_part_hists(schema, child_edges))
+            for _ in range(n_parts)
+        ]
+        stats.memory.allocate(
+            f"parts/{node.node_id}", sum(part.nbytes() for part in p.parts)
+        )
+        return p
+
+    def _new_pending_exact(
+        self,
+        node: Node,
+        slot: int,
+        split: Split,
+        child_edges: dict[int, np.ndarray],
+        next_slot: Callable[[], int],
+        schema: Schema,
+        stats: BuildStats,
+    ) -> PendingSplit:
+        p = PendingSplit(node=node, parent_slot=slot, child_edges=child_edges, exact_split=split)
+        p.parts = [
+            PartState(next_slot(), schema.n_classes, make_part_hists(schema, child_edges))
+            for _ in range(2)
+        ]
+        stats.memory.allocate(
+            f"parts/{node.node_id}", sum(part.nbytes() for part in p.parts)
+        )
+        return p
+
+    def _refined_edges(
+        self, hists: Hists, cont: list[int], n_records: float
+    ) -> dict[int, np.ndarray]:
+        """Re-quantile each continuous attribute from the node's histogram."""
+        q = adaptive_intervals(self.config.n_intervals, n_records)
+        out: dict[int, np.ndarray] = {}
+        for j in cont:
+            hist = hists[j]
+            assert isinstance(hist, ClassHistogram)
+            out[j] = edges_from_histogram(
+                hist.edges, hist.counts.sum(axis=1), q, hist.vmin, hist.vmax
+            )
+        return out
+
+    # -- resolution (Figure 4, lines 11-13) -----------------------------------
+
+    def _resolve(
+        self,
+        p: PendingSplit,
+        nid: np.ndarray,
+        remap: dict[int, int],
+        next_slot: Callable[[], int],
+        account: TreeAccount,
+        schema: Schema,
+        stats: BuildStats,
+    ) -> list[tuple[Node, int, Hists]]:
+        """Materialize a pending split; returns the children to decide on."""
+        node = p.node
+        if p.exact_split is not None:
+            lpart, rpart = p.parts
+            if lpart.class_counts.sum() == 0 or rpart.class_counts.sum() == 0:
+                # Degenerate in practice (can happen when the deciding
+                # histogram was approximate at the edges): keep as a leaf.
+                for part in p.parts:
+                    remap[part.slot] = p.parent_slot
+                return []
+            node.split = p.exact_split
+            left = account.new_node(node.depth + 1, lpart.class_counts)
+            right = account.new_node(node.depth + 1, rpart.class_counts)
+            node.left, node.right = left, right
+            return [
+                (left, lpart.slot, lpart.hists),
+                (right, rpart.slot, rpart.hists),
+            ]
+
+        Xb, yb, rids = p.buffer.concatenated()
+        buf_vals = Xb[:, p.attr] if len(yb) else np.empty(0)
+        res = resolve_exact_threshold(
+            p.totals,
+            p.best_boundary_value,
+            p.best_boundary_gini,
+            p.alive_bounds,
+            p.alive_cum_below,
+            buf_vals,
+            yb,
+        )
+        if res is None:
+            for part in p.parts:
+                remap[part.slot] = p.parent_slot
+            return []
+        if res.from_buffer:
+            stats.splits_resolved_exactly += 1
+        threshold = res.threshold
+
+        lslot, rslot = next_slot(), next_slot()
+        left_hists = make_part_hists(schema, p.child_edges)
+        right_hists = make_part_hists(schema, p.child_edges)
+        left_counts = np.zeros(schema.n_classes, dtype=np.float64)
+        right_counts = np.zeros(schema.n_classes, dtype=np.float64)
+        for part, (__, hi) in zip(p.parts, p.region_bounds()):
+            if hi <= threshold:
+                target_hists, target_slot = left_hists, lslot
+                left_counts += part.class_counts
+            else:
+                target_hists, target_slot = right_hists, rslot
+                right_counts += part.class_counts
+            for j, hist in part.hists.items():
+                target_hists[j].merge_from(hist)  # type: ignore[arg-type]
+            remap[part.slot] = target_slot
+
+        if len(yb):
+            goes_left = buf_vals <= threshold
+            for j in left_hists:
+                left_hists[j].update(Xb[goes_left][:, j], yb[goes_left])
+                right_hists[j].update(Xb[~goes_left][:, j], yb[~goes_left])
+            left_counts += np.bincount(yb[goes_left], minlength=schema.n_classes)
+            right_counts += np.bincount(yb[~goes_left], minlength=schema.n_classes)
+            nid[rids[goes_left]] = lslot
+            nid[rids[~goes_left]] = rslot
+
+        if left_counts.sum() == 0 or right_counts.sum() == 0:
+            # Defensive: candidate validation should prevent this.
+            for part in p.parts:
+                remap[part.slot] = p.parent_slot
+            remap[lslot] = p.parent_slot
+            remap[rslot] = p.parent_slot
+            return []
+
+        node.split = NumericSplit(p.attr, threshold)
+        left = account.new_node(node.depth + 1, left_counts)
+        right = account.new_node(node.depth + 1, right_counts)
+        node.left, node.right = left, right
+        return [(left, lslot, left_hists), (right, rslot, right_hists)]
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @staticmethod
+    def _charge_nid(stats: BuildStats, n: int) -> None:
+        """Charge the per-scan nid array swap (paper: kept on disk)."""
+        stats.io.count_aux_read(n)
+        stats.io.count_aux_write(n)
+
+    @staticmethod
+    def _apply_remap(nid: np.ndarray, remap: dict[int, int], stats: BuildStats) -> None:
+        max_slot = int(nid.max())
+        lookup = np.arange(max(max_slot + 1, max(remap) + 1), dtype=np.int64)
+        for src, dst in remap.items():
+            lookup[src] = dst
+        nid[:] = lookup[nid]
+
+    def _public_pass(
+        self, root: Node, pendings: dict[int, PendingSplit]
+    ) -> dict[int, PendingSplit]:
+        """Integrated PUBLIC(1) pruning between levels."""
+        from repro.pruning.public import public_prune_pass
+
+        open_ids = {p.node.node_id for p in pendings.values()}
+        removed = public_prune_pass(root, open_ids)
+        if not removed:
+            return pendings
+        return {
+            slot: p for slot, p in pendings.items() if p.node.node_id not in removed
+        }
+
+
+def _hists_nbytes(hists: Hists) -> int:
+    return sum(h.nbytes() for h in hists.values())

@@ -1,0 +1,39 @@
+"""predictSplit — choosing each subnode's matrix X axis (§2.2, Figure 7).
+
+After a split, CMP-B must pick the attribute that will serve as the shared
+X axis of the subnode's histogram matrices.  If the subnode later splits on
+that very attribute, its own subnodes inherit sub-matrices for free and the
+tree grows another level without a scan — so the X axis should be the
+attribute *most likely to win the subnode's split*.
+
+Figure 7's recipe: for attributes whose marginal gini in the subnode is
+exactly computable from the current matrices (the X axis, and every Y axis
+when the split happened on X), use that exact value; for the rest, fall
+back to the attribute's gini at the *parent* ("a crude estimate [that]
+appears effective in most cases" — the paper reports ~80% accuracy on
+Function 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def predict_split(
+    exact_scores: dict[int, float],
+    fallback_scores: dict[int, float],
+) -> int:
+    """Return the attribute with the lowest (estimated) split gini.
+
+    ``exact_scores`` are marginal ginis computed from sub-matrices of the
+    node being split; ``fallback_scores`` are the parent-level ginis used
+    for attributes with no sub-matrix information.  Exact knowledge wins
+    over fallback for the same attribute.  Ties break toward the lower
+    attribute index.  Raises ``ValueError`` when no candidate is finite.
+    """
+    combined = dict(fallback_scores)
+    combined.update(exact_scores)
+    finite = {a: s for a, s in combined.items() if np.isfinite(s)}
+    if not finite:
+        raise ValueError("predictSplit has no finite candidate attribute")
+    return min(finite, key=lambda a: (finite[a], a))

@@ -1,0 +1,181 @@
+"""Decision-tree persistence (JSON) and visualization (Graphviz DOT).
+
+A trained :class:`~repro.core.tree.DecisionTree` round-trips through a
+plain-dict representation: splits are tagged by kind, class counts are
+lists, and the schema travels with the tree so a deserialized model can
+classify and render without the original dataset.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.splits import CategoricalSplit, LinearSplit, NumericSplit, Split
+from repro.core.tree import DecisionTree, Node
+from repro.data.schema import Attribute, AttributeKind, Schema
+
+
+def split_to_dict(split: Split) -> dict[str, object]:
+    """Tagged plain-dict form of a split criterion."""
+    if isinstance(split, NumericSplit):
+        return {"kind": "numeric", "attr": split.attr, "threshold": split.threshold}
+    if isinstance(split, CategoricalSplit):
+        return {
+            "kind": "categorical",
+            "attr": split.attr,
+            "left_mask": list(split.left_mask),
+        }
+    if isinstance(split, LinearSplit):
+        return {
+            "kind": "linear",
+            "attr_x": split.attr_x,
+            "attr_y": split.attr_y,
+            "a": split.a,
+            "b": split.b,
+            "c": split.c,
+        }
+    raise TypeError(f"unknown split type {type(split).__name__}")
+
+
+def split_from_dict(data: dict[str, object]) -> Split:
+    """Inverse of :func:`split_to_dict`."""
+    kind = data.get("kind")
+    if kind == "numeric":
+        return NumericSplit(int(data["attr"]), float(data["threshold"]))  # type: ignore[arg-type]
+    if kind == "categorical":
+        return CategoricalSplit(
+            int(data["attr"]), tuple(bool(b) for b in data["left_mask"])  # type: ignore[arg-type]
+        )
+    if kind == "linear":
+        return LinearSplit(
+            int(data["attr_x"]),  # type: ignore[arg-type]
+            int(data["attr_y"]),  # type: ignore[arg-type]
+            b=float(data["b"]),  # type: ignore[arg-type]
+            c=float(data["c"]),  # type: ignore[arg-type]
+            a=float(data["a"]),  # type: ignore[arg-type]
+        )
+    raise ValueError(f"unknown split kind {kind!r}")
+
+
+def _schema_to_dict(schema: Schema) -> dict[str, object]:
+    return {
+        "attributes": [
+            {
+                "name": a.name,
+                "kind": a.kind.value,
+                "categories": list(a.categories),
+            }
+            for a in schema.attributes
+        ],
+        "class_labels": list(schema.class_labels),
+    }
+
+
+def _schema_from_dict(data: dict[str, object]) -> Schema:
+    attrs = tuple(
+        Attribute(
+            a["name"],
+            AttributeKind(a["kind"]),
+            tuple(a.get("categories", ())),
+        )
+        for a in data["attributes"]  # type: ignore[union-attr]
+    )
+    return Schema(attrs, tuple(data["class_labels"]))  # type: ignore[arg-type]
+
+
+def _node_to_dict(node: Node) -> dict[str, object]:
+    out: dict[str, object] = {
+        "id": node.node_id,
+        "depth": node.depth,
+        "class_counts": [float(v) for v in node.class_counts],
+    }
+    if not node.is_leaf:
+        left, right = node.children()
+        out["split"] = split_to_dict(node.split)  # type: ignore[arg-type]
+        out["left"] = _node_to_dict(left)
+        out["right"] = _node_to_dict(right)
+    return out
+
+
+def _node_from_dict(data: dict[str, object]) -> Node:
+    node = Node(
+        int(data["id"]),  # type: ignore[arg-type]
+        int(data["depth"]),  # type: ignore[arg-type]
+        np.asarray(data["class_counts"], dtype=np.float64),
+    )
+    if "split" in data:
+        node.split = split_from_dict(data["split"])  # type: ignore[arg-type]
+        node.left = _node_from_dict(data["left"])  # type: ignore[arg-type]
+        node.right = _node_from_dict(data["right"])  # type: ignore[arg-type]
+    return node
+
+
+def tree_to_dict(tree: DecisionTree) -> dict[str, object]:
+    """Plain-dict form of a trained tree (schema included)."""
+    return {
+        "format": "repro-cmp-tree",
+        "version": 1,
+        "schema": _schema_to_dict(tree.schema),
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def tree_from_dict(data: dict[str, object]) -> DecisionTree:
+    """Inverse of :func:`tree_to_dict`."""
+    if data.get("format") != "repro-cmp-tree":
+        raise ValueError("not a serialized repro CMP tree")
+    schema = _schema_from_dict(data["schema"])  # type: ignore[arg-type]
+    root = _node_from_dict(data["root"])  # type: ignore[arg-type]
+    return DecisionTree(root, schema)
+
+
+def tree_to_json(tree: DecisionTree, indent: int | None = None) -> str:
+    """Serialize a tree to a JSON string."""
+    return json.dumps(tree_to_dict(tree), indent=indent)
+
+
+def tree_from_json(text: str) -> DecisionTree:
+    """Deserialize a tree from :func:`tree_to_json` output."""
+    return tree_from_dict(json.loads(text))
+
+
+def tree_to_dot(tree: DecisionTree, max_depth: int | None = None) -> str:
+    """Graphviz DOT rendering of a tree (Figures 1, 9 and 13 style).
+
+    ``max_depth`` truncates deep subtrees into ellipsis nodes so large
+    univariate trees (the Figure 9 staircase) stay plottable.
+    """
+    lines = [
+        "digraph cmp_tree {",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+
+    def quote(text: str) -> str:
+        return text.replace("\\", "\\\\").replace('"', '\\"')
+
+    def walk(node: Node) -> None:
+        if max_depth is not None and node.depth > max_depth:
+            return
+        if node.is_leaf:
+            label = tree.schema.class_labels[node.majority_class]
+            lines.append(
+                f'  n{node.node_id} [label="{quote(label)}\\n'
+                f'n={node.n_records:g}", style=filled, fillcolor=lightgrey];'
+            )
+            return
+        if max_depth is not None and node.depth == max_depth:
+            lines.append(f'  n{node.node_id} [label="..."];')
+            return
+        desc = node.split.describe(tree.schema)  # type: ignore[union-attr]
+        lines.append(f'  n{node.node_id} [label="{quote(desc)}"];')
+        left, right = node.children()
+        for child, tag in ((left, "yes"), (right, "no")):
+            if max_depth is None or child.depth <= max_depth:
+                lines.append(f'  n{node.node_id} -> n{child.node_id} [label="{tag}"];')
+                walk(child)
+
+    walk(tree.root)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Decision-tree model shared by every builder in this repository."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.gini import gini
+from repro.core.splits import Split
+from repro.data.schema import Schema
+
+
+@dataclass
+class Node:
+    """One node of a decision tree.
+
+    ``class_counts`` always reflects the training records that reached the
+    node; leaves predict their majority class.
+    """
+
+    node_id: int
+    depth: int
+    class_counts: np.ndarray
+    split: Split | None = None
+    left: "Node | None" = None
+    right: "Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no split."""
+        return self.split is None
+
+    @property
+    def n_records(self) -> float:
+        """Training records that reached this node."""
+        return float(self.class_counts.sum())
+
+    @property
+    def majority_class(self) -> int:
+        """Class predicted by this node when treated as a leaf."""
+        return int(np.argmax(self.class_counts))
+
+    @property
+    def gini(self) -> float:
+        """Gini index of the node's class distribution."""
+        return float(gini(self.class_counts))
+
+    @property
+    def errors(self) -> float:
+        """Training records a leaf here would misclassify."""
+        return self.n_records - float(self.class_counts[self.majority_class])
+
+    def children(self) -> tuple["Node", "Node"]:
+        """Both children; raises on leaves."""
+        if self.left is None or self.right is None:
+            raise ValueError(f"node {self.node_id} is a leaf")
+        return self.left, self.right
+
+    def make_leaf(self) -> None:
+        """Prune the subtree below this node."""
+        self.split = None
+        self.left = None
+        self.right = None
+
+
+class DecisionTree:
+    """A trained classifier: a root node plus the schema it was built on."""
+
+    def __init__(self, root: Node, schema: Schema) -> None:
+        self.root = root
+        self.schema = schema
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Pre-order traversal of all nodes."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaf count."""
+        return sum(1 for n in self.iter_nodes() if n.is_leaf)
+
+    @property
+    def depth(self) -> int:
+        """Depth of the deepest leaf (root = 0)."""
+        return max(n.depth for n in self.iter_nodes())
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Route records to leaves; returns the leaf ``node_id`` per record."""
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(len(X), dtype=np.int64)
+        self._route(self.root, X, np.arange(len(X)), out)
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict a class label for each record."""
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(len(X), dtype=np.int64)
+        self._route(self.root, X, np.arange(len(X)), out, predict=True)
+        return out
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Per-class probabilities from the training-count distribution of
+        each record's leaf; shape ``(n, n_classes)``."""
+        leaf_ids = self.apply(X)
+        proba_by_leaf: dict[int, np.ndarray] = {}
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                total = node.class_counts.sum()
+                proba_by_leaf[node.node_id] = (
+                    node.class_counts / total
+                    if total > 0
+                    else np.full_like(node.class_counts, 1.0 / len(node.class_counts))
+                )
+        out = np.empty((len(leaf_ids), self.schema.n_classes), dtype=np.float64)
+        for leaf_id, proba in proba_by_leaf.items():
+            out[leaf_ids == leaf_id] = proba
+        return out
+
+    def _route(
+        self,
+        node: Node,
+        X: np.ndarray,
+        idx: np.ndarray,
+        out: np.ndarray,
+        predict: bool = False,
+    ) -> None:
+        if len(idx) == 0:
+            return
+        if node.is_leaf:
+            out[idx] = node.majority_class if predict else node.node_id
+            return
+        goes_left = node.split.goes_left(X[idx])  # type: ignore[union-attr]
+        self._route(node.left, X, idx[goes_left], out, predict)  # type: ignore[arg-type]
+        self._route(node.right, X, idx[~goes_left], out, predict)  # type: ignore[arg-type]
+
+    def render(self) -> str:
+        """Multi-line text rendering of the tree (for examples and docs)."""
+        lines: list[str] = []
+
+        def walk(node: Node, prefix: str, tag: str) -> None:
+            if node.is_leaf:
+                label = self.schema.class_labels[node.majority_class]
+                lines.append(
+                    f"{prefix}{tag}leaf #{node.node_id}: {label} "
+                    f"(n={node.n_records:g}, gini={node.gini:.4f})"
+                )
+                return
+            lines.append(
+                f"{prefix}{tag}node #{node.node_id}: "
+                f"{node.split.describe(self.schema)} (n={node.n_records:g})"  # type: ignore[union-attr]
+            )
+            walk(node.left, prefix + "  ", "yes: ")  # type: ignore[arg-type]
+            walk(node.right, prefix + "  ", "no:  ")  # type: ignore[arg-type]
+
+        walk(self.root, "", "")
+        return "\n".join(lines)
+
+
+@dataclass
+class TreeAccount:
+    """Node-id allocator used by builders."""
+
+    next_id: int = 0
+    created: int = field(default=0)
+
+    def new_node(self, depth: int, class_counts: np.ndarray) -> Node:
+        """Allocate a node with a fresh id."""
+        node = Node(self.next_id, depth, np.asarray(class_counts, dtype=np.float64))
+        self.next_id += 1
+        self.created += 1
+        return node

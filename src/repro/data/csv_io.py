@@ -1,0 +1,123 @@
+"""CSV import/export for datasets.
+
+The export writes one header row with attribute names (class label last)
+and decodes categorical codes back to their category names; the import
+infers a schema — columns whose every value parses as a number become
+continuous, everything else categorical — or accepts an explicit schema
+for full control.  Round-trips are exact for category codes and labels and
+exact-to-repr for continuous values.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, AttributeKind, Schema
+
+#: Column name used for the class label on export.
+LABEL_COLUMN = "class"
+
+
+def save_csv(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset as CSV (attributes..., class), decoding categories."""
+    path = Path(path)
+    schema = dataset.schema
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([a.name for a in schema.attributes] + [LABEL_COLUMN])
+        for i in range(dataset.n_records):
+            row: list[str] = []
+            for j, attr in enumerate(schema.attributes):
+                v = dataset.X[i, j]
+                if attr.is_continuous:
+                    row.append(repr(float(v)))
+                else:
+                    row.append(attr.categories[int(v)])
+            row.append(schema.class_labels[int(dataset.y[i])])
+            writer.writerow(row)
+
+
+def _parses_as_float(value: str) -> bool:
+    try:
+        float(value)
+    except ValueError:
+        return False
+    return True
+
+
+def infer_schema(
+    header: list[str], rows: list[list[str]]
+) -> Schema:
+    """Infer a schema from raw CSV rows (last column is the class label)."""
+    if len(header) < 2:
+        raise ValueError("need at least one attribute column plus the label")
+    n_attrs = len(header) - 1
+    attributes: list[Attribute] = []
+    for j in range(n_attrs):
+        values = [row[j] for row in rows]
+        if all(_parses_as_float(v) for v in values):
+            attributes.append(Attribute(header[j], AttributeKind.CONTINUOUS))
+        else:
+            cats = tuple(sorted(set(values)))
+            attributes.append(Attribute(header[j], AttributeKind.CATEGORICAL, cats))
+    labels = tuple(sorted(set(row[-1] for row in rows)))
+    return Schema(tuple(attributes), labels)
+
+
+def load_csv(path: str | Path, schema: Schema | None = None) -> Dataset:
+    """Load a CSV written by :func:`save_csv` (or compatible).
+
+    The last column is the class label.  When ``schema`` is omitted it is
+    inferred; when given, categorical values and labels must belong to its
+    vocabularies (unknown values raise ``ValueError``).
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        rows = [row for row in reader if row]
+    if not rows:
+        raise ValueError(f"{path} has no data rows")
+    if any(len(row) != len(header) for row in rows):
+        raise ValueError(f"{path} has ragged rows")
+
+    if schema is None:
+        schema = infer_schema(header, rows)
+    elif len(header) != schema.n_attributes + 1:
+        raise ValueError(
+            f"{path} has {len(header) - 1} attribute columns but the schema "
+            f"declares {schema.n_attributes}"
+        )
+
+    n = len(rows)
+    X = np.empty((n, schema.n_attributes), dtype=np.float64)
+    y = np.empty(n, dtype=np.int64)
+    cat_codes = {
+        j: {c: k for k, c in enumerate(schema.attributes[j].categories)}
+        for j in schema.categorical_indices()
+    }
+    label_codes = {c: k for k, c in enumerate(schema.class_labels)}
+    for i, row in enumerate(rows):
+        for j, attr in enumerate(schema.attributes):
+            raw = row[j]
+            if attr.is_continuous:
+                X[i, j] = float(raw)
+            else:
+                try:
+                    X[i, j] = cat_codes[j][raw]
+                except KeyError:
+                    raise ValueError(
+                        f"unknown category {raw!r} for attribute {attr.name!r}"
+                    ) from None
+        try:
+            y[i] = label_codes[row[-1]]
+        except KeyError:
+            raise ValueError(f"unknown class label {row[-1]!r}") from None
+    return Dataset(X, y, schema)

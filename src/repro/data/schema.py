@@ -1,0 +1,105 @@
+"""Attribute schemas for training sets.
+
+The paper's terminology (§1): attributes with a totally ordered domain are
+*ordered* (here: continuous), the rest are *categorical*, and one
+distinguished categorical attribute is the *class label*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class AttributeKind(Enum):
+    """Whether an attribute's domain is ordered or not."""
+
+    CONTINUOUS = "continuous"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One input attribute of a training set.
+
+    Categorical attributes carry the tuple of category names; their column
+    in the dataset stores integer codes indexing into ``categories``.
+    """
+
+    name: str
+    kind: AttributeKind
+    categories: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind is AttributeKind.CATEGORICAL and not self.categories:
+            raise ValueError(f"categorical attribute {self.name!r} needs categories")
+        if self.kind is AttributeKind.CONTINUOUS and self.categories:
+            raise ValueError(f"continuous attribute {self.name!r} cannot have categories")
+
+    @property
+    def is_continuous(self) -> bool:
+        """True for ordered (continuous) attributes."""
+        return self.kind is AttributeKind.CONTINUOUS
+
+    @property
+    def cardinality(self) -> int:
+        """Number of categories (0 for continuous attributes)."""
+        return len(self.categories)
+
+
+def continuous(name: str) -> Attribute:
+    """Shorthand constructor for a continuous attribute."""
+    return Attribute(name, AttributeKind.CONTINUOUS)
+
+
+def categorical(name: str, categories: tuple[str, ...] | list[str]) -> Attribute:
+    """Shorthand constructor for a categorical attribute."""
+    return Attribute(name, AttributeKind.CATEGORICAL, tuple(categories))
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered attribute list plus the class-label vocabulary."""
+
+    attributes: tuple[Attribute, ...]
+    class_labels: tuple[str, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if len(self.class_labels) < 2:
+            raise ValueError("a classification schema needs at least two classes")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError("attribute names must be unique")
+        object.__setattr__(self, "_index", {n: i for i, n in enumerate(names)})
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of input attributes (class label excluded)."""
+        return len(self.attributes)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of class labels."""
+        return len(self.class_labels)
+
+    def index_of(self, name: str) -> int:
+        """Return the column index of the attribute called ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"no attribute named {name!r}") from None
+
+    def attribute(self, ref: int | str) -> Attribute:
+        """Look an attribute up by index or name."""
+        if isinstance(ref, str):
+            ref = self.index_of(ref)
+        return self.attributes[ref]
+
+    def continuous_indices(self) -> list[int]:
+        """Column indices of all continuous attributes."""
+        return [i for i, a in enumerate(self.attributes) if a.is_continuous]
+
+    def categorical_indices(self) -> list[int]:
+        """Column indices of all categorical attributes."""
+        return [i for i, a in enumerate(self.attributes) if not a.is_continuous]

@@ -1,0 +1,296 @@
+"""Synthetic workload generator of Agrawal, Imielinski & Swami [5].
+
+The paper evaluates on "Function 2" and "Function 7" of the classic IBM
+Quest classification benchmark, plus its own linearly-correlated
+"Function f" (§2.3).  We reimplement the full generator — all ten
+functions — from the published definitions, since several examples and
+extension benches use the other functions as well.
+
+Each record has nine attributes:
+
+======== =========== ==========================================================
+name     kind        distribution
+======== =========== ==========================================================
+salary   continuous  uniform [20 000, 150 000]
+commission continuous 0 if salary >= 75 000 else uniform [10 000, 75 000]
+age      continuous  uniform [20, 80]
+elevel   categorical uniform {0 .. 4}
+car      categorical uniform {1 .. 20}
+zipcode  categorical uniform {z0 .. z8}
+hvalue   continuous  uniform [0.5 k, 1.5 k] x 100 000, k = zipcode rank + 1
+hyears   continuous  uniform [1, 30]
+loan     continuous  uniform [0, 500 000]
+======== =========== ==========================================================
+
+Class labels are "Group A" / "Group B".  A perturbation factor ``p``
+(default 5 %) optionally perturbs each continuous attribute by a uniform
+offset of up to ``p`` times its range, as in the original generator, which
+is what keeps the learning problems from being trivially separable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema, categorical, continuous
+
+#: Column order of the generated attribute matrix.
+ATTRIBUTE_NAMES = (
+    "salary",
+    "commission",
+    "age",
+    "elevel",
+    "car",
+    "zipcode",
+    "hvalue",
+    "hyears",
+    "loan",
+)
+
+GROUP_A = 0
+GROUP_B = 1
+
+AGRAWAL_SCHEMA = Schema(
+    attributes=(
+        continuous("salary"),
+        continuous("commission"),
+        continuous("age"),
+        categorical("elevel", tuple(f"level{i}" for i in range(5))),
+        categorical("car", tuple(f"make{i}" for i in range(1, 21))),
+        categorical("zipcode", tuple(f"zip{i}" for i in range(9))),
+        continuous("hvalue"),
+        continuous("hyears"),
+        continuous("loan"),
+    ),
+    class_labels=("Group A", "Group B"),
+)
+
+_COL = {name: i for i, name in enumerate(ATTRIBUTE_NAMES)}
+
+#: Value ranges used for perturbation of continuous attributes.
+_RANGES = {
+    "salary": (20_000.0, 150_000.0),
+    "commission": (0.0, 75_000.0),
+    "age": (20.0, 80.0),
+    "hvalue": (50_000.0, 1_350_000.0),
+    "hyears": (1.0, 30.0),
+    "loan": (0.0, 500_000.0),
+}
+
+
+def _raw_attributes(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw the attribute matrix before any label assignment."""
+    X = np.empty((n, len(ATTRIBUTE_NAMES)), dtype=np.float64)
+    salary = rng.uniform(20_000, 150_000, n)
+    commission = np.where(
+        salary >= 75_000, 0.0, rng.uniform(10_000, 75_000, n)
+    )
+    zipcode = rng.integers(0, 9, n)
+    k = zipcode + 1
+    hvalue = rng.uniform(0.5, 1.5, n) * k * 100_000
+    X[:, _COL["salary"]] = salary
+    X[:, _COL["commission"]] = commission
+    X[:, _COL["age"]] = rng.uniform(20, 80, n)
+    X[:, _COL["elevel"]] = rng.integers(0, 5, n)
+    X[:, _COL["car"]] = rng.integers(0, 20, n)
+    X[:, _COL["zipcode"]] = zipcode
+    X[:, _COL["hvalue"]] = hvalue
+    X[:, _COL["hyears"]] = rng.uniform(1, 30, n)
+    X[:, _COL["loan"]] = rng.uniform(0, 500_000, n)
+    return X
+
+
+def _perturb(X: np.ndarray, factor: float, rng: np.random.Generator) -> np.ndarray:
+    """Perturb continuous columns by up to ``factor`` of their range."""
+    if factor <= 0:
+        return X
+    X = X.copy()
+    for name, (lo, hi) in _RANGES.items():
+        j = _COL[name]
+        span = (hi - lo) * factor
+        X[:, j] = np.clip(X[:, j] + rng.uniform(-span, span, len(X)), lo, hi)
+    return X
+
+
+def _between(v: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    return (v >= lo) & (v <= hi)
+
+
+def _disposable_base(X: np.ndarray) -> np.ndarray:
+    salary = X[:, _COL["salary"]]
+    commission = X[:, _COL["commission"]]
+    return 2.0 * (salary + commission) / 3.0
+
+
+def _f1(X: np.ndarray) -> np.ndarray:
+    age = X[:, _COL["age"]]
+    return (age < 40) | (age >= 60)
+
+
+def _f2(X: np.ndarray) -> np.ndarray:
+    age = X[:, _COL["age"]]
+    salary = X[:, _COL["salary"]]
+    return (
+        ((age < 40) & _between(salary, 50_000, 100_000))
+        | ((age >= 40) & (age < 60) & _between(salary, 75_000, 125_000))
+        | ((age >= 60) & _between(salary, 25_000, 75_000))
+    )
+
+
+def _f3(X: np.ndarray) -> np.ndarray:
+    age = X[:, _COL["age"]]
+    elevel = X[:, _COL["elevel"]]
+    return (
+        ((age < 40) & (elevel <= 1))
+        | ((age >= 40) & (age < 60) & (elevel >= 1) & (elevel <= 3))
+        | ((age >= 60) & (elevel >= 2) & (elevel <= 4))
+    )
+
+
+def _f4(X: np.ndarray) -> np.ndarray:
+    age = X[:, _COL["age"]]
+    elevel = X[:, _COL["elevel"]]
+    salary = X[:, _COL["salary"]]
+    young = np.where(
+        elevel <= 1,
+        _between(salary, 25_000, 75_000),
+        _between(salary, 50_000, 100_000),
+    )
+    middle = np.where(
+        (elevel >= 1) & (elevel <= 3),
+        _between(salary, 50_000, 100_000),
+        _between(salary, 75_000, 125_000),
+    )
+    old = np.where(
+        (elevel >= 2) & (elevel <= 4),
+        _between(salary, 50_000, 100_000),
+        _between(salary, 25_000, 75_000),
+    )
+    return ((age < 40) & young) | ((age >= 40) & (age < 60) & middle) | ((age >= 60) & old)
+
+
+def _f5(X: np.ndarray) -> np.ndarray:
+    age = X[:, _COL["age"]]
+    salary = X[:, _COL["salary"]]
+    loan = X[:, _COL["loan"]]
+    young = np.where(
+        _between(salary, 50_000, 100_000),
+        _between(loan, 100_000, 300_000),
+        _between(loan, 200_000, 400_000),
+    )
+    middle = np.where(
+        _between(salary, 75_000, 125_000),
+        _between(loan, 200_000, 400_000),
+        _between(loan, 300_000, 500_000),
+    )
+    old = np.where(
+        _between(salary, 25_000, 75_000),
+        _between(loan, 300_000, 500_000),
+        _between(loan, 100_000, 300_000),
+    )
+    return ((age < 40) & young) | ((age >= 40) & (age < 60) & middle) | ((age >= 60) & old)
+
+
+def _f6(X: np.ndarray) -> np.ndarray:
+    age = X[:, _COL["age"]]
+    total = X[:, _COL["salary"]] + X[:, _COL["commission"]]
+    return (
+        ((age < 40) & _between(total, 50_000, 100_000))
+        | ((age >= 40) & (age < 60) & _between(total, 75_000, 125_000))
+        | ((age >= 60) & _between(total, 25_000, 75_000))
+    )
+
+
+def _f7(X: np.ndarray) -> np.ndarray:
+    loan = X[:, _COL["loan"]]
+    return (_disposable_base(X) - loan / 5.0 - 20_000) > 0
+
+
+def _f8(X: np.ndarray) -> np.ndarray:
+    elevel = X[:, _COL["elevel"]]
+    return (_disposable_base(X) - 5_000 * elevel - 20_000) > 0
+
+
+def _f9(X: np.ndarray) -> np.ndarray:
+    elevel = X[:, _COL["elevel"]]
+    loan = X[:, _COL["loan"]]
+    return (_disposable_base(X) - 5_000 * elevel - loan / 5.0 - 10_000) > 0
+
+
+def _f10(X: np.ndarray) -> np.ndarray:
+    elevel = X[:, _COL["elevel"]]
+    hvalue = X[:, _COL["hvalue"]]
+    hyears = X[:, _COL["hyears"]]
+    equity = 0.1 * hvalue * np.maximum(hyears - 20, 0)
+    return (_disposable_base(X) - 5_000 * elevel + 0.2 * equity - 10_000) > 0
+
+
+def function_f(X: np.ndarray) -> np.ndarray:
+    """The paper's linearly-correlated predicate of §2.3.
+
+    ``(age >= 40) and (salary + commission >= 100 000)`` — the workload
+    where univariate trees replicate subtrees (Figure 9) while CMP finds a
+    two-level tree with one linear split (Figure 13).
+    """
+    age = X[:, _COL["age"]]
+    total = X[:, _COL["salary"]] + X[:, _COL["commission"]]
+    return (age >= 40) & (total >= 100_000)
+
+
+FUNCTIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "F1": _f1,
+    "F2": _f2,
+    "F3": _f3,
+    "F4": _f4,
+    "F5": _f5,
+    "F6": _f6,
+    "F7": _f7,
+    "F8": _f8,
+    "F9": _f9,
+    "F10": _f10,
+    "Ff": function_f,
+}
+
+
+def generate_agrawal(
+    function: str,
+    n_records: int,
+    seed: int = 0,
+    perturbation: float = 0.05,
+) -> Dataset:
+    """Generate ``n_records`` labelled records for one Agrawal function.
+
+    Parameters
+    ----------
+    function:
+        One of ``"F1"`` .. ``"F10"`` or ``"Ff"`` (the paper's Function f).
+    n_records:
+        Number of records to generate.
+    seed:
+        Seed for the deterministic generator.
+    perturbation:
+        Perturbation factor applied to continuous attributes *after* label
+        assignment (the original generator's noise model); 0 disables it.
+    """
+    if function not in FUNCTIONS:
+        raise ValueError(
+            f"unknown function {function!r}; expected one of {sorted(FUNCTIONS)}"
+        )
+    if n_records <= 0:
+        raise ValueError("n_records must be positive")
+    rng = np.random.default_rng(seed)
+    X = _raw_attributes(n_records, rng)
+    in_group_a = FUNCTIONS[function](X)
+    y = np.where(in_group_a, GROUP_A, GROUP_B).astype(np.int64)
+    X = _perturb(X, perturbation, rng)
+    return Dataset(X, y, AGRAWAL_SCHEMA)
+
+
+def generate_function_f(
+    n_records: int, seed: int = 0, perturbation: float = 0.0
+) -> Dataset:
+    """Shorthand for the paper's Function f workload (§2.3, Figure 18)."""
+    return generate_agrawal("Ff", n_records, seed=seed, perturbation=perturbation)

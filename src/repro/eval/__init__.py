@@ -1,0 +1,18 @@
+"""Evaluation: metrics, harness, cross-validation and experiment drivers."""
+
+from repro.eval.crossval import CrossValResult, cross_validate, kfold_indices
+from repro.eval.harness import RunRecord, format_table, run_builder
+from repro.eval.metrics import accuracy, confusion_matrix, error_rate, per_class_recall
+
+__all__ = [
+    "CrossValResult",
+    "cross_validate",
+    "kfold_indices",
+    "RunRecord",
+    "format_table",
+    "run_builder",
+    "accuracy",
+    "confusion_matrix",
+    "error_rate",
+    "per_class_recall",
+]

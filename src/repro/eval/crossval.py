@@ -1,0 +1,74 @@
+"""K-fold cross-validation on top of the builder interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.builder import TreeBuilder
+from repro.data.dataset import Dataset
+from repro.eval.metrics import accuracy
+
+
+@dataclass(frozen=True)
+class CrossValResult:
+    """Per-fold accuracies plus aggregate statistics."""
+
+    fold_accuracies: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        """Mean held-out accuracy."""
+        return float(np.mean(self.fold_accuracies))
+
+    @property
+    def std(self) -> float:
+        """Standard deviation across folds."""
+        return float(np.std(self.fold_accuracies))
+
+    @property
+    def n_folds(self) -> int:
+        """Number of folds evaluated."""
+        return len(self.fold_accuracies)
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled (train, test) index pairs for k-fold cross-validation."""
+    if k < 2:
+        raise ValueError("need at least 2 folds")
+    if n < k:
+        raise ValueError("need at least one record per fold")
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, k)
+    out = []
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        out.append((train, test))
+    return out
+
+
+def cross_validate(
+    builder_factory,
+    dataset: Dataset,
+    k: int = 5,
+    seed: int = 0,
+) -> CrossValResult:
+    """K-fold cross-validation.
+
+    ``builder_factory`` is called once per fold and must return a fresh
+    :class:`~repro.core.builder.TreeBuilder` (e.g.
+    ``lambda: CMPBuilder(config)``) so no state leaks between folds.
+    """
+    rng = np.random.default_rng(seed)
+    accs: list[float] = []
+    for train_idx, test_idx in kfold_indices(dataset.n_records, k, rng):
+        builder = builder_factory()
+        if not isinstance(builder, TreeBuilder):
+            raise TypeError("builder_factory must return a TreeBuilder")
+        result = builder.build(dataset.take(train_idx))
+        accs.append(accuracy(result.tree, dataset.take(test_idx)))
+    return CrossValResult(tuple(accs))

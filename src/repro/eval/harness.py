@@ -1,0 +1,96 @@
+"""Experiment harness: run builders, collect rows, format tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.builder import BuildResult, TreeBuilder
+from repro.data.dataset import Dataset
+from repro.eval.metrics import accuracy
+
+
+@dataclass
+class RunRecord:
+    """One (builder, dataset) measurement."""
+
+    builder: str
+    n_records: int
+    train_accuracy: float
+    test_accuracy: float | None
+    scans: int
+    simulated_ms: float
+    wall_seconds: float
+    peak_memory_bytes: int
+    nodes: int
+    leaves: int
+    depth: int
+    linear_splits: int
+    prediction_accuracy: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dict for table rendering."""
+        out: dict[str, object] = {
+            "builder": self.builder,
+            "n": self.n_records,
+            "train_acc": round(self.train_accuracy, 4),
+            "scans": self.scans,
+            "sim_ms": round(self.simulated_ms, 1),
+            "wall_s": round(self.wall_seconds, 3),
+            "peak_mem_MB": round(self.peak_memory_bytes / 1e6, 3),
+            "nodes": self.nodes,
+            "depth": self.depth,
+        }
+        if self.test_accuracy is not None:
+            out["test_acc"] = round(self.test_accuracy, 4)
+        if self.linear_splits:
+            out["linear"] = self.linear_splits
+        if self.prediction_accuracy:
+            out["pred_acc"] = round(self.prediction_accuracy, 3)
+        out.update(self.extras)
+        return out
+
+
+def run_builder(
+    builder: TreeBuilder,
+    train: Dataset,
+    test: Dataset | None = None,
+) -> tuple[RunRecord, BuildResult]:
+    """Train ``builder`` on ``train`` and collect a :class:`RunRecord`."""
+    result = builder.build(train)
+    record = RunRecord(
+        builder=builder.name,
+        n_records=train.n_records,
+        train_accuracy=accuracy(result.tree, train),
+        test_accuracy=accuracy(result.tree, test) if test is not None else None,
+        scans=result.stats.io.scans,
+        simulated_ms=result.stats.simulated_ms,
+        wall_seconds=result.stats.wall_seconds,
+        peak_memory_bytes=result.stats.memory.peak,
+        nodes=result.tree.n_nodes,
+        leaves=result.tree.n_leaves,
+        depth=result.tree.depth,
+        linear_splits=result.stats.linear_splits,
+        prediction_accuracy=result.stats.prediction_accuracy,
+    )
+    return record, result
+
+
+def format_table(rows: list[dict[str, object]]) -> str:
+    """Plain-text table with one row per dict (union of keys as columns)."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[str(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    lines = [header, sep]
+    lines.extend("  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rendered)
+    return "\n".join(lines)

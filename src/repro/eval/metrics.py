@@ -1,0 +1,37 @@
+"""Classification quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tree import DecisionTree
+from repro.data.dataset import Dataset
+
+
+def accuracy(tree: DecisionTree, dataset: Dataset) -> float:
+    """Fraction of records the tree classifies correctly."""
+    if dataset.n_records == 0:
+        raise ValueError("cannot score an empty dataset")
+    return float((tree.predict(dataset.X) == dataset.y).mean())
+
+
+def error_rate(tree: DecisionTree, dataset: Dataset) -> float:
+    """Fraction of records the tree misclassifies."""
+    return 1.0 - accuracy(tree, dataset)
+
+
+def confusion_matrix(tree: DecisionTree, dataset: Dataset) -> np.ndarray:
+    """``(c, c)`` matrix: rows are true classes, columns predictions."""
+    pred = tree.predict(dataset.X)
+    c = dataset.n_classes
+    out = np.zeros((c, c), dtype=np.int64)
+    np.add.at(out, (dataset.y, pred), 1)
+    return out
+
+
+def per_class_recall(tree: DecisionTree, dataset: Dataset) -> np.ndarray:
+    """Recall per true class (0 where a class has no records)."""
+    cm = confusion_matrix(tree, dataset)
+    totals = cm.sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(totals > 0, np.diag(cm) / np.maximum(totals, 1), 0.0)

@@ -1,0 +1,19 @@
+"""Simulated disk I/O, file-backed tables and resource accounting."""
+
+from repro.io.metrics import BuildStats, CostModel, IOStats, MemoryTracker, Stopwatch
+from repro.io.pager import DEFAULT_PAGE_RECORDS, PagedTable, ScanChunk
+from repro.io.storage import FilePagedTable, StoredDataset, write_table
+
+__all__ = [
+    "BuildStats",
+    "CostModel",
+    "IOStats",
+    "MemoryTracker",
+    "Stopwatch",
+    "PagedTable",
+    "ScanChunk",
+    "DEFAULT_PAGE_RECORDS",
+    "FilePagedTable",
+    "StoredDataset",
+    "write_table",
+]

@@ -1,0 +1,180 @@
+"""File-backed training tables: the disk-resident setting, for real.
+
+:class:`repro.io.pager.PagedTable` *simulates* a disk-resident training
+set over in-memory arrays.  This module makes the setting literal: a
+dataset is materialized into a single binary file (schema embedded), and
+:class:`StoredDataset` exposes the same interface builders consume —
+``n_records`` / ``schema`` / ``as_paged()`` — while each scan actually
+reads pages from the file through a read-only memory map.  Every builder
+in this repository touches training data only through scans, so any of
+them can train directly off a file without the dataset ever being resident
+in memory.
+
+File layout (little-endian)::
+
+    magic   8 bytes   b"CMPTBL01"
+    n       uint64    record count
+    p       uint32    attribute count
+    slen    uint32    length of the schema JSON
+    schema  slen bytes (UTF-8 JSON, same format as tree serialization)
+    X       n*p float64, row-major
+    y       n   int64
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.schema import Attribute, AttributeKind, Schema
+from repro.io.metrics import IOStats
+from repro.io.pager import DEFAULT_PAGE_RECORDS, ScanChunk
+
+if False:  # pragma: no cover - import cycle guard; type checkers only
+    from repro.data.dataset import Dataset
+
+MAGIC = b"CMPTBL01"
+_HEADER = struct.Struct("<8sQII")
+
+
+def _schema_json(schema: Schema) -> bytes:
+    payload = {
+        "attributes": [
+            {"name": a.name, "kind": a.kind.value, "categories": list(a.categories)}
+            for a in schema.attributes
+        ],
+        "class_labels": list(schema.class_labels),
+    }
+    return json.dumps(payload).encode("utf-8")
+
+
+def _schema_from_json(raw: bytes) -> Schema:
+    payload = json.loads(raw.decode("utf-8"))
+    attrs = tuple(
+        Attribute(a["name"], AttributeKind(a["kind"]), tuple(a["categories"]))
+        for a in payload["attributes"]
+    )
+    return Schema(attrs, tuple(payload["class_labels"]))
+
+
+def write_table(dataset: "Dataset", path: str | Path) -> Path:
+    """Materialize ``dataset`` into the binary table format."""
+    path = Path(path)
+    schema_bytes = _schema_json(dataset.schema)
+    with path.open("wb") as fh:
+        fh.write(
+            _HEADER.pack(
+                MAGIC, dataset.n_records, dataset.n_attributes, len(schema_bytes)
+            )
+        )
+        fh.write(schema_bytes)
+        np.ascontiguousarray(dataset.X, dtype="<f8").tofile(fh)
+        np.ascontiguousarray(dataset.y, dtype="<i8").tofile(fh)
+    return path
+
+
+class FilePagedTable:
+    """Sequential paged scans over a stored table file."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        stats: IOStats | None = None,
+        page_records: int = DEFAULT_PAGE_RECORDS,
+        pages_per_chunk: int = 64,
+    ) -> None:
+        if page_records <= 0 or pages_per_chunk <= 0:
+            raise ValueError("page_records and pages_per_chunk must be positive")
+        self.path = Path(path)
+        self.stats = stats if stats is not None else IOStats()
+        self.page_records = page_records
+        self.pages_per_chunk = pages_per_chunk
+
+        with self.path.open("rb") as fh:
+            header = fh.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise ValueError(f"{self.path} is not a CMP table (truncated header)")
+            magic, n, p, slen = _HEADER.unpack(header)
+            if magic != MAGIC:
+                raise ValueError(f"{self.path} is not a CMP table (bad magic)")
+            schema_raw = fh.read(slen)
+        self.n_records = int(n)
+        self.n_attributes = int(p)
+        self.schema = _schema_from_json(schema_raw)
+        if self.schema.n_attributes != self.n_attributes:
+            raise ValueError(f"{self.path}: header/schema attribute count mismatch")
+
+        x_offset = _HEADER.size + slen
+        y_offset = x_offset + self.n_records * self.n_attributes * 8
+        self._X = np.memmap(
+            self.path, mode="r", dtype="<f8",
+            offset=x_offset, shape=(self.n_records, self.n_attributes),
+        )
+        self._y = np.memmap(
+            self.path, mode="r", dtype="<i8", offset=y_offset, shape=(self.n_records,)
+        )
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages the table occupies."""
+        return -(-self.n_records // self.page_records)
+
+    def scan(self) -> Iterator[ScanChunk]:
+        """Yield the whole table in order, charging one full scan."""
+        self.stats.begin_scan()
+        chunk_records = self.page_records * self.pages_per_chunk
+        n = self.n_records
+        for start in range(0, n, chunk_records):
+            stop = min(start + chunk_records, n)
+            pages = -(-(stop - start) // self.page_records)
+            self.stats.count_pages(pages, stop - start)
+            # Copy out of the memory map so callers never hold mmap views.
+            yield ScanChunk(
+                start,
+                np.array(self._X[start:stop], dtype=np.float64),
+                np.array(self._y[start:stop], dtype=np.int64),
+            )
+
+
+class StoredDataset:
+    """A dataset living in a file; builders train from it without loading it.
+
+    Implements the slice of the :class:`~repro.data.dataset.Dataset`
+    interface that builders use: ``schema``, ``n_records``, ``n_classes``,
+    ``n_attributes`` and ``as_paged()``.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        probe = FilePagedTable(self.path)
+        self.schema = probe.schema
+        self.n_records = probe.n_records
+        self.n_attributes = probe.n_attributes
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes declared by the stored schema."""
+        return self.schema.n_classes
+
+    def as_paged(
+        self,
+        stats: IOStats | None = None,
+        page_records: int = DEFAULT_PAGE_RECORDS,
+    ) -> FilePagedTable:
+        """Open an accounted scan handle over the file."""
+        return FilePagedTable(self.path, stats=stats, page_records=page_records)
+
+    def load(self) -> "Dataset":
+        """Materialize the whole table in memory (for evaluation)."""
+        from repro.data.dataset import Dataset
+
+        table = FilePagedTable(self.path)
+        X_parts, y_parts = [], []
+        for chunk in table.scan():
+            X_parts.append(chunk.X)
+            y_parts.append(chunk.y)
+        return Dataset(np.concatenate(X_parts), np.concatenate(y_parts), self.schema)

@@ -1,0 +1,15 @@
+"""Decision-tree pruning: MDL and integrated PUBLIC(1)."""
+
+from repro.pruning.mdl import class_entropy_bits, leaf_cost, mdl_prune, split_cost, subtree_cost
+from repro.pruning.public import OPEN_LEAF_BOUND, final_mdl_cost, public_prune_pass
+
+__all__ = [
+    "class_entropy_bits",
+    "leaf_cost",
+    "mdl_prune",
+    "split_cost",
+    "subtree_cost",
+    "OPEN_LEAF_BOUND",
+    "final_mdl_cost",
+    "public_prune_pass",
+]

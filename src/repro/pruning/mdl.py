@@ -1,0 +1,114 @@
+"""MDL-based decision-tree pruning (Mehta, Rissanen & Agrawal [10]).
+
+The cost of a subtree is the number of bits needed to encode both the tree
+structure and the training records' classes given the tree:
+
+* a **leaf** costs 1 bit (node type) + ``log2(c)`` bits (its label) +
+  ``n * H(S)`` bits of data (the entropy-optimal class encoding);
+* an **internal node** costs 1 bit + the split encoding + its children.
+
+A subtree is pruned when encoding its root as a leaf is no more expensive
+than the subtree itself.  The split encoding follows SLIQ/PUBLIC:
+``log2(p)`` bits to name the attribute plus a value term (``log2`` of the
+candidate-threshold count for continuous splits, one bit per category for
+subset splits, and two value terms for CMP's two-attribute linear splits).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.splits import CategoricalSplit, LinearSplit, NumericSplit, Split
+from repro.core.tree import DecisionTree, Node
+
+
+def class_entropy_bits(counts: np.ndarray) -> float:
+    """Total bits to encode the class labels of a set: ``n * H(S)``."""
+    counts = np.asarray(counts, dtype=np.float64)
+    n = counts.sum()
+    if n <= 0:
+        return 0.0
+    p = counts[counts > 0] / n
+    return float(-n * np.sum(p * np.log2(p)))
+
+
+def leaf_cost(node: Node, n_classes: int) -> float:
+    """Bits to encode ``node`` as a leaf, structure plus data."""
+    return 1.0 + math.log2(max(n_classes, 2)) + class_entropy_bits(node.class_counts)
+
+
+def split_cost(split: Split, n_attributes: int, n_records: float) -> float:
+    """Bits to encode one split criterion."""
+    attr_bits = math.log2(max(n_attributes, 2))
+    value_bits = math.log2(max(n_records, 2.0))
+    if isinstance(split, NumericSplit):
+        return attr_bits + value_bits
+    if isinstance(split, CategoricalSplit):
+        return attr_bits + len(split.left_mask)
+    if isinstance(split, LinearSplit):
+        # Two attributes plus two real coefficients.
+        return 2 * attr_bits + 2 * value_bits
+    raise TypeError(f"unknown split type {type(split).__name__}")
+
+
+def subtree_cost(
+    node: Node,
+    n_classes: int,
+    n_attributes: int,
+    open_cost: dict[int, float] | None = None,
+) -> float:
+    """MDL cost of the subtree rooted at ``node``.
+
+    ``open_cost`` maps node ids of *not yet expanded* frontier leaves to a
+    lower bound on their eventual cost (PUBLIC-style integrated pruning);
+    such a leaf costs ``min(leaf_cost, bound)``.
+    """
+    if node.is_leaf:
+        cost = leaf_cost(node, n_classes)
+        if open_cost is not None and node.node_id in open_cost:
+            return min(cost, open_cost[node.node_id])
+        return cost
+    left, right = node.children()
+    return (
+        1.0
+        + split_cost(node.split, n_attributes, node.n_records)  # type: ignore[arg-type]
+        + subtree_cost(left, n_classes, n_attributes, open_cost)
+        + subtree_cost(right, n_classes, n_attributes, open_cost)
+    )
+
+
+def mdl_prune(tree: DecisionTree) -> int:
+    """Prune ``tree`` in place bottom-up; returns the number of nodes removed."""
+    n_classes = tree.schema.n_classes
+    n_attributes = tree.schema.n_attributes
+    removed = 0
+
+    def walk(node: Node) -> float:
+        nonlocal removed
+        as_leaf = leaf_cost(node, n_classes)
+        if node.is_leaf:
+            return as_leaf
+        left, right = node.children()
+        as_subtree = (
+            1.0
+            + split_cost(node.split, n_attributes, node.n_records)  # type: ignore[arg-type]
+            + walk(left)
+            + walk(right)
+        )
+        if as_leaf <= as_subtree:
+            removed += _count_nodes(node) - 1
+            node.make_leaf()
+            return as_leaf
+        return as_subtree
+
+    walk(tree.root)
+    return removed
+
+
+def _count_nodes(node: Node) -> int:
+    if node.is_leaf:
+        return 1
+    left, right = node.children()
+    return 1 + _count_nodes(left) + _count_nodes(right)

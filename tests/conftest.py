@@ -1,0 +1,104 @@
+"""Shared fixtures: small, deterministic datasets and configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import BuilderConfig
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema, categorical, continuous
+from repro.data.synthetic import generate_agrawal, generate_function_f
+
+
+@pytest.fixture(scope="session")
+def f2_small() -> Dataset:
+    """Function 2 at a size small enough for end-to-end builder tests."""
+    return generate_agrawal("F2", 6_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def f7_small() -> Dataset:
+    """Function 7, small."""
+    return generate_agrawal("F7", 6_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def ff_small() -> Dataset:
+    """The paper's Function f (linearly correlated), small."""
+    return generate_function_f(8_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def two_blob() -> Dataset:
+    """A clean two-attribute, two-class dataset with an obvious best split.
+
+    Class 1 iff ``x0 > 0``; ``x1`` is pure noise.  Every exact algorithm
+    must split on ``x0`` at ~0 at the root.
+    """
+    rng = np.random.default_rng(11)
+    n = 4_000
+    x0 = rng.normal(0.0, 1.0, n)
+    x1 = rng.normal(0.0, 1.0, n)
+    y = (x0 > 0.0).astype(np.int64)
+    schema = Schema((continuous("x0"), continuous("x1")), ("neg", "pos"))
+    return Dataset(np.column_stack([x0, x1]), y, schema)
+
+
+@pytest.fixture(scope="session")
+def diagonal() -> Dataset:
+    """Class decided by ``x + y >= 1`` on the unit square — the workload
+    where only a linear split is clean."""
+    rng = np.random.default_rng(13)
+    n = 8_000
+    X = rng.uniform(0.0, 1.0, (n, 2))
+    y = (X[:, 0] + X[:, 1] >= 1.0).astype(np.int64)
+    schema = Schema((continuous("x"), continuous("y")), ("under", "over"))
+    return Dataset(X, y, schema)
+
+
+@pytest.fixture(scope="session")
+def mixed_types() -> Dataset:
+    """Continuous + categorical attributes where the categorical one is
+    the true signal (class = category parity)."""
+    rng = np.random.default_rng(17)
+    n = 3_000
+    cat = rng.integers(0, 6, n)
+    noise = rng.normal(0.0, 1.0, (n, 2))
+    y = (cat % 2).astype(np.int64)
+    schema = Schema(
+        (
+            continuous("a"),
+            categorical("color", tuple("rgbcmy")),
+            continuous("b"),
+        ),
+        ("even", "odd"),
+    )
+    X = np.column_stack([noise[:, 0], cat.astype(float), noise[:, 1]])
+    return Dataset(X, y, schema)
+
+
+@pytest.fixture()
+def fast_config() -> BuilderConfig:
+    """Small-grid configuration for quick end-to-end builds."""
+    return BuilderConfig(
+        n_intervals=32,
+        max_depth=8,
+        min_records=20,
+        reservoir_capacity=4_000,
+    )
+
+
+def assert_tree_consistent(tree, dataset) -> None:
+    """Every leaf's recorded class counts must match actual routing."""
+    leaf_ids = tree.apply(dataset.X)
+    for node in tree.iter_nodes():
+        if node.is_leaf:
+            actual = np.bincount(
+                dataset.y[leaf_ids == node.node_id], minlength=dataset.n_classes
+            )
+            np.testing.assert_array_equal(
+                actual,
+                node.class_counts.astype(np.int64),
+                err_msg=f"leaf {node.node_id} counts diverge from routing",
+            )

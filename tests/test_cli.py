@@ -1,0 +1,33 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        code = main(["demo", "--function", "F1", "--records", "2000", "--intervals", "16", "--max-depth", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CMP" in out
+        assert "node #0" in out or "leaf #0" in out
+
+    def test_fig18_small(self, capsys):
+        code = main(["fig18", "--sizes", "2000", "--intervals", "16", "--max-depth", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SPRINT" in out and "CMP" in out
+
+    def test_prediction(self, capsys):
+        code = main(["prediction", "--records", "2000", "--intervals", "16", "--max-depth", "4"])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

@@ -1,0 +1,39 @@
+"""Coverage for the remaining CLI subcommands at tiny scale."""
+
+import pytest
+
+from repro.cli import main
+
+FAST = ["--intervals", "12", "--max-depth", "4"]
+
+
+class TestCliSubcommands:
+    def test_table1(self, capsys):
+        code = main(["table1", "--records", "3000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Letter" in out and "Function 7" in out
+
+    @pytest.mark.parametrize("cmd,expected", [
+        ("fig14", "CMP-S"),
+        ("fig16", "CLOUDS"),
+    ])
+    def test_sweeps(self, capsys, cmd, expected):
+        code = main([cmd, "--sizes", "1500"] + FAST)
+        assert code == 0
+        assert expected in capsys.readouterr().out
+
+    def test_fig15_defaults_to_f7(self, capsys):
+        code = main(["fig15", "--sizes", "1500"] + FAST)
+        assert code == 0
+        assert "CMP-B" in capsys.readouterr().out
+
+    def test_fig17_function_override(self, capsys):
+        code = main(["fig17", "--sizes", "1500", "--function", "F5"] + FAST)
+        assert code == 0
+        assert "RainForest" in capsys.readouterr().out
+
+    def test_fig19(self, capsys):
+        code = main(["fig19", "--sizes", "1500"] + FAST)
+        assert code == 0
+        assert "SPRINT" in capsys.readouterr().out

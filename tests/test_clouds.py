@@ -1,0 +1,61 @@
+"""Tests for the CLOUDS baseline (SS and SSE modes)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clouds import CloudsBuilder
+from repro.baselines.sprint import SprintBuilder
+from repro.core.cmp_s import CMPSBuilder
+from repro.eval.metrics import accuracy
+
+from conftest import assert_tree_consistent
+
+
+class TestCloudsSSE:
+    def test_counts_consistent(self, f2_small, fast_config):
+        result = CloudsBuilder(fast_config).build(f2_small)
+        assert_tree_consistent(result.tree, f2_small)
+
+    def test_accuracy_close_to_exact(self, f2_small, fast_config):
+        clouds_acc = accuracy(CloudsBuilder(fast_config).build(f2_small).tree, f2_small)
+        exact_acc = accuracy(SprintBuilder(fast_config).build(f2_small).tree, f2_small)
+        assert clouds_acc > exact_acc - 0.02
+
+    def test_exact_split_on_clean_data(self, two_blob, fast_config):
+        tree = CloudsBuilder(fast_config).build(two_blob).tree
+        assert tree.root.split.attr == 0
+        assert abs(tree.root.split.threshold) < 0.1
+        # SSE resolves the exact point: the threshold is a data value.
+        assert tree.root.split.threshold in two_blob.column(0)
+        assert accuracy(tree, two_blob) == 1.0
+
+    def test_needs_more_scans_than_cmp_s(self, f2_small, fast_config):
+        # The second (exact) pass per level is what CMP-S eliminates.
+        clouds = CloudsBuilder(fast_config).build(f2_small)
+        cmp_s = CMPSBuilder(fast_config).build(f2_small)
+        assert clouds.stats.io.scans > cmp_s.stats.io.scans
+
+    def test_categorical(self, mixed_types, fast_config):
+        result = CloudsBuilder(fast_config).build(mixed_types)
+        assert accuracy(result.tree, mixed_types) == 1.0
+
+
+class TestCloudsSS:
+    def test_ss_uses_fewer_scans_than_sse(self, f2_small, fast_config):
+        sse = CloudsBuilder(fast_config.with_(clouds_mode="sse")).build(f2_small)
+        ss = CloudsBuilder(fast_config.with_(clouds_mode="ss")).build(f2_small)
+        assert ss.stats.io.scans < sse.stats.io.scans
+
+    def test_ss_splits_only_at_boundaries(self, two_blob, fast_config):
+        result = CloudsBuilder(fast_config.with_(clouds_mode="ss")).build(two_blob)
+        # Boundary-only splitting is approximate but still near the optimum.
+        assert abs(result.tree.root.split.threshold) < 0.3
+        assert accuracy(result.tree, two_blob) > 0.97
+
+    def test_ss_consistent(self, f7_small, fast_config):
+        result = CloudsBuilder(fast_config.with_(clouds_mode="ss")).build(f7_small)
+        assert_tree_consistent(result.tree, f7_small)
+
+    def test_invalid_mode_rejected(self, fast_config):
+        with pytest.raises(ValueError, match="clouds_mode"):
+            fast_config.with_(clouds_mode="bogus")

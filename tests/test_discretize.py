@@ -1,0 +1,184 @@
+"""Tests for repro.data.discretize, including property-based tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.discretize import (
+    Discretizer,
+    ReservoirSampler,
+    bin_index,
+    edges_from_histogram,
+    equal_depth_edges,
+    equal_width_edges,
+)
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+value_arrays = hnp.arrays(
+    np.float64, st.integers(min_value=1, max_value=300), elements=finite_floats
+)
+
+
+class TestEqualWidth:
+    def test_even_spacing(self):
+        edges = equal_width_edges(np.array([0.0, 10.0]), 5)
+        np.testing.assert_allclose(edges, [2, 4, 6, 8])
+
+    def test_constant_column(self):
+        assert len(equal_width_edges(np.full(10, 3.0), 4)) == 0
+
+    def test_q_one(self):
+        assert len(equal_width_edges(np.arange(5.0), 1)) == 0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            equal_width_edges(np.arange(5.0), 0)
+        with pytest.raises(ValueError):
+            equal_width_edges(np.empty(0), 3)
+
+
+class TestEqualDepth:
+    def test_roughly_equal_population(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=10_000)
+        edges = equal_depth_edges(values, 10)
+        bins = bin_index(values, edges)
+        counts = np.bincount(bins, minlength=len(edges) + 1)
+        assert counts.min() > 700
+        assert counts.max() < 1300
+
+    def test_edges_are_data_values(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 1, 500)
+        edges = equal_depth_edges(values, 8)
+        assert set(edges).issubset(set(values))
+
+    def test_heavy_atom_collapses(self):
+        values = np.concatenate([np.zeros(900), np.arange(1, 101, dtype=float)])
+        edges = equal_depth_edges(values, 10)
+        # 0 appears at most once as an edge despite covering 90% of the mass.
+        assert np.count_nonzero(edges == 0.0) <= 1
+
+    @given(value_arrays, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_edges_strictly_increasing_and_below_max(self, values, q):
+        edges = equal_depth_edges(values, q)
+        if len(edges) > 1:
+            assert np.all(np.diff(edges) > 0)
+        if len(edges):
+            assert edges.max() < values.max()
+
+
+class TestBinIndex:
+    def test_boundary_convention(self):
+        # Interval i holds (edges[i-1], edges[i]]: boundary values bin left.
+        edges = np.array([1.0, 2.0])
+        values = np.array([0.5, 1.0, 1.5, 2.0, 2.5])
+        np.testing.assert_array_equal(bin_index(values, edges), [0, 0, 1, 1, 2])
+
+    @given(value_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_bins_within_range(self, values):
+        edges = equal_depth_edges(values, 5)
+        bins = bin_index(values, edges)
+        assert bins.min() >= 0
+        assert bins.max() <= len(edges)
+
+
+class TestDiscretizer:
+    def test_interval_bounds(self):
+        d = Discretizer(np.array([1.0, 2.0]))
+        assert d.n_intervals == 3
+        assert d.interval_bounds(0) == (-np.inf, 1.0)
+        assert d.interval_bounds(1) == (1.0, 2.0)
+        assert d.interval_bounds(2) == (2.0, np.inf)
+
+    def test_interval_bounds_out_of_range(self):
+        with pytest.raises(IndexError):
+            Discretizer(np.array([1.0])).interval_bounds(5)
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Discretizer(np.array([2.0, 1.0]))
+
+    def test_bin_matches_bounds(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=200)
+        d = Discretizer.equal_depth(values, 6)
+        bins = d.bin(values)
+        for i in range(d.n_intervals):
+            lo, hi = d.interval_bounds(i)
+            sel = values[bins == i]
+            assert np.all((sel > lo) & (sel <= hi))
+
+
+class TestEdgesFromHistogram:
+    def test_uniform_refinement(self):
+        # Uniform counts over [0, 10] in 5 intervals -> evenly spread edges.
+        edges = np.array([2.0, 4.0, 6.0, 8.0])
+        counts = np.full(5, 100.0)
+        new = edges_from_histogram(edges, counts, 10)
+        assert len(new) >= 7
+        assert np.all(np.diff(new) > 0)
+
+    def test_concentrated_mass_gets_resolution(self):
+        # All mass in one parent interval: the new edges subdivide it.
+        edges = np.array([1.0, 2.0, 3.0])
+        counts = np.array([0.0, 1000.0, 0.0, 0.0])
+        new = edges_from_histogram(edges, counts, 8)
+        inside = (new >= 1.0) & (new <= 2.0)
+        assert inside.sum() >= len(new) - 2
+
+    def test_empty_histogram(self):
+        assert len(edges_from_histogram(np.array([1.0]), np.zeros(2), 4)) == 0
+
+    def test_q_one(self):
+        assert len(edges_from_histogram(np.array([1.0]), np.array([5.0, 5.0]), 1)) == 0
+
+    def test_count_length_validated(self):
+        with pytest.raises(ValueError, match="len\\(edges\\) \\+ 1"):
+            edges_from_histogram(np.array([1.0]), np.array([1.0]), 4)
+
+
+class TestReservoirSampler:
+    def test_small_stream_kept_verbatim(self):
+        rng = np.random.default_rng(0)
+        r = ReservoirSampler(100, rng)
+        r.extend(np.arange(30.0))
+        assert sorted(r.sample()) == sorted(np.arange(30.0))
+        assert r.n_seen == 30
+
+    def test_capacity_respected(self):
+        rng = np.random.default_rng(0)
+        r = ReservoirSampler(50, rng)
+        for __ in range(10):
+            r.extend(np.arange(100.0))
+        assert len(r.sample()) == 50
+        assert r.n_seen == 1000
+
+    def test_distribution_roughly_uniform(self):
+        # Sampling 1..10000 with capacity 1000: the mean should be near 5000.
+        rng = np.random.default_rng(42)
+        r = ReservoirSampler(1000, rng)
+        r.extend(np.arange(10_000, dtype=float))
+        assert abs(r.sample().mean() - 5000) < 400
+
+    def test_edges_from_reservoir(self):
+        rng = np.random.default_rng(1)
+        r = ReservoirSampler(500, rng)
+        r.extend(rng.uniform(0, 1, 5000))
+        edges = r.edges(4)
+        assert len(edges) == 3
+        assert np.all((edges > 0) & (edges < 1))
+
+    def test_empty_reservoir_edges(self):
+        r = ReservoirSampler(10, np.random.default_rng(0))
+        assert len(r.edges(5)) == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0, np.random.default_rng(0))

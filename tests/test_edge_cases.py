@@ -1,0 +1,154 @@
+"""Edge-case coverage across modules that end-to-end tests reach rarely."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sliq import SliqBuilder
+from repro.baselines.windowing import WindowingBuilder
+from repro.config import BuilderConfig
+from repro.core.cmp_full import CMPBuilder
+from repro.core.cmp_s import CMPSBuilder
+from repro.core.linear import GridLine, _decimated, gini_slope_walk
+from repro.core.matrix import HistogramMatrix
+from repro.core.serialize import tree_from_json, tree_to_json
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema, categorical, continuous
+from repro.eval.metrics import accuracy
+
+from conftest import assert_tree_consistent
+
+
+class TestPredictProba:
+    def test_rows_sum_to_one(self, f2_small, fast_config):
+        tree = CMPSBuilder(fast_config).build(f2_small).tree
+        proba = tree.predict_proba(f2_small.X[:500])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert proba.min() >= 0.0
+
+    def test_argmax_matches_predict(self, f2_small, fast_config):
+        tree = CMPSBuilder(fast_config).build(f2_small).tree
+        proba = tree.predict_proba(f2_small.X[:500])
+        np.testing.assert_array_equal(
+            proba.argmax(axis=1), tree.predict(f2_small.X[:500])
+        )
+
+    def test_pure_leaf_is_certain(self, two_blob, fast_config):
+        tree = CMPSBuilder(fast_config).build(two_blob).tree
+        proba = tree.predict_proba(two_blob.X)
+        assert proba.max(axis=1).mean() > 0.99
+
+
+class TestLinearDecimation:
+    def make_matrix(self, qx, qy, seed=0):
+        rng = np.random.default_rng(seed)
+        m = HistogramMatrix(
+            0, 1,
+            np.linspace(0, 1, qx + 1)[1:-1],
+            np.linspace(0, 1, qy + 1)[1:-1],
+            2,
+        )
+        m.counts[:] = rng.integers(0, 20, m.counts.shape).astype(np.float32)
+        return m
+
+    def test_small_matrix_untouched(self):
+        m = self.make_matrix(8, 8)
+        assert _decimated(m) is m
+
+    def test_counts_conserved(self):
+        m = self.make_matrix(50, 50)
+        coarse = _decimated(m)
+        assert coarse.qx <= 25 and coarse.qy <= 25
+        np.testing.assert_allclose(coarse.counts.sum(), m.counts.sum())
+
+    def test_non_multiple_sizes(self):
+        m = self.make_matrix(37, 41)
+        coarse = _decimated(m)
+        np.testing.assert_allclose(coarse.counts.sum(), m.counts.sum())
+        assert len(coarse.x_edges) == coarse.qx - 1
+        assert len(coarse.y_edges) == coarse.qy - 1
+
+    def test_walk_on_decimated_still_finds_structure(self):
+        # Diagonal structure must survive decimation.
+        qx = qy = 48
+        m = HistogramMatrix(
+            0, 1,
+            np.linspace(0, 1, qx + 1)[1:-1],
+            np.linspace(0, 1, qy + 1)[1:-1],
+            2,
+        )
+        for i in range(qx):
+            for j in range(qy):
+                m.counts[i, j, 0 if i + j < qx - 1 else 1] = 5.0
+        g, __ = gini_slope_walk(_decimated(m).counts)
+        assert g < 0.1
+
+
+class TestDegenerateDatasets:
+    def test_all_one_class(self, fast_config):
+        rng = np.random.default_rng(0)
+        ds = Dataset(
+            rng.normal(size=(200, 2)),
+            np.zeros(200, dtype=np.int64),
+            Schema((continuous("a"), continuous("b")), ("x", "y")),
+        )
+        for builder_cls in (CMPSBuilder, CMPBuilder, SliqBuilder):
+            tree = builder_cls(fast_config).build(ds).tree
+            assert tree.n_nodes == 1
+            assert accuracy(tree, ds) == 1.0
+
+    def test_all_attributes_constant(self, fast_config):
+        ds = Dataset(
+            np.ones((100, 2)),
+            (np.arange(100) % 2).astype(np.int64),
+            Schema((continuous("a"), continuous("b")), ("x", "y")),
+        )
+        for builder_cls in (CMPSBuilder, CMPBuilder, SliqBuilder):
+            tree = builder_cls(fast_config).build(ds).tree
+            assert tree.n_nodes == 1  # nothing to split on
+
+    def test_duplicate_records_conflicting_labels(self, fast_config):
+        # 50/50 label noise on identical records: must terminate as a leaf.
+        X = np.tile(np.array([[1.0, 2.0]]), (80, 1))
+        X[:40, 0] = 5.0
+        y = (np.arange(80) % 2).astype(np.int64)
+        ds = Dataset(X, y, Schema((continuous("a"), continuous("b")), ("x", "y")))
+        result = CMPSBuilder(fast_config).build(ds)
+        assert_tree_consistent(result.tree, ds)
+        assert result.tree.depth <= 1
+
+    def test_categorical_only_schema(self, fast_config):
+        rng = np.random.default_rng(1)
+        codes = rng.integers(0, 4, 300)
+        ds = Dataset(
+            codes[:, None].astype(float),
+            (codes % 2).astype(np.int64),
+            Schema((categorical("c", tuple("abcd")),), ("e", "o")),
+        )
+        # CMP-S handles categorical-only schemas (CMP-B needs >= 2 cont).
+        result = CMPSBuilder(fast_config).build(ds)
+        assert accuracy(result.tree, ds) == 1.0
+
+    def test_two_records(self, fast_config):
+        ds = Dataset(
+            np.array([[0.0, 0.0], [1.0, 1.0]]),
+            np.array([0, 1]),
+            Schema((continuous("a"), continuous("b")), ("x", "y")),
+        )
+        cfg = fast_config.with_(min_records=2)
+        result = CMPSBuilder(cfg).build(ds)
+        assert_tree_consistent(result.tree, ds)
+
+
+class TestWindowingWithOtherBases:
+    def test_sliq_base(self, two_blob, fast_config):
+        result = WindowingBuilder(fast_config, base_builder=SliqBuilder).build(two_blob)
+        assert accuracy(result.tree, two_blob) > 0.97
+
+
+class TestSerializeCategoricalTree:
+    def test_round_trip_with_categorical_split(self, mixed_types, fast_config):
+        tree = CMPSBuilder(fast_config).build(mixed_types).tree
+        clone = tree_from_json(tree_to_json(tree))
+        np.testing.assert_array_equal(
+            clone.predict(mixed_types.X), tree.predict(mixed_types.X)
+        )

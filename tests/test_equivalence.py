@@ -1,0 +1,72 @@
+"""Cross-algorithm equivalence: CMP's approximations recover exact splits.
+
+DESIGN.md §7: "CMP-S resolved thresholds equal SPRINT's exact thresholds
+whenever the exact optimum falls in a kept alive interval" — checked here
+on seeded workloads at the root, plus full-tree agreement on easy data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sprint import SprintBuilder
+from repro.config import BuilderConfig
+from repro.core.cmp_b import CMPBBuilder
+from repro.core.cmp_s import CMPSBuilder
+from repro.core.gini import exact_best_threshold
+from repro.core.splits import NumericSplit
+from repro.data.synthetic import generate_agrawal
+
+
+CFG = BuilderConfig(
+    n_intervals=64, max_depth=3, min_records=50, reservoir_capacity=20_000
+)
+
+
+class TestRootSplitEquivalence:
+    @pytest.mark.parametrize("function", ["F1", "F2", "F6", "F7", "F9"])
+    def test_cmp_s_root_matches_exact(self, function):
+        ds = generate_agrawal(function, 12_000, seed=13)
+        cmp_root = CMPSBuilder(CFG).build(ds).tree.root.split
+        exact_root = SprintBuilder(CFG).build(ds).tree.root.split
+        assert isinstance(cmp_root, NumericSplit)
+        assert isinstance(exact_root, NumericSplit)
+        # Same attribute...
+        assert cmp_root.attr == exact_root.attr, function
+        # ...and the exact same threshold (a data value), because the alive
+        # buffer resolution reproduces the exact computation.
+        assert cmp_root.threshold == exact_root.threshold, function
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_resolved_gini_near_exact_optimum(self, seed):
+        # The resolved split can never beat the attribute's exact optimum,
+        # and lands on it exactly unless the alive-interval cap pruned the
+        # interval holding the optimum (Table 1's bounded approximation).
+        ds = generate_agrawal("F2", 8_000, seed=seed)
+        cmp_root = CMPSBuilder(CFG).build(ds).tree.root.split
+        __, exact_g = exact_best_threshold(
+            ds.column(cmp_root.attr), ds.y, ds.n_classes
+        )
+        left = np.bincount(
+            ds.y[ds.column(cmp_root.attr) <= cmp_root.threshold],
+            minlength=ds.n_classes,
+        )
+        from repro.core.gini import gini_partition
+
+        got = gini_partition(left, ds.class_counts() - left)
+        assert got >= exact_g - 1e-12
+        assert got <= exact_g + 0.005
+
+
+class TestTreeEquivalenceOnEasyData:
+    def test_cmp_family_agrees_with_exact_on_separable_data(self, two_blob):
+        cfg = CFG.with_(max_depth=4, min_records=20)
+        exact = SprintBuilder(cfg).build(two_blob).tree
+        for builder_cls in (CMPSBuilder, CMPBBuilder):
+            approx = builder_cls(cfg).build(two_blob).tree
+            # Identical root decision (attribute + threshold).
+            assert approx.root.split.attr == exact.root.split.attr
+            assert approx.root.split.threshold == exact.root.split.threshold
+            # And identical classifications everywhere.
+            np.testing.assert_array_equal(
+                approx.predict(two_blob.X), exact.predict(two_blob.X)
+            )

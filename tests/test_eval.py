@@ -1,0 +1,75 @@
+"""Tests for metrics, the harness and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sprint import SprintBuilder
+from repro.core.splits import NumericSplit
+from repro.core.tree import DecisionTree, TreeAccount
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema, continuous
+from repro.eval.harness import format_table, run_builder
+from repro.eval.metrics import accuracy, confusion_matrix, error_rate, per_class_recall
+
+
+def perfect_tree_and_data():
+    schema = Schema((continuous("x"),), ("a", "b"))
+    account = TreeAccount()
+    root = account.new_node(0, np.array([5.0, 5.0]))
+    left = account.new_node(1, np.array([5.0, 0.0]))
+    right = account.new_node(1, np.array([0.0, 5.0]))
+    root.split = NumericSplit(0, 0.0)
+    root.left, root.right = left, right
+    tree = DecisionTree(root, schema)
+    X = np.array([[-1.0], [-2.0], [1.0], [2.0]])
+    y = np.array([0, 0, 1, 1])
+    return tree, Dataset(X, y, schema)
+
+
+class TestMetrics:
+    def test_accuracy_and_error(self):
+        tree, ds = perfect_tree_and_data()
+        assert accuracy(tree, ds) == 1.0
+        assert error_rate(tree, ds) == 0.0
+
+    def test_confusion_matrix(self):
+        tree, ds = perfect_tree_and_data()
+        cm = confusion_matrix(tree, ds)
+        np.testing.assert_array_equal(cm, [[2, 0], [0, 2]])
+
+    def test_per_class_recall(self):
+        tree, ds = perfect_tree_and_data()
+        np.testing.assert_allclose(per_class_recall(tree, ds), [1.0, 1.0])
+
+    def test_empty_dataset_rejected(self):
+        tree, ds = perfect_tree_and_data()
+        empty = Dataset(np.empty((0, 1)), np.empty(0, dtype=np.int64), ds.schema)
+        with pytest.raises(ValueError, match="empty"):
+            accuracy(tree, empty)
+
+
+class TestHarness:
+    def test_run_builder_record(self, f2_small, fast_config):
+        train, test = f2_small.split_holdout(0.25, np.random.default_rng(0))
+        record, result = run_builder(SprintBuilder(fast_config), train, test)
+        assert record.builder == "SPRINT"
+        assert record.n_records == train.n_records
+        assert 0.5 < record.train_accuracy <= 1.0
+        assert record.test_accuracy is not None
+        assert record.test_accuracy <= record.train_accuracy + 0.05
+        assert record.scans == result.stats.io.scans
+        d = record.as_dict()
+        assert "test_acc" in d and "sim_ms" in d
+
+    def test_format_table(self):
+        rows = [
+            {"a": 1, "b": "xx"},
+            {"a": 22, "c": 3.5},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b", "c"]
+        assert len(lines) == 4
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"

@@ -1,0 +1,48 @@
+"""Examples are part of the public surface: they must at least run.
+
+The two quick ones execute end-to-end in a subprocess; the heavier ones
+are compile-checked so a stale import breaks the suite immediately.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamplesRun:
+    def test_model_persistence(self):
+        out = run_example("model_persistence.py")
+        assert "identical predictions" in out
+        assert "digraph" in out
+
+    def test_loan_linear_splits(self):
+        out = run_example("loan_linear_splits.py")
+        assert "linear split" in out
+        assert "CMP tree" in out
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize(
+        "name",
+        [p.name for p in sorted(EXAMPLES.glob("*.py"))],
+    )
+    def test_compiles(self, name):
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")
+        assert '"""' in source  # every example carries a docstring
+        assert "def main()" in source

@@ -1,0 +1,99 @@
+"""Tests for the table/figure experiment drivers (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.config import BuilderConfig
+from repro.eval import experiments
+
+
+@pytest.fixture(scope="module")
+def small_config() -> BuilderConfig:
+    return experiments.default_config(
+        n_intervals=24, max_depth=6, min_records=40, reservoir_capacity=4000
+    )
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        # Small Agrawal sets keep the test quick; the STATLOG stand-ins are
+        # generated at their paper sizes.
+        return experiments.table1(seed=0, agrawal_records=20_000)
+
+    def test_row_layout(self, rows):
+        assert len(rows) == 12  # 6 datasets x 2 interval counts
+        for row in rows:
+            assert set(row) >= {
+                "dataset", "records", "exact_attr", "exact_gini",
+                "intervals", "alive", "cmp_attr", "cmp_gini",
+            }
+
+    def test_alive_counts_bounded(self, rows):
+        for row in rows:
+            assert 0 <= row["alive"] <= 2
+
+    def test_large_datasets_match_exact(self, rows):
+        # Paper claim: with enough intervals CMP picks the same attribute
+        # as the exact algorithm on the large synthetic functions.
+        for row in rows:
+            if row["dataset"].startswith("Function") and row["intervals"] >= 50:
+                assert row["cmp_attr"] == "-", row
+
+    def test_cmp_gini_close_when_attr_matches(self, rows):
+        for row in rows:
+            if row["cmp_attr"] == "-" and row["cmp_gini"] != "-":
+                assert row["cmp_gini"] <= row["exact_gini"] + 0.02
+
+
+class TestFig2:
+    def test_curve_outputs(self):
+        out = experiments.fig2_gini_curve(n_records=5_000, n_intervals=16, seed=0)
+        q = len(out["edges"]) + 1
+        assert len(out["boundary_gini"]) == q - 1
+        assert len(out["estimates"]) == q
+        assert np.isfinite(out["gini_min"][0])
+        assert np.all(out["alive_intervals"] >= 0)
+        # Estimates at alive intervals undercut the best boundary gini.
+        for i in out["alive_intervals"]:
+            assert out["estimates"][i] < out["gini_min"][0]
+
+
+class TestSweeps:
+    def test_scalability_rows(self, small_config):
+        records = experiments.scalability("F2", (2_000, 4_000), small_config, seed=0)
+        assert len(records) == 6  # 2 sizes x 3 family members
+        names = {r.builder for r in records}
+        assert names == {"CMP-S", "CMP-B", "CMP"}
+        # Simulated time grows with the training-set size for each builder.
+        for name in names:
+            series = [r.simulated_ms for r in records if r.builder == name]
+            assert series[1] > series[0]
+
+    def test_comparison_rows(self, small_config):
+        records = experiments.comparison("F2", (3_000,), small_config, seed=0)
+        assert {r.builder for r in records} == {
+            "CMP", "SPRINT", "RainForest", "CLOUDS",
+        }
+
+    def test_comparison_f(self, small_config):
+        records = experiments.comparison_f((4_000,), small_config, seed=0)
+        by_name = {r.builder: r for r in records}
+        # CMP's tree on Function f is far smaller than SPRINT's (Fig 9 vs 13).
+        assert by_name["CMP"].nodes < by_name["SPRINT"].nodes
+
+    def test_memory_rows(self, small_config):
+        records = experiments.memory_usage("F2", (3_000,), small_config, seed=0)
+        by_name = {r.builder: r for r in records}
+        assert by_name["RainForest"].peak_memory_bytes > by_name["CMP"].peak_memory_bytes
+
+    def test_prediction_accuracy(self, small_config):
+        out = experiments.prediction_accuracy(4_000, small_config, seed=0)
+        assert out["predictions_made"] > 0
+        assert 0.0 <= out["accuracy"] <= 1.0
+
+    def test_records_as_rows(self, small_config):
+        records = experiments.comparison("F2", (2_000,), small_config, seed=0)
+        rows = experiments.records_as_rows(records)
+        assert len(rows) == len(records)
+        assert all("builder" in r for r in rows)

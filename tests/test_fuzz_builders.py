@@ -1,0 +1,117 @@
+"""Property-based fuzzing: every builder stays consistent on adversarial data.
+
+Hypothesis generates small datasets full of edge cases — heavy ties,
+constant columns, tiny classes, duplicate records — and every builder must
+(1) finish, (2) produce a tree whose recorded per-leaf class counts match
+actual routing, and (3) classify training data no worse than majority
+voting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.clouds import CloudsBuilder
+from repro.baselines.rainforest import RainForestBuilder
+from repro.baselines.sliq import SliqBuilder
+from repro.baselines.sprint import SprintBuilder
+from repro.config import BuilderConfig
+from repro.core.cmp_b import CMPBBuilder
+from repro.core.cmp_full import CMPBuilder
+from repro.core.cmp_s import CMPSBuilder
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema, categorical, continuous
+from repro.eval.metrics import accuracy
+
+from conftest import assert_tree_consistent
+
+
+@st.composite
+def tiny_datasets(draw):
+    n = draw(st.integers(min_value=60, max_value=240))
+    p = draw(st.integers(min_value=2, max_value=4))
+    c = draw(st.integers(min_value=2, max_value=3))
+    with_categorical = draw(st.booleans())
+    # Values from a small integer pool: lots of ties and atoms.
+    pool = draw(st.integers(min_value=2, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, pool, size=(n, p)).astype(np.float64)
+    # Labels correlate with the first attribute plus noise, but Hypothesis
+    # may shrink toward degenerate all-one-class datasets too.
+    noise = draw(st.floats(min_value=0.0, max_value=1.0))
+    y = ((X[:, 0] > pool / 2) ^ (rng.random(n) < noise * 0.5)).astype(np.int64)
+    y = np.clip(y, 0, c - 1)
+    attrs = [continuous(f"x{j}") for j in range(p)]
+    if with_categorical:
+        k = draw(st.integers(min_value=2, max_value=5))
+        attrs.append(categorical("cat", tuple(f"v{i}" for i in range(k))))
+        X = np.column_stack([X, rng.integers(0, k, n).astype(np.float64)])
+    schema = Schema(tuple(attrs), tuple(f"c{k}" for k in range(c)))
+    return Dataset(X, y, schema)
+
+
+CFG = BuilderConfig(
+    n_intervals=8, max_depth=5, min_records=10, reservoir_capacity=500
+)
+
+FUZZ_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _check(builder_cls, dataset):
+    result = builder_cls(CFG).build(dataset)
+    assert_tree_consistent(result.tree, dataset)
+    majority = dataset.class_counts().max() / dataset.n_records
+    assert accuracy(result.tree, dataset) >= majority - 1e-9
+    assert result.stats.memory.current == 0
+
+
+class TestFuzz:
+    @given(tiny_datasets())
+    @FUZZ_SETTINGS
+    def test_cmp_s(self, dataset):
+        _check(CMPSBuilder, dataset)
+
+    @given(tiny_datasets())
+    @FUZZ_SETTINGS
+    def test_cmp_b(self, dataset):
+        _check(CMPBBuilder, dataset)
+
+    @given(tiny_datasets())
+    @FUZZ_SETTINGS
+    def test_cmp_full(self, dataset):
+        _check(CMPBuilder, dataset)
+
+    @given(tiny_datasets())
+    @FUZZ_SETTINGS
+    def test_clouds(self, dataset):
+        _check(CloudsBuilder, dataset)
+
+    @given(tiny_datasets())
+    @FUZZ_SETTINGS
+    def test_rainforest(self, dataset):
+        _check(RainForestBuilder, dataset)
+
+    @given(tiny_datasets())
+    @FUZZ_SETTINGS
+    def test_sprint(self, dataset):
+        _check(SprintBuilder, dataset)
+
+    @given(tiny_datasets())
+    @FUZZ_SETTINGS
+    def test_sliq(self, dataset):
+        _check(SliqBuilder, dataset)
+
+    @given(tiny_datasets())
+    @FUZZ_SETTINGS
+    def test_exact_algorithms_agree(self, dataset):
+        # SPRINT, SLIQ and RainForest implement the same exact algorithm.
+        sprint = SprintBuilder(CFG).build(dataset).tree
+        sliq = SliqBuilder(CFG).build(dataset).tree
+        rf = RainForestBuilder(CFG).build(dataset).tree
+        assert sprint.render() == sliq.render() == rf.render()

@@ -1,0 +1,152 @@
+"""Tests for class histograms (continuous and categorical)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gini import gini_partition
+from repro.core.histogram import CategoryHistogram, ClassHistogram
+
+
+class TestClassHistogram:
+    def make(self):
+        hist = ClassHistogram(np.array([1.0, 2.0]), n_classes=2)
+        hist.update(np.array([0.5, 1.0, 1.5, 2.5, 2.5]), np.array([0, 0, 1, 1, 0]))
+        return hist
+
+    def test_counts(self):
+        hist = self.make()
+        np.testing.assert_array_equal(
+            hist.counts, [[2.0, 0.0], [0.0, 1.0], [1.0, 1.0]]
+        )
+        assert hist.n_records == 5
+        np.testing.assert_array_equal(hist.totals(), [3.0, 2.0])
+
+    def test_cumulative_and_cum_below(self):
+        hist = self.make()
+        cum = hist.cumulative()
+        np.testing.assert_array_equal(cum[-1], hist.totals())
+        np.testing.assert_array_equal(hist.cum_below(0), [0.0, 0.0])
+        np.testing.assert_array_equal(hist.cum_below(2), cum[1])
+
+    def test_boundary_ginis_match_direct(self):
+        hist = self.make()
+        bg = hist.boundary_ginis()
+        cum = hist.cumulative()
+        for k in range(2):
+            expected = gini_partition(cum[k], hist.totals() - cum[k])
+            assert bg[k] == pytest.approx(expected)
+
+    def test_single_interval_no_boundaries(self):
+        hist = ClassHistogram(np.empty(0), 2)
+        hist.update(np.array([1.0, 2.0]), np.array([0, 1]))
+        assert len(hist.boundary_ginis()) == 0
+
+    def test_atomic_detection(self):
+        hist = ClassHistogram(np.array([1.0]), 2)
+        hist.update(np.array([0.5, 0.5, 0.5, 2.0, 3.0]), np.array([0, 1, 0, 1, 1]))
+        atomic = hist.atomic_intervals()
+        assert atomic[0]  # only value 0.5 in the first interval
+        assert not atomic[1]  # values 2 and 3
+
+    def test_empty_intervals_not_atomic(self):
+        hist = ClassHistogram(np.array([1.0]), 2)
+        hist.update(np.array([2.0, 3.0]), np.array([0, 1]))
+        atomic = hist.atomic_intervals()
+        assert not atomic[0]
+
+    def test_merge_preserves_extrema(self):
+        a = ClassHistogram(np.array([1.0]), 2)
+        b = ClassHistogram(np.array([1.0]), 2)
+        a.update(np.array([0.5]), np.array([0]))
+        b.update(np.array([0.2]), np.array([1]))
+        a.merge_from(b)
+        assert a.vmin[0] == 0.2
+        assert a.vmax[0] == 0.5
+        assert a.n_records == 2
+
+    def test_merge_requires_same_edges(self):
+        a = ClassHistogram(np.array([1.0]), 2)
+        b = ClassHistogram(np.array([2.0]), 2)
+        with pytest.raises(ValueError, match="share edges"):
+            a.merge_from(b)
+
+    def test_update_empty_batch(self):
+        hist = ClassHistogram(np.array([1.0]), 2)
+        hist.update(np.empty(0), np.empty(0, dtype=int))
+        assert hist.n_records == 0
+
+
+class TestCategoryHistogram:
+    def test_counts(self):
+        hist = CategoryHistogram(3, 2)
+        hist.update(np.array([0, 1, 1, 2]), np.array([0, 1, 1, 0]))
+        np.testing.assert_array_equal(hist.counts, [[1, 0], [0, 2], [1, 0]])
+
+    def test_two_class_subset_split_optimal(self):
+        # For two classes the split must match exhaustive subset search.
+        rng = np.random.default_rng(4)
+        k = 5
+        codes = rng.integers(0, k, 400)
+        labels = rng.integers(0, 2, 400)
+        hist = CategoryHistogram(k, 2)
+        hist.update(codes, labels)
+        __, got = hist.best_subset_split()
+
+        best = np.inf
+        for r in range(1, k):
+            for subset in itertools.combinations(range(k), r):
+                mask = np.isin(codes, subset)
+                left = np.bincount(labels[mask], minlength=2)
+                right = np.bincount(labels[~mask], minlength=2)
+                if left.sum() and right.sum():
+                    best = min(best, gini_partition(left, right))
+        assert got == pytest.approx(best)
+
+    def test_split_mask_excludes_empty_categories(self):
+        hist = CategoryHistogram(4, 2)
+        hist.update(np.array([0, 0, 1, 1]), np.array([0, 0, 1, 1]))
+        mask, g = hist.best_subset_split()
+        assert not mask[2] and not mask[3]
+        assert g == pytest.approx(0.0)
+
+    def test_single_category_raises(self):
+        hist = CategoryHistogram(3, 2)
+        hist.update(np.array([1, 1, 1]), np.array([0, 1, 0]))
+        with pytest.raises(ValueError, match="fewer than two"):
+            hist.best_subset_split()
+
+    def test_merge(self):
+        a = CategoryHistogram(2, 2)
+        b = CategoryHistogram(2, 2)
+        a.update(np.array([0]), np.array([0]))
+        b.update(np.array([1]), np.array([1]))
+        a.merge_from(b)
+        assert a.counts.sum() == 2
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 2)),
+            min_size=6,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_multiclass_split_is_valid(self, pairs):
+        codes = np.array([c for c, _ in pairs])
+        labels = np.array([l for _, l in pairs])
+        hist = CategoryHistogram(5, 3)
+        hist.update(codes, labels)
+        populated = np.unique(codes)
+        if len(populated) < 2:
+            return
+        mask, g = hist.best_subset_split()
+        left = np.isin(codes, np.nonzero(mask)[0])
+        # Both sides populated, and the gini matches a direct evaluation.
+        assert left.any() and (~left).any()
+        lcounts = np.bincount(labels[left], minlength=3)
+        rcounts = np.bincount(labels[~left], minlength=3)
+        assert g == pytest.approx(gini_partition(lcounts, rcounts))

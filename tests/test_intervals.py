@@ -1,0 +1,153 @@
+"""Tests for attribute analysis and alive-interval selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import ClassHistogram
+from repro.core.intervals import (
+    analyze_attribute,
+    choose_split_attribute,
+    select_alive_intervals,
+)
+
+
+def hist_from_values(values, labels, edges, n_classes=2):
+    hist = ClassHistogram(np.asarray(edges, dtype=float), n_classes)
+    hist.update(np.asarray(values, dtype=float), np.asarray(labels))
+    return hist
+
+
+class TestAnalyzeAttribute:
+    def test_gini_min_at_true_boundary(self):
+        # Classes separated exactly at value 2 (an edge).
+        values = [0.5, 1.5, 2.0, 2.5, 3.5, 4.5]
+        labels = [0, 0, 0, 1, 1, 1]
+        hist = hist_from_values(values, labels, [1.0, 2.0, 3.0, 4.0])
+        a = analyze_attribute(0, hist)
+        assert a.gini_min == pytest.approx(0.0)
+        assert a.best_boundary == 1  # edge value 2.0
+
+    def test_degenerate_boundaries_masked(self):
+        # All records above the last edge: every boundary is degenerate.
+        hist = hist_from_values([5.0, 6.0], [0, 1], [1.0, 2.0])
+        a = analyze_attribute(0, hist)
+        assert not a.has_boundaries
+        assert np.all(np.isinf(a.boundary_gini))
+
+    def test_single_populated_interval_still_splittable(self):
+        # Records concentrate in one interval but with two distinct values:
+        # the interval stays alive-capable (est finite), so a split remains
+        # reachable through buffering.
+        hist = hist_from_values([5.0, 5.2, 5.0, 5.2], [0, 0, 1, 1], [1.0, 2.0])
+        a = analyze_attribute(0, hist)
+        assert not a.has_boundaries
+        assert a.splittable
+
+    def test_constant_attribute_not_exactly_splittable(self):
+        hist = hist_from_values([5.0, 5.0, 5.0], [0, 1, 0], [1.0, 2.0])
+        a = analyze_attribute(0, hist)
+        # Atomic single interval: estimate collapses to boundary values,
+        # which are degenerate here.
+        assert not a.has_boundaries
+
+    def test_empty_interval_estimates_inf(self):
+        hist = hist_from_values([0.5, 2.5], [0, 1], [1.0, 2.0])
+        a = analyze_attribute(0, hist)
+        assert np.isinf(a.est[1])  # middle interval empty
+
+    def test_footnote_clamp_limits_undershoot(self):
+        # The estimate can undershoot the adjacent boundaries by at most
+        # 2*N_i/N (footnote 1 of the paper).
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 10, 2000)
+        labels = (values > 5.01).astype(int)
+        edges = np.quantile(values, np.linspace(0.1, 0.9, 9))
+        hist = hist_from_values(values, labels, np.unique(edges))
+        a = analyze_attribute(0, hist)
+        n = hist.n_records
+        pops = hist.counts.sum(axis=1)
+        raw_bg = np.concatenate(([a.node_gini], hist.boundary_ginis(), [a.node_gini]))
+        adj = np.minimum(raw_bg[:-1], raw_bg[1:])
+        populated = pops > 0
+        assert np.all(a.est[populated] >= adj[populated] - 2 * pops[populated] / n - 1e-9)
+
+
+class TestSelectAlive:
+    def analysis(self, values, labels, edges):
+        return analyze_attribute(0, hist_from_values(values, labels, edges))
+
+    def test_no_alive_when_boundary_is_optimal(self):
+        # Perfect separation exactly at an edge: no interior can be better.
+        values = [0.5, 0.7, 1.5, 1.7]
+        labels = [0, 0, 1, 1]
+        a = self.analysis(values, labels, [1.0])
+        assert select_alive_intervals(a, 2) == []
+
+    def test_alive_when_interior_is_better(self):
+        # The optimum (value 5) is strictly inside interval (2, 8].
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 10, 1000)
+        labels = (values > 5.0).astype(int)
+        a = self.analysis(values, labels, [2.0, 8.0])
+        alive = select_alive_intervals(a, 2)
+        assert 1 in alive
+
+    def test_forced_adjacent_interval(self):
+        # Whenever anything is alive, an interval adjacent to the best
+        # boundary must be included (zone-edge invariant).
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0, 10, 3000)
+        labels = ((values > 3.3) & (values < 7.7)).astype(int)
+        edges = np.quantile(values, np.linspace(0.05, 0.95, 19))
+        a = self.analysis(values, labels, np.unique(edges))
+        alive = select_alive_intervals(a, 2)
+        if alive:
+            assert a.best_boundary in alive or a.best_boundary + 1 in alive
+
+    def test_cap_respected(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0, 10, 2000)
+        labels = (np.sin(values) > 0).astype(int)
+        edges = np.quantile(values, np.linspace(0.1, 0.9, 9))
+        a = self.analysis(values, labels, np.unique(edges))
+        for cap in (0, 1, 2, 3):
+            assert len(select_alive_intervals(a, cap)) <= cap
+
+    def test_negative_cap_rejected(self):
+        a = self.analysis([0.5, 1.5], [0, 1], [1.0])
+        with pytest.raises(ValueError):
+            select_alive_intervals(a, -1)
+
+
+class TestChooseSplitAttribute:
+    def test_picks_lowest_score(self):
+        rng = np.random.default_rng(4)
+        n = 2000
+        good = rng.uniform(0, 1, n)
+        labels = (good > 0.5).astype(int)
+        noise = rng.uniform(0, 1, n)
+        edges = np.linspace(0.1, 0.9, 9)
+        a_good = analyze_attribute(0, hist_from_values(good, labels, edges))
+        a_noise = analyze_attribute(1, hist_from_values(noise, labels, edges))
+        winner = choose_split_attribute([a_noise, a_good], 2)
+        assert winner is not None
+        assert winner.attr == 0
+
+    def test_constant_attribute_offers_no_gain(self):
+        # A constant attribute's score collapses to the node's own gini, so
+        # the builder-level gain check rejects it.
+        a = analyze_attribute(0, hist_from_values([5.0, 5.0], [0, 1], [1.0]))
+        winner = choose_split_attribute([a], 2)
+        assert winner is None or winner.score >= a.node_gini - 1e-12
+
+    def test_returns_none_for_empty_analysis_list(self):
+        assert choose_split_attribute([], 2) is None
+
+    def test_winner_gets_alive_populated(self):
+        rng = np.random.default_rng(5)
+        values = rng.uniform(0, 10, 2000)
+        labels = (values > 5.0).astype(int)
+        a = analyze_attribute(0, hist_from_values(values, labels, [2.0, 8.0]))
+        winner = choose_split_attribute([a], 2)
+        assert winner is not None
+        assert winner.alive  # optimum is interior, so something is alive

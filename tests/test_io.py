@@ -1,0 +1,160 @@
+"""Tests for the simulated-disk layer (pager + metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.io.metrics import BuildStats, CostModel, IOStats, MemoryTracker, Stopwatch
+from repro.io.pager import PagedTable, ScanChunk
+
+
+def make_table(n=1000, page_records=100, pages_per_chunk=2, stats=None):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(n, 3))
+    y = rng.integers(0, 2, n)
+    return (
+        PagedTable(X, y, stats=stats, page_records=page_records, pages_per_chunk=pages_per_chunk),
+        X,
+        y,
+    )
+
+
+class TestPagedTable:
+    def test_scan_yields_everything_in_order(self):
+        table, X, y = make_table()
+        chunks = list(table.scan())
+        np.testing.assert_array_equal(np.concatenate([c.X for c in chunks]), X)
+        np.testing.assert_array_equal(np.concatenate([c.y for c in chunks]), y)
+        starts = [c.start for c in chunks]
+        assert starts == sorted(starts)
+
+    def test_chunk_rids(self):
+        table, __, __ = make_table(n=450, page_records=100, pages_per_chunk=1)
+        for chunk in table.scan():
+            np.testing.assert_array_equal(chunk.rids, np.arange(chunk.start, chunk.stop))
+
+    def test_scan_accounting(self):
+        stats = IOStats()
+        table, __, __ = make_table(n=1050, page_records=100, stats=stats)
+        list(table.scan())
+        assert stats.scans == 1
+        assert stats.pages_read == 11  # ceil(1050 / 100)
+        assert stats.records_read == 1050
+        list(table.scan())
+        assert stats.scans == 2
+        assert stats.pages_read == 22
+
+    def test_n_pages(self):
+        table, __, __ = make_table(n=1001, page_records=100)
+        assert table.n_pages == 11
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="2-D"):
+            PagedTable(rng.normal(size=10), rng.integers(0, 2, 10))
+        with pytest.raises(ValueError, match="same number"):
+            PagedTable(rng.normal(size=(10, 2)), rng.integers(0, 2, 9))
+        with pytest.raises(ValueError, match="positive"):
+            PagedTable(rng.normal(size=(10, 2)), rng.integers(0, 2, 10), page_records=0)
+
+
+class TestIOStats:
+    def test_counters(self):
+        s = IOStats()
+        s.begin_scan()
+        s.count_pages(3, 300)
+        s.count_aux_read(50)
+        s.count_aux_write(20)
+        s.count_seek(2)
+        snap = s.snapshot()
+        assert snap == {
+            "scans": 1,
+            "pages_read": 3,
+            "records_read": 300,
+            "aux_records_read": 50,
+            "aux_records_written": 20,
+            "random_seeks": 2,
+        }
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            IOStats().count_pages(-1, 0)
+
+
+class TestMemoryTracker:
+    def test_peak_tracks_total(self):
+        m = MemoryTracker()
+        m.allocate("a", 100)
+        m.allocate("b", 50)
+        assert m.peak == 150
+        m.release("a")
+        assert m.current == 50
+        m.allocate("c", 60)
+        assert m.peak == 150  # 110 < 150
+
+    def test_reallocate_replaces(self):
+        m = MemoryTracker()
+        m.allocate("a", 100)
+        m.allocate("a", 30)
+        assert m.current == 30
+
+    def test_release_prefix(self):
+        m = MemoryTracker()
+        m.allocate("hist/1", 10)
+        m.allocate("hist/2", 20)
+        m.allocate("buf/1", 5)
+        m.release_prefix("hist/")
+        assert m.current == 5
+
+    def test_release_idempotent(self):
+        m = MemoryTracker()
+        m.release("nothing")
+        assert m.current == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTracker().allocate("x", -1)
+
+
+class TestCostModel:
+    def test_simulated_time_components(self):
+        s = IOStats()
+        s.count_pages(10, 1000)
+        s.count_seek(2)
+        s.count_aux_read(500)
+        model = CostModel(seq_page_ms=5.0, seek_ms=10.0, cpu_record_us=15.0, aux_record_us=8.0)
+        expected = 10 * 5.0 + 2 * 10.0 + 1000 * 15.0 / 1000 + 500 * 8.0 / 1000
+        assert model.simulated_ms(s) == pytest.approx(expected)
+
+    def test_scans_dominate(self):
+        # A full scan must cost far more than per-level CPU bookkeeping.
+        s = IOStats()
+        s.count_pages(500, 100_000)
+        io_time = CostModel().simulated_ms(s)
+        s2 = IOStats()
+        s2.count_aux_read(100_000)
+        aux_time = CostModel().simulated_ms(s2)
+        assert io_time > 3 * aux_time
+
+
+class TestBuildStats:
+    def test_summary_keys(self):
+        stats = BuildStats()
+        stats.io.begin_scan()
+        stats.io.count_pages(1, 10)
+        summary = stats.summary()
+        assert summary["scans"] == 1
+        assert "simulated_ms" in summary
+        assert "peak_memory_bytes" in summary
+
+    def test_prediction_accuracy(self):
+        stats = BuildStats()
+        assert stats.prediction_accuracy == 0.0
+        stats.predictions_made = 4
+        stats.predictions_correct = 3
+        assert stats.prediction_accuracy == 0.75
+
+    def test_stopwatch(self):
+        stats = BuildStats()
+        with Stopwatch(stats):
+            sum(range(1000))
+        assert stats.wall_seconds > 0

@@ -1,0 +1,135 @@
+"""Tests for linear-combination split discovery (Figures 11-12)."""
+
+import numpy as np
+import pytest
+
+from repro.core.linear import (
+    GridLine,
+    best_linear_candidate,
+    classify_cells,
+    gini_slope_walk,
+    line_gini,
+)
+from repro.core.matrix import MatrixSet
+from repro.data.schema import Schema, continuous
+
+
+def diag_matrixset(n=20_000, q=24, slope=1.0, seed=0, flip=False):
+    """MatrixSet over (x, y) with class = (x + slope*y >= thresh)."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, (n, 2))
+    if flip:
+        y = (X[:, 0] - slope * X[:, 1] >= 0.0).astype(np.int64)
+    else:
+        y = (X[:, 0] + slope * X[:, 1] >= 1.0).astype(np.int64)
+    schema = Schema((continuous("x"), continuous("y")), ("u", "o"))
+    edges = {
+        0: np.linspace(0, 1, q + 1)[1:-1],
+        1: np.linspace(0, 1, q + 1)[1:-1],
+    }
+    ms = MatrixSet.create(schema, 0, edges)
+    from repro.data.dataset import Dataset
+
+    ms.update(X, y)
+    return ms, X, y
+
+
+class TestClassifyCells:
+    def test_partition_is_exhaustive_and_disjoint(self):
+        under, above, on = classify_cells(6, 6, GridLine(4.0, 5.0))
+        total = under.astype(int) + above.astype(int) + on.astype(int)
+        assert np.all(total == 1)
+
+    def test_geometry(self):
+        # Line from (2, 0) to (0, 2): cell (0,0) is crossed (its far corner
+        # (1,1) lies on the line), cell (3,3) is above.
+        under, above, on = classify_cells(4, 4, GridLine(2.0, 2.0))
+        assert under[0, 0]  # corner (1,1): 1/2 + 1/2 = 1 -> on the line -> under
+        assert above[3, 3]
+        assert on[1, 0] or on[0, 1]
+
+    def test_everything_under_large_line(self):
+        under, above, on = classify_cells(4, 4, GridLine(100.0, 100.0))
+        assert under.all()
+
+
+class TestLineGini:
+    def test_pure_diagonal_matrix(self):
+        # Counts: class 0 strictly below anti-diagonal, class 1 above.
+        q = 8
+        counts = np.zeros((q, q, 2))
+        for i in range(q):
+            for j in range(q):
+                if i + j < q - 1:
+                    counts[i, j, 0] = 10
+                elif i + j > q - 1:
+                    counts[i, j, 1] = 10
+        g = line_gini(counts, GridLine(float(q), float(q)))
+        assert g == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSlopeWalk:
+    def test_finds_diagonal(self):
+        ms, X, y = diag_matrixset()
+        g, line = gini_slope_walk(ms.matrices[1].counts)
+        # Perfect separation up to discretization noise.
+        assert g < 0.05
+        # The line should be near the anti-diagonal of the grid.
+        assert 0.6 < line.x / line.y < 1.6
+
+    def test_terminates_on_uniform_noise(self):
+        rng = np.random.default_rng(1)
+        counts = rng.integers(0, 10, (16, 16, 2)).astype(float)
+        g, line = gini_slope_walk(counts)
+        assert np.isfinite(g)
+        assert line.x <= 40 and line.y <= 40
+
+
+class TestBestLinearCandidate:
+    def test_negative_slope_candidate(self):
+        ms, X, y = diag_matrixset()
+        cand = best_linear_candidate(ms)
+        assert cand is not None
+        assert cand.gini < 0.05
+        # Direction approximates x + y <= c with c near 1.
+        assert cand.a == pytest.approx(1.0)
+        assert 0.6 < cand.b < 1.6
+        assert cand.c_lo < 1.0 < cand.c_hi
+
+    def test_band_is_consistent_with_labels(self):
+        ms, X, y = diag_matrixset()
+        cand = best_linear_candidate(ms)
+        w = cand.a * X[:, 0] + cand.b * X[:, 1]
+        # Outside the band the classification is essentially clean.
+        under = w <= cand.c_lo
+        over = w > cand.c_hi
+        assert y[under].mean() < 0.05
+        assert y[over].mean() > 0.95
+
+    def test_positive_slope_candidate(self):
+        ms, X, y = diag_matrixset(flip=True)
+        cand = best_linear_candidate(ms)
+        assert cand is not None
+        assert cand.gini < 0.08
+        # Separating x - y >= 0 requires a negative y coefficient
+        # (relative to the x coefficient's sign).
+        assert cand.a * cand.b < 0
+
+    def test_uncorrelated_data_gives_weak_candidate(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, (5000, 2))
+        y = rng.integers(0, 2, 5000)
+        schema = Schema((continuous("x"), continuous("y")), ("a", "b"))
+        edges = {0: np.linspace(0, 1, 17)[1:-1], 1: np.linspace(0, 1, 17)[1:-1]}
+        ms = MatrixSet.create(schema, 0, edges)
+        ms.update(X, y)
+        cand = best_linear_candidate(ms)
+        if cand is not None:
+            assert cand.gini > 0.4  # noise: no line helps
+
+    def test_no_matrices(self):
+        schema = Schema((continuous("x"), continuous("y")), ("a", "b"))
+        ms = MatrixSet.create(schema, 0, {0: np.array([0.5]), 1: np.array([0.5])})
+        # Matrix exists but is empty; should not crash.
+        cand = best_linear_candidate(ms)
+        assert cand is None or np.isfinite(cand.gini)

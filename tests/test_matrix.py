@@ -1,0 +1,161 @@
+"""Tests for bivariate histogram matrices (CMP-B's data structure)."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import ClassHistogram
+from repro.core.matrix import AxisStats, HistogramMatrix, MatrixSet, pseudo_histogram
+from repro.data.schema import Schema, categorical, continuous
+
+
+def schema3():
+    return Schema(
+        (continuous("x"), continuous("y"), categorical("c", ("a", "b"))),
+        ("n", "p"),
+    )
+
+
+def random_data(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.column_stack(
+        [rng.uniform(0, 10, n), rng.uniform(0, 10, n), rng.integers(0, 2, n)]
+    ).astype(float)
+    y = rng.integers(0, 2, n)
+    return X, y
+
+
+def edges3():
+    return {0: np.array([3.0, 6.0]), 1: np.array([2.0, 5.0, 8.0])}
+
+
+class TestHistogramMatrix:
+    def test_projections_match_1d_histograms(self):
+        X, y = random_data()
+        ms = MatrixSet.create(schema3(), 0, edges3())
+        ms.update(X, y)
+        m = ms.matrices[1]
+        # X marginal equals a direct 1-D histogram of x.
+        hx = ClassHistogram(edges3()[0], 2)
+        hx.update(X[:, 0], y)
+        np.testing.assert_array_equal(m.x_marginal_counts(), hx.counts)
+        hy = ClassHistogram(edges3()[1], 2)
+        hy.update(X[:, 1], y)
+        np.testing.assert_array_equal(m.y_marginal_counts(), hy.counts)
+
+    def test_cell_counts(self):
+        ms = MatrixSet.create(schema3(), 0, edges3())
+        X = np.array([[1.0, 1.0, 0.0], [7.0, 9.0, 1.0]])
+        y = np.array([0, 1])
+        ms.update(X, y)
+        m = ms.matrices[1]
+        assert m.counts[0, 0, 0] == 1  # x=1 -> col 0, y=1 -> row 0, class 0
+        assert m.counts[2, 3, 1] == 1  # x=7 -> col 2, y=9 -> row 3, class 1
+        assert m.counts.sum() == 2
+
+    def test_slice_conserves_counts(self):
+        X, y = random_data()
+        ms = MatrixSet.create(schema3(), 0, edges3())
+        ms.update(X, y)
+        m = ms.matrices[1]
+        total = m.y_marginal_counts()
+        left = m.y_marginal_counts(0, 2)
+        right = m.y_marginal_counts(2, None)
+        np.testing.assert_array_equal(left + right, total)
+
+    def test_merge(self):
+        X, y = random_data()
+        ms1 = MatrixSet.create(schema3(), 0, edges3())
+        ms2 = MatrixSet.create(schema3(), 0, edges3())
+        ms1.update(X[:250], y[:250])
+        ms2.update(X[250:], y[250:])
+        ms1.merge_from(ms2)
+        full = MatrixSet.create(schema3(), 0, edges3())
+        full.update(X, y)
+        np.testing.assert_array_equal(
+            ms1.matrices[1].counts, full.matrices[1].counts
+        )
+        np.testing.assert_array_equal(ms1.class_counts, full.class_counts)
+
+    def test_merge_requires_same_x(self):
+        ms1 = MatrixSet.create(schema3(), 0, edges3())
+        ms2 = MatrixSet.create(schema3(), 1, edges3())
+        with pytest.raises(ValueError, match="share the X attribute"):
+            ms1.merge_from(ms2)
+
+
+class TestMatrixSetMarginals:
+    def test_x_marginal_slice_zeroes_outside(self):
+        X, y = random_data()
+        ms = MatrixSet.create(schema3(), 0, edges3())
+        ms.update(X, y)
+        sliced = ms.x_marginal(1, 2)
+        assert sliced.counts[0].sum() == 0
+        assert sliced.counts[2].sum() == 0
+        full = ms.x_marginal()
+        np.testing.assert_array_equal(sliced.counts[1], full.counts[1])
+
+    def test_x_marginal_given_y(self):
+        X, y = random_data()
+        ms = MatrixSet.create(schema3(), 0, edges3())
+        ms.update(X, y)
+        # Condition on y rows [0, 2): x marginal of records with y <= 5.
+        cond = ms.x_marginal_given_y(1, 0, 2)
+        mask = X[:, 1] <= 5.0
+        direct = ClassHistogram(edges3()[0], 2)
+        direct.update(X[mask, 0], y[mask])
+        np.testing.assert_array_equal(cond.counts, direct.counts)
+
+    def test_y_marginal_rows(self):
+        X, y = random_data()
+        ms = MatrixSet.create(schema3(), 0, edges3())
+        ms.update(X, y)
+        rows = ms.y_marginal_rows(1, 1, 3)
+        assert rows.counts[0].sum() == 0
+        assert rows.counts[3].sum() == 0
+
+    def test_categorical_histograms(self):
+        X, y = random_data()
+        ms = MatrixSet.create(schema3(), 0, edges3())
+        ms.update(X, y)
+        cat = ms.categorical[2]
+        assert cat.counts.sum() == len(y)
+
+    def test_x_attr_must_be_continuous(self):
+        with pytest.raises(ValueError, match="continuous"):
+            MatrixSet.create(schema3(), 2, edges3())
+
+    def test_atomic_propagates_to_marginal(self):
+        # All x values identical inside column 0 -> marginal flags atomic.
+        ms = MatrixSet.create(schema3(), 0, edges3())
+        X = np.array([[1.5, 1.0, 0.0], [1.5, 9.0, 1.0], [7.0, 2.0, 0.0]])
+        ms.update(X, np.array([0, 1, 0]))
+        marg = ms.x_marginal()
+        assert marg.atomic_intervals()[0]
+
+    def test_nbytes_positive(self):
+        ms = MatrixSet.create(schema3(), 0, edges3())
+        assert ms.nbytes() > 0
+
+
+class TestAxisStats:
+    def test_update_and_merge(self):
+        a = AxisStats(3)
+        a.update(np.array([0, 2]), np.array([1.0, 9.0]))
+        b = AxisStats(3)
+        b.update(np.array([0]), np.array([-1.0]))
+        a.merge_from(b)
+        assert a.vmin[0] == -1.0
+        assert a.vmax[0] == 1.0
+        assert a.vmax[2] == 9.0
+
+
+class TestPseudoHistogram:
+    def test_behaves_like_real_histogram(self):
+        X, y = random_data()
+        real = ClassHistogram(edges3()[0], 2)
+        real.update(X[:, 0], y)
+        pseudo = pseudo_histogram(real.counts, real.edges, real.vmin, real.vmax, 2)
+        np.testing.assert_array_equal(pseudo.boundary_ginis(), real.boundary_ginis())
+        np.testing.assert_array_equal(
+            pseudo.atomic_intervals(), real.atomic_intervals()
+        )

@@ -1,0 +1,131 @@
+"""Integration tests asserting the *shape* of the paper's headline claims.
+
+These run at reduced scale; the benchmarks regenerate the full tables.
+Each test cites the claim it checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clouds import CloudsBuilder
+from repro.baselines.rainforest import RainForestBuilder
+from repro.baselines.sprint import SprintBuilder
+from repro.config import BuilderConfig
+from repro.core.cmp_b import CMPBBuilder
+from repro.core.cmp_full import CMPBuilder
+from repro.core.cmp_s import CMPSBuilder
+from repro.data.synthetic import generate_agrawal, generate_function_f
+from repro.eval.harness import run_builder
+from repro.eval.metrics import accuracy
+
+
+@pytest.fixture(scope="module")
+def cfg() -> BuilderConfig:
+    return BuilderConfig(
+        n_intervals=50, max_depth=8, min_records=40, prune="public",
+        reservoir_capacity=6000,
+    )
+
+
+@pytest.fixture(scope="module")
+def f2(cfg):
+    return generate_agrawal("F2", 20_000, seed=5)
+
+
+@pytest.fixture(scope="module")
+def results(cfg, f2):
+    out = {}
+    for builder_cls in (
+        CMPSBuilder, CMPBBuilder, CMPBuilder,
+        CloudsBuilder, RainForestBuilder, SprintBuilder,
+    ):
+        record, result = run_builder(builder_cls(cfg), f2)
+        out[builder_cls.name] = (record, result)
+    return out
+
+
+class TestScanClaims:
+    def test_cmp_s_halves_clouds_scans(self, results):
+        # §2: CMP-S "reduce[s] disk access up to 50%" vs CLOUDS by
+        # eliminating the per-level exact pass.
+        cmp_scans = results["CMP-S"][0].scans
+        clouds_scans = results["CLOUDS"][0].scans
+        assert cmp_scans < clouds_scans
+        assert cmp_scans <= 0.75 * clouds_scans
+
+    def test_cmp_b_never_worse_than_cmp_s(self, results):
+        # §3: "CMP-B is almost 40% faster than CMP-S thanks to the
+        # prediction" — at our scale the gap is smaller, but the direction
+        # must hold.
+        assert results["CMP-B"][0].scans <= results["CMP-S"][0].scans
+
+    def test_sprint_simulated_time_is_worst(self, results):
+        # Figures 16-17: "In comparison with SPRINT, CMP is nearly five
+        # times faster" — SPRINT's attribute-list traffic dominates.
+        sprint = results["SPRINT"][0].simulated_ms
+        for name in ("CMP-S", "CMP-B", "CMP", "RainForest"):
+            assert sprint > results[name][0].simulated_ms
+
+    def test_sprint_vs_cmp_factor(self, results):
+        # The factor should be well above 2x at this scale.
+        assert (
+            results["SPRINT"][0].simulated_ms
+            > 2.0 * results["CMP"][0].simulated_ms
+        )
+
+    def test_rainforest_competitive_with_cmp(self, results):
+        # Figures 16-17: "RainForest algorithm slightly outperforms CMP".
+        rf = results["RainForest"][0].simulated_ms
+        cmp_ms = results["CMP"][0].simulated_ms
+        assert rf < cmp_ms * 1.25
+
+
+class TestMemoryClaims:
+    def test_rainforest_memory_dwarfs_cmp(self, results):
+        # Figure 19: the RF-Hybrid AVC buffer (20 MB in the paper's setup)
+        # vs CMP's buffers + matrices.
+        rf_mem = results["RainForest"][0].peak_memory_bytes
+        cmp_mem = results["CMP"][0].peak_memory_bytes
+        assert rf_mem > 3 * cmp_mem
+
+    def test_cmp_memory_above_clouds_but_modest(self, results):
+        # Matrices cost more than 1-D histograms but stay far below RF.
+        assert (
+            results["CMP"][0].peak_memory_bytes
+            < results["RainForest"][0].peak_memory_bytes
+        )
+
+
+class TestAccuracyClaims:
+    def test_all_algorithms_agree_on_accuracy(self, results, f2):
+        # §4: "for large datasets, [CMP] is as accurate as SPRINT".
+        exact = results["SPRINT"][0].train_accuracy
+        for name in ("CMP-S", "CMP-B", "CMP", "CLOUDS", "RainForest"):
+            assert results[name][0].train_accuracy > exact - 0.035, name
+
+
+class TestFunctionFClaims:
+    def test_cmp_discovers_linear_structure(self, cfg):
+        # Figure 18 / Figures 9 vs 13: on Function f CMP builds a far
+        # smaller tree than univariate algorithms, via linear splits.
+        ds = generate_function_f(20_000, seed=5)
+        cmp_rec, cmp_res = run_builder(CMPBuilder(cfg.with_(max_depth=10)), ds)
+        sp_rec, __ = run_builder(SprintBuilder(cfg.with_(max_depth=10)), ds)
+        assert cmp_res.stats.linear_splits >= 1
+        assert cmp_rec.nodes < sp_rec.nodes
+        assert cmp_rec.train_accuracy > sp_rec.train_accuracy - 0.02
+
+    def test_cmp_faster_than_univariate_on_f(self, cfg):
+        ds = generate_function_f(20_000, seed=5)
+        cmp_rec, __ = run_builder(CMPBuilder(cfg.with_(max_depth=10)), ds)
+        sp_rec, __ = run_builder(SprintBuilder(cfg.with_(max_depth=10)), ds)
+        assert cmp_rec.simulated_ms < sp_rec.simulated_ms
+
+
+class TestPredictionClaim:
+    def test_prediction_hits_meaningfully(self, results):
+        # §2.2: "about 80% of the predictions are accurate" on Function 2.
+        # Our measured rate is lower (documented in EXPERIMENTS.md) but must
+        # be far better than the 1/p ~ 11% random-attribute baseline.
+        record = results["CMP-B"][0]
+        assert record.prediction_accuracy > 0.3

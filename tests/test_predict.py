@@ -1,0 +1,28 @@
+"""Tests for predictSplit (Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.predict import predict_split
+
+
+class TestPredictSplit:
+    def test_picks_minimum(self):
+        assert predict_split({0: 0.3, 1: 0.1}, {2: 0.2}) == 1
+
+    def test_exact_overrides_fallback(self):
+        # Attribute 0 looks great at the parent but bad in the subnode.
+        assert predict_split({0: 0.5}, {0: 0.01, 1: 0.3}) == 1
+
+    def test_fallback_used_for_unknown_attrs(self):
+        assert predict_split({0: 0.4}, {1: 0.1}) == 1
+
+    def test_tie_breaks_to_lower_index(self):
+        assert predict_split({2: 0.2, 1: 0.2}, {}) == 1
+
+    def test_infinite_scores_ignored(self):
+        assert predict_split({0: np.inf}, {1: 0.9}) == 1
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ValueError, match="no finite candidate"):
+            predict_split({0: np.inf}, {})

@@ -1,0 +1,51 @@
+"""Tests for the RainForest RF-Hybrid baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rainforest import RainForestBuilder
+from repro.baselines.sprint import SprintBuilder
+from repro.eval.metrics import accuracy
+
+from conftest import assert_tree_consistent
+
+
+class TestRainForest:
+    def test_counts_consistent(self, f2_small, fast_config):
+        result = RainForestBuilder(fast_config).build(f2_small)
+        assert_tree_consistent(result.tree, f2_small)
+
+    def test_identical_tree_to_sprint(self, f2_small, fast_config):
+        # Both are exact algorithms over the same candidate splits with the
+        # same tie-breaking, so they must grow the same tree.
+        rf = RainForestBuilder(fast_config).build(f2_small).tree
+        sp = SprintBuilder(fast_config).build(f2_small).tree
+        assert rf.render() == sp.render()
+
+    def test_identical_tree_on_f7(self, f7_small, fast_config):
+        rf = RainForestBuilder(fast_config).build(f7_small).tree
+        sp = SprintBuilder(fast_config).build(f7_small).tree
+        assert rf.render() == sp.render()
+
+    def test_one_scan_per_level_when_buffer_fits(self, f2_small, fast_config):
+        result = RainForestBuilder(fast_config).build(f2_small)
+        # With the default (huge) buffer, one scan per level suffices.
+        assert result.stats.io.scans <= result.tree.depth + 1
+
+    def test_small_buffer_forces_batches(self, f2_small, fast_config):
+        big = RainForestBuilder(fast_config).build(f2_small)
+        cfg = fast_config.with_(avc_buffer_entries=20_000)
+        small = RainForestBuilder(cfg).build(f2_small)
+        assert small.stats.io.scans > big.stats.io.scans
+        # The tree itself is unchanged; only the I/O schedule differs.
+        assert small.tree.render() == big.tree.render()
+
+    def test_memory_is_flat_buffer(self, f2_small, fast_config):
+        result = RainForestBuilder(fast_config).build(f2_small)
+        c = f2_small.n_classes
+        expected = fast_config.avc_buffer_entries * 4 * c
+        assert result.stats.memory.peak == expected
+
+    def test_categorical(self, mixed_types, fast_config):
+        result = RainForestBuilder(fast_config).build(mixed_types)
+        assert accuracy(result.tree, mixed_types) == 1.0

@@ -1,0 +1,63 @@
+"""Tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import Attribute, AttributeKind, Schema, categorical, continuous
+
+
+class TestAttribute:
+    def test_continuous_shorthand(self):
+        a = continuous("age")
+        assert a.kind is AttributeKind.CONTINUOUS
+        assert a.is_continuous
+        assert a.cardinality == 0
+
+    def test_categorical_shorthand(self):
+        a = categorical("color", ["r", "g", "b"])
+        assert not a.is_continuous
+        assert a.cardinality == 3
+        assert a.categories == ("r", "g", "b")
+
+    def test_categorical_requires_categories(self):
+        with pytest.raises(ValueError, match="needs categories"):
+            Attribute("bad", AttributeKind.CATEGORICAL)
+
+    def test_continuous_rejects_categories(self):
+        with pytest.raises(ValueError, match="cannot have categories"):
+            Attribute("bad", AttributeKind.CONTINUOUS, ("x",))
+
+
+class TestSchema:
+    def make(self) -> Schema:
+        return Schema(
+            (continuous("a"), categorical("c", ("x", "y")), continuous("b")),
+            ("no", "yes"),
+        )
+
+    def test_counts(self):
+        s = self.make()
+        assert s.n_attributes == 3
+        assert s.n_classes == 2
+
+    def test_index_lookup(self):
+        s = self.make()
+        assert s.index_of("b") == 2
+        assert s.attribute("c").cardinality == 2
+        assert s.attribute(0).name == "a"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="no attribute named"):
+            self.make().index_of("nope")
+
+    def test_kind_partition(self):
+        s = self.make()
+        assert s.continuous_indices() == [0, 2]
+        assert s.categorical_indices() == [1]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            Schema((continuous("a"), continuous("a")), ("x", "y"))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            Schema((continuous("a"),), ("only",))

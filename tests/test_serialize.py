@@ -1,0 +1,102 @@
+"""Tests for tree JSON serialization and DOT export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cmp_full import CMPBuilder
+from repro.core.serialize import (
+    split_from_dict,
+    split_to_dict,
+    tree_from_dict,
+    tree_from_json,
+    tree_to_dict,
+    tree_to_dot,
+    tree_to_json,
+)
+from repro.core.splits import CategoricalSplit, LinearSplit, NumericSplit
+
+
+class TestSplitRoundTrip:
+    @pytest.mark.parametrize(
+        "split",
+        [
+            NumericSplit(3, 42.5),
+            CategoricalSplit(1, (True, False, True)),
+            LinearSplit(0, 2, b=0.93, c=95796.0),
+            LinearSplit(0, 2, b=-1.5, c=10.0, a=-1.0),
+        ],
+    )
+    def test_round_trip(self, split):
+        assert split_from_dict(split_to_dict(split)) == split
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown split kind"):
+            split_from_dict({"kind": "mystery"})
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError):
+            split_to_dict(object())  # type: ignore[arg-type]
+
+
+class TestTreeRoundTrip:
+    @pytest.fixture(scope="class")
+    def trained(self, request):
+        diagonal = request.getfixturevalue("diagonal")
+        from repro.config import BuilderConfig
+
+        cfg = BuilderConfig(n_intervals=32, max_depth=6, min_records=20)
+        return CMPBuilder(cfg).build(diagonal).tree, diagonal
+
+    def test_dict_round_trip_preserves_predictions(self, trained):
+        tree, dataset = trained
+        clone = tree_from_dict(tree_to_dict(tree))
+        np.testing.assert_array_equal(clone.predict(dataset.X), tree.predict(dataset.X))
+        assert clone.render() == tree.render()
+
+    def test_json_round_trip(self, trained):
+        tree, dataset = trained
+        text = tree_to_json(tree, indent=2)
+        json.loads(text)  # valid JSON
+        clone = tree_from_json(text)
+        np.testing.assert_array_equal(clone.predict(dataset.X), tree.predict(dataset.X))
+
+    def test_schema_travels(self, trained):
+        tree, __ = trained
+        clone = tree_from_json(tree_to_json(tree))
+        assert clone.schema.class_labels == tree.schema.class_labels
+        assert [a.name for a in clone.schema.attributes] == [
+            a.name for a in tree.schema.attributes
+        ]
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ValueError, match="not a serialized"):
+            tree_from_dict({"format": "something-else"})
+
+
+class TestDotExport:
+    def test_contains_nodes_and_edges(self, trained_tree):
+        dot = tree_to_dot(trained_tree)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot
+        assert 'label="yes"' in dot and 'label="no"' in dot
+
+    def test_max_depth_truncates(self, trained_tree):
+        full = tree_to_dot(trained_tree)
+        truncated = tree_to_dot(trained_tree, max_depth=1)
+        assert len(truncated) < len(full)
+        assert '"..."' in truncated or truncated.count("->") <= 2
+
+    def test_leaf_labels_use_schema(self, trained_tree):
+        dot = tree_to_dot(trained_tree)
+        assert any(lbl in dot for lbl in trained_tree.schema.class_labels)
+
+
+@pytest.fixture(scope="module")
+def trained_tree(diagonal):
+    from repro.config import BuilderConfig
+
+    cfg = BuilderConfig(n_intervals=32, max_depth=4, min_records=20)
+    return CMPBuilder(cfg).build(diagonal).tree

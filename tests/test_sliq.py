@@ -1,0 +1,58 @@
+"""Tests for the SLIQ extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sliq import CLASS_LIST_ENTRY_BYTES, SliqBuilder
+from repro.baselines.sprint import SprintBuilder
+from repro.eval.metrics import accuracy
+
+from conftest import assert_tree_consistent
+
+
+class TestSliq:
+    def test_counts_consistent(self, f2_small, fast_config):
+        result = SliqBuilder(fast_config).build(f2_small)
+        assert_tree_consistent(result.tree, f2_small)
+
+    def test_identical_tree_to_sprint(self, f2_small, fast_config):
+        # Both are exact over the same candidates with the same tie-breaks.
+        sliq = SliqBuilder(fast_config).build(f2_small).tree
+        sprint = SprintBuilder(fast_config).build(f2_small).tree
+        assert sliq.render() == sprint.render()
+
+    def test_identical_tree_on_mixed_types(self, mixed_types, fast_config):
+        sliq = SliqBuilder(fast_config).build(mixed_types).tree
+        sprint = SprintBuilder(fast_config).build(mixed_types).tree
+        assert sliq.render() == sprint.render()
+        assert accuracy(sliq, mixed_types) == 1.0
+
+    def test_less_list_io_than_sprint(self, f2_small, fast_config):
+        # SLIQ reads its lists once per level; SPRINT also rewrites them.
+        sliq = SliqBuilder(fast_config).build(f2_small)
+        sprint = SprintBuilder(fast_config).build(f2_small)
+        assert (
+            sliq.stats.io.aux_records_read + sliq.stats.io.aux_records_written
+            < sprint.stats.io.aux_records_read
+            + sprint.stats.io.aux_records_written
+        )
+
+    def test_class_list_memory_charged(self, f2_small, fast_config):
+        result = SliqBuilder(fast_config).build(f2_small)
+        assert (
+            result.stats.memory.peak
+            >= CLASS_LIST_ENTRY_BYTES * f2_small.n_records
+        )
+        assert result.stats.memory.current == 0
+
+    def test_single_dataset_scan(self, f2_small, fast_config):
+        result = SliqBuilder(fast_config).build(f2_small)
+        assert result.stats.io.scans == 1
+
+    def test_stop_conditions(self, f2_small, fast_config):
+        cfg = fast_config.with_(max_depth=3, min_records=400)
+        tree = SliqBuilder(cfg).build(f2_small).tree
+        assert tree.depth <= 3
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                assert node.n_records >= 400

@@ -1,0 +1,66 @@
+"""Tests for split criteria."""
+
+import numpy as np
+import pytest
+
+from repro.core.splits import CategoricalSplit, LinearSplit, NumericSplit
+from repro.data.schema import Schema, categorical, continuous
+
+
+def schema():
+    return Schema(
+        (continuous("salary"), continuous("commission"), categorical("car", ("a", "b", "c"))),
+        ("no", "yes"),
+    )
+
+
+class TestNumericSplit:
+    def test_goes_left_inclusive(self):
+        s = NumericSplit(0, 5.0)
+        X = np.array([[4.0, 0, 0], [5.0, 0, 0], [5.1, 0, 0]])
+        np.testing.assert_array_equal(s.goes_left(X), [True, True, False])
+
+    def test_describe(self):
+        assert NumericSplit(0, 5.0).describe(schema()) == "salary <= 5"
+        assert NumericSplit(1, 5.0).describe() == "x1 <= 5"
+
+    def test_attributes(self):
+        assert NumericSplit(1, 0.0).attributes() == (1,)
+
+
+class TestCategoricalSplit:
+    def test_goes_left_by_membership(self):
+        s = CategoricalSplit(2, (True, False, True))
+        X = np.array([[0, 0, 0.0], [0, 0, 1.0], [0, 0, 2.0]])
+        np.testing.assert_array_equal(s.goes_left(X), [True, False, True])
+
+    def test_describe_with_schema(self):
+        s = CategoricalSplit(2, (True, False, True))
+        assert s.describe(schema()) == "car in {a, c}"
+
+    def test_describe_without_schema(self):
+        s = CategoricalSplit(2, (False, True, False))
+        assert s.describe() == "x2 in {1}"
+
+
+class TestLinearSplit:
+    def test_projection_and_routing(self):
+        s = LinearSplit(0, 1, b=2.0, c=10.0)
+        X = np.array([[2.0, 3.0, 0], [2.0, 4.1, 0]])
+        np.testing.assert_allclose(s.project(X), [8.0, 10.2])
+        np.testing.assert_array_equal(s.goes_left(X), [True, False])
+
+    def test_negative_a(self):
+        s = LinearSplit(0, 1, b=1.0, c=0.0, a=-1.0)
+        X = np.array([[5.0, 2.0, 0], [1.0, 2.0, 0]])
+        np.testing.assert_allclose(s.project(X), [-3.0, 1.0])
+        np.testing.assert_array_equal(s.goes_left(X), [True, False])
+
+    def test_describe(self):
+        s = LinearSplit(0, 1, b=0.93, c=95796.0)
+        assert s.describe(schema()) == "salary + 0.93*commission <= 95796"
+        s2 = LinearSplit(0, 1, b=-0.5, c=1.0)
+        assert "- 0.5*commission" in s2.describe(schema())
+
+    def test_attributes(self):
+        assert LinearSplit(0, 1, b=1.0, c=0.0).attributes() == (0, 1)

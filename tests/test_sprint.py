@@ -1,0 +1,78 @@
+"""Tests for the SPRINT baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sprint import SprintBuilder
+from repro.core.gini import exact_best_threshold, gini_partition
+from repro.eval.metrics import accuracy
+
+from conftest import assert_tree_consistent
+
+
+class TestSprint:
+    def test_counts_consistent(self, f2_small, fast_config):
+        result = SprintBuilder(fast_config).build(f2_small)
+        assert_tree_consistent(result.tree, f2_small)
+
+    def test_root_split_is_globally_optimal(self, f2_small, fast_config):
+        tree = SprintBuilder(fast_config).build(f2_small).tree
+        root = tree.root
+        attr = root.split.attr
+        thr = root.split.threshold
+        # Root gini must equal the best exact threshold of the chosen attr...
+        __, expected = exact_best_threshold(
+            f2_small.column(attr), f2_small.y, f2_small.n_classes
+        )
+        left = np.bincount(
+            f2_small.y[f2_small.column(attr) <= thr], minlength=f2_small.n_classes
+        )
+        right = f2_small.class_counts() - left
+        assert gini_partition(left, right) == pytest.approx(expected)
+        # ...and no other continuous attribute can beat it.
+        for j in f2_small.schema.continuous_indices():
+            try:
+                __, other = exact_best_threshold(
+                    f2_small.column(j), f2_small.y, f2_small.n_classes
+                )
+            except ValueError:
+                continue
+            assert other >= expected - 1e-12
+
+    def test_perfect_on_separable_data(self, two_blob, fast_config):
+        tree = SprintBuilder(fast_config).build(two_blob).tree
+        assert accuracy(tree, two_blob) == 1.0
+        assert tree.depth <= 2
+
+    def test_categorical_handling(self, mixed_types, fast_config):
+        result = SprintBuilder(fast_config).build(mixed_types)
+        assert accuracy(result.tree, mixed_types) == 1.0
+        assert result.tree.root.split.attributes() == (1,)
+
+    def test_single_dataset_scan(self, f2_small, fast_config):
+        # SPRINT reads the training file once (presort); everything else is
+        # attribute-list I/O.
+        result = SprintBuilder(fast_config).build(f2_small)
+        assert result.stats.io.scans == 1
+        assert result.stats.io.aux_records_written > 0
+        assert result.stats.io.aux_records_read > 0
+
+    def test_attribute_list_io_grows_with_levels(self, f2_small, fast_config):
+        shallow = SprintBuilder(fast_config.with_(max_depth=2)).build(f2_small)
+        deep = SprintBuilder(fast_config.with_(max_depth=8)).build(f2_small)
+        assert (
+            deep.stats.io.aux_records_read > shallow.stats.io.aux_records_read
+        )
+
+    def test_hash_table_memory_tracked(self, f2_small, fast_config):
+        result = SprintBuilder(fast_config).build(f2_small)
+        # The root partition probes a hash of the full training set.
+        assert result.stats.memory.peak >= 8 * f2_small.n_records
+
+    def test_stop_conditions(self, f2_small, fast_config):
+        cfg = fast_config.with_(max_depth=3, min_records=500)
+        tree = SprintBuilder(cfg).build(f2_small).tree
+        assert tree.depth <= 3
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                assert node.n_records >= 500

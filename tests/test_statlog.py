@@ -1,0 +1,55 @@
+"""Tests for the STATLOG stand-in generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.statlog import STATLOG_SPECS, all_statlog, generate_statlog
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", sorted(STATLOG_SPECS))
+    def test_matches_spec(self, name):
+        spec = STATLOG_SPECS[name]
+        ds = generate_statlog(name, seed=0)
+        assert ds.n_records == spec.n_records
+        assert ds.n_attributes == spec.n_attributes
+        assert ds.n_classes == spec.n_classes
+
+    def test_paper_record_counts(self):
+        # The counts the paper's Table 1 reports.
+        assert STATLOG_SPECS["letter"].n_records == 15_000
+        assert STATLOG_SPECS["satimage"].n_records == 4_435
+        assert STATLOG_SPECS["segment"].n_records == 2_310
+        assert STATLOG_SPECS["shuttle"].n_records == 43_500
+
+
+class TestContent:
+    def test_all_classes_present(self):
+        ds = generate_statlog("segment", seed=0)
+        assert len(np.unique(ds.y)) == ds.n_classes
+
+    def test_informative_attribute_separates(self):
+        # The first attribute should carry far more signal than the last.
+        ds = generate_statlog("shuttle", seed=0)
+        from repro.core.gini import exact_best_threshold, gini
+
+        node_gini = float(gini(ds.class_counts()))
+        __, g_first = exact_best_threshold(ds.column(0), ds.y, ds.n_classes)
+        __, g_last = exact_best_threshold(
+            ds.column(ds.n_attributes - 1), ds.y, ds.n_classes
+        )
+        assert g_first < g_last
+        assert node_gini - g_first > 5 * (node_gini - g_last)
+
+    def test_deterministic(self):
+        a = generate_statlog("letter", seed=3)
+        b = generate_statlog("letter", seed=3)
+        np.testing.assert_array_equal(a.X, b.X)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown STATLOG"):
+            generate_statlog("iris")
+
+    def test_all_statlog(self):
+        out = all_statlog(seed=1)
+        assert set(out) == set(STATLOG_SPECS)

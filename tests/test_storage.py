@@ -1,0 +1,78 @@
+"""Tests for file-backed training tables."""
+
+import numpy as np
+import pytest
+
+from repro.config import BuilderConfig
+from repro.core.cmp_s import CMPSBuilder
+from repro.data.synthetic import generate_agrawal
+from repro.io.metrics import IOStats
+from repro.io.storage import MAGIC, FilePagedTable, StoredDataset, write_table
+
+
+@pytest.fixture(scope="module")
+def stored(tmp_path_factory):
+    ds = generate_agrawal("F2", 3_000, seed=2)
+    path = tmp_path_factory.mktemp("tables") / "f2.cmptbl"
+    write_table(ds, path)
+    return ds, path
+
+
+class TestFileFormat:
+    def test_round_trip(self, stored):
+        ds, path = stored
+        loaded = StoredDataset(path).load()
+        np.testing.assert_array_equal(loaded.X, ds.X)
+        np.testing.assert_array_equal(loaded.y, ds.y)
+        assert loaded.schema.class_labels == ds.schema.class_labels
+        assert [a.name for a in loaded.schema.attributes] == [
+            a.name for a in ds.schema.attributes
+        ]
+
+    def test_metadata_without_loading(self, stored):
+        ds, path = stored
+        sd = StoredDataset(path)
+        assert sd.n_records == ds.n_records
+        assert sd.n_attributes == ds.n_attributes
+        assert sd.n_classes == ds.n_classes
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOTATBL0" + b"\x00" * 64)
+        with pytest.raises(ValueError, match="bad magic"):
+            FilePagedTable(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "tiny.bin"
+        path.write_bytes(MAGIC)
+        with pytest.raises(ValueError, match="truncated"):
+            FilePagedTable(path)
+
+
+class TestScans:
+    def test_scan_accounting(self, stored):
+        ds, path = stored
+        stats = IOStats()
+        table = FilePagedTable(path, stats=stats, page_records=100)
+        got = np.concatenate([c.y for c in table.scan()])
+        np.testing.assert_array_equal(got, ds.y)
+        assert stats.scans == 1
+        assert stats.pages_read == 30
+        assert stats.records_read == 3_000
+
+    def test_chunks_are_real_arrays(self, stored):
+        __, path = stored
+        chunk = next(iter(FilePagedTable(path).scan()))
+        assert isinstance(chunk.X, np.ndarray)
+        assert not isinstance(chunk.X, np.memmap)
+        chunk.X[0, 0] = -1.0  # must not raise (writable copy)
+
+
+class TestBuildFromFile:
+    def test_cmp_s_trains_from_disk(self, stored):
+        ds, path = stored
+        cfg = BuilderConfig(n_intervals=16, max_depth=5, min_records=20)
+        from_file = CMPSBuilder(cfg).build(StoredDataset(path))
+        from_memory = CMPSBuilder(cfg).build(ds)
+        assert from_file.tree.render() == from_memory.tree.render()
+        assert from_file.stats.io.scans == from_memory.stats.io.scans

@@ -1,0 +1,135 @@
+"""Tests for the Agrawal synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    AGRAWAL_SCHEMA,
+    ATTRIBUTE_NAMES,
+    FUNCTIONS,
+    GROUP_A,
+    GROUP_B,
+    generate_agrawal,
+    generate_function_f,
+)
+
+
+class TestSchema:
+    def test_attribute_layout(self):
+        assert AGRAWAL_SCHEMA.n_attributes == 9
+        assert [a.name for a in AGRAWAL_SCHEMA.attributes] == list(ATTRIBUTE_NAMES)
+        assert AGRAWAL_SCHEMA.continuous_indices() == [0, 1, 2, 6, 7, 8]
+        assert AGRAWAL_SCHEMA.categorical_indices() == [3, 4, 5]
+
+    def test_two_classes(self):
+        assert AGRAWAL_SCHEMA.class_labels == ("Group A", "Group B")
+
+
+class TestAttributeDistributions:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return generate_agrawal("F1", 20_000, seed=0, perturbation=0.0)
+
+    def test_salary_range(self, ds):
+        salary = ds.column("salary")
+        assert salary.min() >= 20_000
+        assert salary.max() <= 150_000
+
+    def test_commission_zero_iff_high_salary(self, ds):
+        salary = ds.column("salary")
+        commission = ds.column("commission")
+        assert np.all(commission[salary >= 75_000] == 0)
+        low = commission[salary < 75_000]
+        assert np.all((low >= 10_000) & (low <= 75_000))
+
+    def test_age_range(self, ds):
+        age = ds.column("age")
+        assert age.min() >= 20
+        assert age.max() <= 80
+
+    def test_categorical_codes(self, ds):
+        assert set(np.unique(ds.column("elevel"))) <= set(range(5))
+        assert set(np.unique(ds.column("car"))) <= set(range(20))
+        assert set(np.unique(ds.column("zipcode"))) <= set(range(9))
+
+    def test_hvalue_depends_on_zipcode(self, ds):
+        zipcode = ds.column("zipcode")
+        hvalue = ds.column("hvalue")
+        for z in range(9):
+            k = z + 1
+            vals = hvalue[zipcode == z]
+            assert vals.min() >= 0.5 * k * 100_000 - 1e-6
+            assert vals.max() <= 1.5 * k * 100_000 + 1e-6
+
+    def test_loan_range(self, ds):
+        loan = ds.column("loan")
+        assert loan.min() >= 0
+        assert loan.max() <= 500_000
+
+
+class TestLabelSemantics:
+    def test_f1_age_rule(self):
+        ds = generate_agrawal("F1", 5_000, seed=1, perturbation=0.0)
+        age = ds.column("age")
+        expected = np.where((age < 40) | (age >= 60), GROUP_A, GROUP_B)
+        np.testing.assert_array_equal(ds.y, expected)
+
+    def test_f2_box_rule(self):
+        ds = generate_agrawal("F2", 5_000, seed=2, perturbation=0.0)
+        age = ds.column("age")
+        salary = ds.column("salary")
+        in_a = (
+            ((age < 40) & (salary >= 50_000) & (salary <= 100_000))
+            | ((age >= 40) & (age < 60) & (salary >= 75_000) & (salary <= 125_000))
+            | ((age >= 60) & (salary >= 25_000) & (salary <= 75_000))
+        )
+        np.testing.assert_array_equal(ds.y, np.where(in_a, GROUP_A, GROUP_B))
+
+    def test_f7_disposable_rule(self):
+        ds = generate_agrawal("F7", 5_000, seed=3, perturbation=0.0)
+        disp = (
+            2 * (ds.column("salary") + ds.column("commission")) / 3
+            - ds.column("loan") / 5
+            - 20_000
+        )
+        np.testing.assert_array_equal(ds.y, np.where(disp > 0, GROUP_A, GROUP_B))
+
+    def test_function_f_rule(self):
+        ds = generate_function_f(5_000, seed=4)
+        in_a = (ds.column("age") >= 40) & (
+            ds.column("salary") + ds.column("commission") >= 100_000
+        )
+        np.testing.assert_array_equal(ds.y, np.where(in_a, GROUP_A, GROUP_B))
+
+    @pytest.mark.parametrize("function", sorted(FUNCTIONS))
+    def test_both_classes_present(self, function):
+        ds = generate_agrawal(function, 5_000, seed=5)
+        counts = ds.class_counts()
+        assert counts.min() > 0, f"{function} produced a single class"
+
+
+class TestDeterminismAndNoise:
+    def test_same_seed_same_data(self):
+        a = generate_agrawal("F2", 1_000, seed=9)
+        b = generate_agrawal("F2", 1_000, seed=9)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seed_differs(self):
+        a = generate_agrawal("F2", 1_000, seed=9)
+        b = generate_agrawal("F2", 1_000, seed=10)
+        assert not np.array_equal(a.X, b.X)
+
+    def test_perturbation_moves_attributes_not_labels(self):
+        clean = generate_agrawal("F2", 2_000, seed=11, perturbation=0.0)
+        noisy = generate_agrawal("F2", 2_000, seed=11, perturbation=0.05)
+        np.testing.assert_array_equal(clean.y, noisy.y)
+        assert not np.array_equal(clean.X, noisy.X)
+
+    def test_unknown_function(self):
+        with pytest.raises(ValueError, match="unknown function"):
+            generate_agrawal("F99", 100)
+
+    def test_bad_record_count(self):
+        with pytest.raises(ValueError, match="positive"):
+            generate_agrawal("F1", 0)

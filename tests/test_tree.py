@@ -1,0 +1,119 @@
+"""Tests for the decision-tree model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.splits import NumericSplit
+from repro.core.tree import DecisionTree, Node, TreeAccount
+from repro.data.schema import Schema, continuous
+
+
+def small_tree() -> DecisionTree:
+    """x0 <= 0 -> class 0; else (x1 <= 1 -> class 1, else class 0)."""
+    schema = Schema((continuous("x0"), continuous("x1")), ("a", "b"))
+    account = TreeAccount()
+    root = account.new_node(0, np.array([60.0, 40.0]))
+    left = account.new_node(1, np.array([50.0, 0.0]))
+    right = account.new_node(1, np.array([10.0, 40.0]))
+    rl = account.new_node(2, np.array([2.0, 38.0]))
+    rr = account.new_node(2, np.array([8.0, 2.0]))
+    root.split = NumericSplit(0, 0.0)
+    root.left, root.right = left, right
+    right.split = NumericSplit(1, 1.0)
+    right.left, right.right = rl, rr
+    return DecisionTree(root, schema)
+
+
+class TestNode:
+    def test_leaf_properties(self):
+        n = Node(0, 0, np.array([3.0, 7.0]))
+        assert n.is_leaf
+        assert n.majority_class == 1
+        assert n.n_records == 10
+        assert n.errors == 3
+        assert 0 < n.gini < 0.5
+
+    def test_children_raises_on_leaf(self):
+        with pytest.raises(ValueError, match="is a leaf"):
+            Node(0, 0, np.array([1.0, 1.0])).children()
+
+    def test_make_leaf(self):
+        t = small_tree()
+        t.root.make_leaf()
+        assert t.root.is_leaf
+        assert t.n_nodes == 1
+
+
+class TestDecisionTree:
+    def test_structure_counts(self):
+        t = small_tree()
+        assert t.n_nodes == 5
+        assert t.n_leaves == 3
+        assert t.depth == 2
+
+    def test_predict(self):
+        t = small_tree()
+        X = np.array([[-1.0, 0.0], [1.0, 0.5], [1.0, 2.0]])
+        np.testing.assert_array_equal(t.predict(X), [0, 1, 0])
+
+    def test_apply_routes_to_leaves(self):
+        t = small_tree()
+        X = np.array([[-1.0, 0.0], [1.0, 0.5], [1.0, 2.0]])
+        ids = t.apply(X)
+        leaves = {n.node_id for n in t.iter_nodes() if n.is_leaf}
+        assert set(ids) <= leaves
+
+    def test_every_record_reaches_exactly_one_leaf(self):
+        rng = np.random.default_rng(0)
+        t = small_tree()
+        X = rng.normal(size=(500, 2))
+        ids = t.apply(X)
+        assert len(ids) == 500
+        leaves = {n.node_id for n in t.iter_nodes() if n.is_leaf}
+        assert set(np.unique(ids)) <= leaves
+
+    def test_preorder_traversal(self):
+        t = small_tree()
+        ids = [n.node_id for n in t.iter_nodes()]
+        assert ids[0] == t.root.node_id
+        assert len(ids) == 5
+
+    def test_render_mentions_splits_and_leaves(self):
+        text = small_tree().render()
+        assert "x0 <= 0" in text
+        assert "leaf" in text
+        assert "Group" not in text  # uses this schema's labels
+        assert text.count("\n") == 4
+
+    def test_empty_predict(self):
+        t = small_tree()
+        assert len(t.predict(np.empty((0, 2)))) == 0
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 80), st.just(2)),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_predict_matches_manual_routing(self, X):
+        t = small_tree()
+        pred = t.predict(X)
+        for i, row in enumerate(X):
+            node = t.root
+            while not node.is_leaf:
+                node = node.left if node.split.goes_left(row[None, :])[0] else node.right
+            assert pred[i] == node.majority_class
+
+
+class TestTreeAccount:
+    def test_ids_are_sequential(self):
+        acc = TreeAccount()
+        a = acc.new_node(0, np.array([1.0]))
+        b = acc.new_node(1, np.array([1.0]))
+        assert (a.node_id, b.node_id) == (0, 1)
+        assert acc.created == 2

@@ -1,0 +1,53 @@
+"""Tests for the C4.5-style windowing meta-builder."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sprint import SprintBuilder
+from repro.baselines.windowing import WindowingBuilder
+from repro.eval.metrics import accuracy
+
+
+class TestWindowing:
+    def test_learns_separable_data(self, two_blob, fast_config):
+        result = WindowingBuilder(fast_config).build(two_blob)
+        assert accuracy(result.tree, two_blob) > 0.98
+
+    def test_close_to_full_data_accuracy(self, f2_small, fast_config):
+        windowed = WindowingBuilder(fast_config, initial_fraction=0.15).build(f2_small)
+        full = SprintBuilder(fast_config).build(f2_small)
+        w_acc = accuracy(windowed.tree, f2_small)
+        f_acc = accuracy(full.tree, f2_small)
+        # §1.1: approximate techniques "can carry a significant loss of
+        # accuracy" — windowing must get close but may not match.
+        assert w_acc > f_acc - 0.06
+        assert w_acc <= f_acc + 0.01
+
+    def test_scan_accounting(self, f2_small, fast_config):
+        result = WindowingBuilder(fast_config, max_iterations=3).build(f2_small)
+        # 1 sampling scan + one classification scan per iteration.
+        assert 2 <= result.stats.io.scans <= 4
+        # Window builds show up as auxiliary record I/O.
+        assert result.stats.io.aux_records_read > 0
+
+    def test_iteration_cap(self, f2_small, fast_config):
+        result = WindowingBuilder(fast_config, max_iterations=1).build(f2_small)
+        assert result.stats.io.scans == 2
+
+    def test_window_memory_tracked_and_released(self, f2_small, fast_config):
+        result = WindowingBuilder(fast_config).build(f2_small)
+        assert result.stats.memory.peak > 0
+        assert result.stats.memory.current == 0
+
+    def test_parameter_validation(self, fast_config):
+        with pytest.raises(ValueError):
+            WindowingBuilder(fast_config, initial_fraction=0.0)
+        with pytest.raises(ValueError):
+            WindowingBuilder(fast_config, growth_fraction=2.0)
+        with pytest.raises(ValueError):
+            WindowingBuilder(fast_config, max_iterations=0)
+
+    def test_deterministic(self, f2_small, fast_config):
+        a = WindowingBuilder(fast_config).build(f2_small)
+        b = WindowingBuilder(fast_config).build(f2_small)
+        assert a.tree.render() == b.tree.render()
