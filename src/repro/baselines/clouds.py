@@ -108,7 +108,7 @@ class CloudsBuilder(TreeBuilder):
             raise ValueError(f"{self.name} supports only the gini criterion")
         schema = dataset.schema
         n, c = dataset.n_records, dataset.n_classes
-        table = dataset.as_paged(stats.io, cfg.page_records)
+        table = self._open_table(dataset, stats)
         account = TreeAccount()
         rng = np.random.default_rng(cfg.seed)
         cont = schema.continuous_indices()

@@ -77,7 +77,7 @@ class RainForestBuilder(TreeBuilder):
         cfg = self.config
         schema = dataset.schema
         n, c = dataset.n_records, dataset.n_classes
-        table = dataset.as_paged(stats.io, cfg.page_records)
+        table = self._open_table(dataset, stats)
         account = TreeAccount()
 
         # RF-Hybrid reserves its AVC buffer for the whole build (Figure 19:

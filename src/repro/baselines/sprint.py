@@ -59,7 +59,7 @@ class SprintBuilder(TreeBuilder):
         schema = dataset.schema
         n, c = dataset.n_records, dataset.n_classes
         p = schema.n_attributes
-        table = dataset.as_paged(stats.io, cfg.page_records)
+        table = self._open_table(dataset, stats)
         account = TreeAccount()
 
         # --- Presort pass: one scan + attribute-list creation. ------------

@@ -61,7 +61,7 @@ class WindowingBuilder(TreeBuilder):
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         n = dataset.n_records
-        table = dataset.as_paged(stats.io, cfg.page_records)
+        table = self._open_table(dataset, stats)
 
         # --- Scan 1: draw the initial window. ------------------------------
         window_size = max(cfg.min_records * 2, int(n * self.initial_fraction))

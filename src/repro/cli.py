@@ -74,6 +74,17 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("demo", help="Train CMP on a synthetic function, print the tree")
     p.add_argument("--function", default="Ff")
     p.add_argument("--records", type=int, default=50_000)
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a checkpoint to PATH after every completed tree level",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted build from --checkpoint if one exists",
+    )
     _add_common(p)
 
     args = parser.parse_args(argv)
@@ -104,8 +115,15 @@ def main(argv: list[str] | None = None) -> int:
         print(experiments.prediction_accuracy(args.records, _config(args), args.seed))
         return 0
     if args.command == "demo":
+        if args.resume and not args.checkpoint:
+            parser.error("--resume requires --checkpoint")
+        config = _config(args)
+        if args.checkpoint:
+            config = config.with_(
+                checkpoint_path=args.checkpoint, resume=args.resume
+            )
         dataset = generate_agrawal(args.function, args.records, seed=args.seed)
-        record, result = run_builder(CMPBuilder(_config(args)), dataset)
+        record, result = run_builder(CMPBuilder(config), dataset)
         print(format_table([record.as_dict()]))
         print()
         print(result.tree.render())

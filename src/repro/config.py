@@ -75,6 +75,26 @@ class BuilderConfig:
     #: "sse" = sampling + estimation (alive intervals, extra exact pass).
     clouds_mode: str = "sse"
 
+    # --- Resilience knobs ---------------------------------------------------
+    #: Re-read attempts allowed per scan chunk beyond the first (0 turns
+    #: recovery off: the first read fault aborts the build).
+    scan_retries: int = 3
+    #: Simulated backoff before the first retry of a chunk, in ms; doubles
+    #: per further attempt.  Charged to ``IOStats.backoff_ms``.
+    retry_backoff_ms: float = 1.0
+    #: When set, builders write a checkpoint here after every completed
+    #: tree level (and remove it once the build finishes).
+    checkpoint_path: str | None = None
+    #: Resume from ``checkpoint_path`` if a valid checkpoint exists there
+    #: (otherwise build from scratch).  The resumed tree is bit-identical
+    #: to an uninterrupted build.
+    resume: bool = False
+    #: Memory budget in bytes for each CMP-S alive-interval record buffer
+    #: (0 = unbounded).  On overflow the buffer is dropped and the level
+    #: falls back to a CLOUDS-style extra scan that re-collects the alive
+    #: records — correctness preserved, one extra scan charged.
+    buffer_budget_bytes: int = 0
+
     def __post_init__(self) -> None:
         if self.n_intervals < 2:
             raise ValueError("n_intervals must be at least 2")
@@ -90,6 +110,14 @@ class BuilderConfig:
             raise ValueError("clouds_mode must be 'ss' or 'sse'")
         if not 0.0 < self.linear_accept_ratio <= 1.0:
             raise ValueError("linear_accept_ratio must be in (0, 1]")
+        if self.scan_retries < 0:
+            raise ValueError("scan_retries must be non-negative")
+        if self.retry_backoff_ms < 0:
+            raise ValueError("retry_backoff_ms must be non-negative")
+        if self.buffer_budget_bytes < 0:
+            raise ValueError("buffer_budget_bytes must be non-negative")
+        if self.resume and not self.checkpoint_path:
+            raise ValueError("resume requires checkpoint_path")
 
     def with_(self, **changes: object) -> "BuilderConfig":
         """Return a copy with the given fields replaced."""

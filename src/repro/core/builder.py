@@ -21,12 +21,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import BuilderConfig
+from repro.core.checkpoint import CheckpointManager, build_fingerprint
 from repro.core.gini import gini_partition
 from repro.core.histogram import CategoryHistogram, ClassHistogram
 from repro.core.tree import DecisionTree, Node, TreeAccount
 from repro.data.dataset import Dataset
 from repro.data.schema import Schema
 from repro.io.metrics import BuildStats, Stopwatch
+from repro.io.retry import RetryingTable
 
 
 @dataclass
@@ -86,6 +88,28 @@ class TreeBuilder(ABC):
     def _build(self, dataset: Dataset, stats: BuildStats) -> DecisionTree:
         """Construct the tree, charging all I/O and memory to ``stats``."""
 
+    def _open_table(self, dataset: Dataset, stats: BuildStats) -> RetryingTable:
+        """Open the training table behind the retrying scan wrapper.
+
+        Every builder reads training data through this handle, so all of
+        them share the same recovery semantics: recoverable chunk-read
+        faults are re-read up to ``config.scan_retries`` times with
+        exponential backoff, charged to ``stats.io``.
+        """
+        table = dataset.as_paged(stats.io, self.config.page_records)
+        return RetryingTable(
+            table, self.config.scan_retries, self.config.retry_backoff_ms
+        )
+
+    def _checkpointer(self, dataset: Dataset) -> CheckpointManager | None:
+        """The build's checkpoint manager, or ``None`` when not configured."""
+        if not self.config.checkpoint_path:
+            return None
+        return CheckpointManager(
+            self.config.checkpoint_path,
+            build_fingerprint(self.name, self.config, dataset),
+        )
+
 
 # ---------------------------------------------------------------------------
 # Frontier bookkeeping shared by CMP-S / CMP-B
@@ -137,21 +161,37 @@ def make_part_hists(
 
 @dataclass
 class RecordBuffer:
-    """Alive-interval record buffer for one pending split."""
+    """Alive-interval record buffer for one pending split.
+
+    ``budget_bytes`` bounds the buffered bytes (0 = unbounded).  Crossing
+    the budget *drops the whole buffer* and latches ``overflowed`` — the
+    builder then falls back to re-collecting the records with an extra
+    scan (the CLOUDS-style degradation: correctness preserved, one scan
+    charged) instead of growing memory without bound.
+    """
 
     X_chunks: list[np.ndarray] = field(default_factory=list)
     y_chunks: list[np.ndarray] = field(default_factory=list)
     rid_chunks: list[np.ndarray] = field(default_factory=list)
     n_records: int = 0
+    budget_bytes: int = 0
+    overflowed: bool = False
 
     def append(self, X: np.ndarray, y: np.ndarray, rids: np.ndarray) -> None:
-        """Stash a batch of records."""
+        """Stash a batch of records (dropped once over budget)."""
         if len(y) == 0:
+            return
+        self.n_records += len(y)
+        if self.overflowed:
             return
         self.X_chunks.append(np.array(X, copy=True))
         self.y_chunks.append(np.array(y, copy=True))
         self.rid_chunks.append(np.array(rids, copy=True))
-        self.n_records += len(y)
+        if self.budget_bytes and self.nbytes() > self.budget_bytes:
+            self.X_chunks.clear()
+            self.y_chunks.clear()
+            self.rid_chunks.clear()
+            self.overflowed = True
 
     def concatenated(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return (X, y, rids) as single arrays (possibly empty)."""

@@ -51,6 +51,7 @@ from repro.core.intervals import (
     choose_split_attribute,
     select_alive_intervals,
 )
+from repro.core.checkpoint import SlotCounter, loop_state as _loop_state
 from repro.core.matrix import MatrixSet
 from repro.core.predict import predict_split
 from repro.core.splits import CategoricalSplit, LinearSplit, NumericSplit, Split
@@ -174,40 +175,58 @@ class CMPBBuilder(TreeBuilder):
         cont = schema.continuous_indices()
         if len(cont) < 2:
             raise ValueError("CMP-B needs at least two continuous attributes")
-        table = dataset.as_paged(stats.io, cfg.page_records)
-        account = TreeAccount()
-        rng = np.random.default_rng(cfg.seed)
+        table = self._open_table(dataset, stats)
+        ckpt = self._checkpointer(dataset)
 
-        # --- Scan 1: quantiling pass (root grid + class totals). ----------
-        reservoirs = {j: ReservoirSampler(cfg.reservoir_capacity, rng) for j in cont}
-        totals = np.zeros(c, dtype=np.float64)
-        for chunk in table.scan():
-            totals += np.bincount(chunk.y, minlength=c)
-            for j in cont:
-                reservoirs[j].extend(chunk.X[:, j])
-        root_edges = {
-            j: equal_depth_edges(reservoirs[j].sample(), cfg.n_intervals) for j in cont
-        }
-        del reservoirs
-        root = account.new_node(0, totals)
-        # The root's X axis is selected randomly (§2.2).
-        root_x = int(cont[rng.integers(0, len(cont))])
+        state = None
+        if ckpt is not None and cfg.resume and ckpt.exists():
+            level, state = ckpt.load(stats)
+        if state is not None:
+            account: TreeAccount = state["account"]
+            root: Node = state["root"]
+            nid: np.ndarray = state["nid"]
+            pendings: dict[int, BPending] = state["pendings"]
+            next_slot: SlotCounter = state["next_slot"]
+        else:
+            account = TreeAccount()
+            rng = np.random.default_rng(cfg.seed)
 
-        nid = np.zeros(n, dtype=np.int64)
-        next_slot = iter(range(1, 2**62)).__next__
+            # --- Scan 1: quantiling pass (root grid + class totals). ------
+            reservoirs = {
+                j: ReservoirSampler(cfg.reservoir_capacity, rng) for j in cont
+            }
+            totals = np.zeros(c, dtype=np.float64)
+            for chunk in table.scan():
+                totals += np.bincount(chunk.y, minlength=c)
+                for j in cont:
+                    reservoirs[j].extend(chunk.X[:, j])
+            root_edges = {
+                j: equal_depth_edges(reservoirs[j].sample(), cfg.n_intervals)
+                for j in cont
+            }
+            del reservoirs
+            root = account.new_node(0, totals)
+            # The root's X axis is selected randomly (§2.2).
+            root_x = int(cont[rng.integers(0, len(cont))])
 
-        # --- Scan 2: root matrices (Figure 10, line 03). -------------------
-        root_mset = MatrixSet.create(schema, root_x, root_edges)
-        stats.memory.allocate("mset/root", root_mset.nbytes())
-        for chunk in table.scan():
-            root_mset.update(chunk.X, chunk.y)
-        self._charge_nid(stats, n)
+            nid = np.zeros(n, dtype=np.int64)
+            next_slot = SlotCounter()
 
-        pendings: dict[int, BPending] = {}
-        first = self._decide(root, 0, root_mset, False, next_slot, schema, stats)
-        stats.memory.release("mset/root")
-        if first is not None:
-            pendings[0] = first
+            # --- Scan 2: root matrices (Figure 10, line 03). ---------------
+            root_mset = MatrixSet.create(schema, root_x, root_edges)
+            stats.memory.allocate("mset/root", root_mset.nbytes())
+            for chunk in table.scan():
+                root_mset.update(chunk.X, chunk.y)
+            self._charge_nid(stats, n)
+
+            pendings = {}
+            first = self._decide(root, 0, root_mset, False, next_slot, schema, stats)
+            stats.memory.release("mset/root")
+            if first is not None:
+                pendings[0] = first
+            level = 0
+            if ckpt is not None:
+                ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
 
         # --- One scan per one-or-two levels (Figure 10). -------------------
         while pendings:
@@ -242,7 +261,12 @@ class CMPBBuilder(TreeBuilder):
             pendings = new_pendings
             if cfg.prune == "public":
                 pendings = self._public_pass(root, pendings)
+            level += 1
+            if ckpt is not None:
+                ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
 
+        if ckpt is not None:
+            ckpt.clear()
         return DecisionTree(root, schema)
 
     # ------------------------------------------------------------------ routing

@@ -43,6 +43,7 @@ from repro.core.builder import (
     resolve_exact_threshold,
     zone_boundaries,
 )
+from repro.core.checkpoint import SlotCounter, loop_state as _loop_state
 from repro.core.histogram import CategoryHistogram, ClassHistogram
 from repro.core.intervals import analyze_attribute, choose_split_attribute
 from repro.core.splits import CategoricalSplit, NumericSplit, Split
@@ -121,48 +122,68 @@ class CMPSBuilder(TreeBuilder):
             raise ValueError(f"{self.name} supports only the gini criterion")
         schema = dataset.schema
         n, c = dataset.n_records, dataset.n_classes
-        table = dataset.as_paged(stats.io, cfg.page_records)
-        account = TreeAccount()
-        rng = np.random.default_rng(cfg.seed)
+        table = self._open_table(dataset, stats)
+        ckpt = self._checkpointer(dataset)
         cont = schema.continuous_indices()
 
-        # --- Scan 1: quantiling pass (root grid + class totals). ----------
-        reservoirs = {
-            j: ReservoirSampler(cfg.reservoir_capacity, rng) for j in cont
-        }
-        totals = np.zeros(c, dtype=np.float64)
-        for chunk in table.scan():
-            totals += np.bincount(chunk.y, minlength=c)
-            for j in cont:
-                reservoirs[j].extend(chunk.X[:, j])
-        root_edges = {
-            j: equal_depth_edges(reservoirs[j].sample(), cfg.n_intervals)
-            for j in cont
-        }
-        del reservoirs
-        root = account.new_node(0, totals)
+        state = None
+        if ckpt is not None and cfg.resume and ckpt.exists():
+            level, state = ckpt.load(stats)
+        if state is not None:
+            account: TreeAccount = state["account"]
+            root: Node = state["root"]
+            nid: np.ndarray = state["nid"]
+            pendings: dict[int, PendingSplit] = state["pendings"]
+            next_slot: SlotCounter = state["next_slot"]
+        else:
+            account = TreeAccount()
+            rng = np.random.default_rng(cfg.seed)
 
-        nid = np.zeros(n, dtype=np.int64)
-        next_slot = iter(range(1, 2**62)).__next__
+            # --- Scan 1: quantiling pass (root grid + class totals). ------
+            reservoirs = {
+                j: ReservoirSampler(cfg.reservoir_capacity, rng) for j in cont
+            }
+            totals = np.zeros(c, dtype=np.float64)
+            for chunk in table.scan():
+                totals += np.bincount(chunk.y, minlength=c)
+                for j in cont:
+                    reservoirs[j].extend(chunk.X[:, j])
+            root_edges = {
+                j: equal_depth_edges(reservoirs[j].sample(), cfg.n_intervals)
+                for j in cont
+            }
+            del reservoirs
+            root = account.new_node(0, totals)
 
-        # --- Scan 2: root histograms (Figure 4, line 03). -----------------
-        root_part = PartState(0, c, make_part_hists(schema, root_edges))
-        stats.memory.allocate("hist/root", root_part.nbytes())
-        for chunk in table.scan():
-            root_part.update(chunk.X, chunk.y)
-        self._charge_nid(stats, n)
+            nid = np.zeros(n, dtype=np.int64)
+            next_slot = SlotCounter()
 
-        pendings: dict[int, PendingSplit] = {}
-        first = self._decide(root, 0, root_part.hists, next_slot, schema, stats)
-        stats.memory.release("hist/root")
-        if first is not None:
-            pendings[0] = first
+            # --- Scan 2: root histograms (Figure 4, line 03). -------------
+            root_part = PartState(0, c, make_part_hists(schema, root_edges))
+            stats.memory.allocate("hist/root", root_part.nbytes())
+            for chunk in table.scan():
+                root_part.update(chunk.X, chunk.y)
+            self._charge_nid(stats, n)
+
+            pendings = {}
+            first = self._decide(root, 0, root_part.hists, next_slot, schema, stats)
+            stats.memory.release("hist/root")
+            if first is not None:
+                pendings[0] = first
+            level = 0
+            if ckpt is not None:
+                ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
 
         # --- One scan per level (Figure 4, lines 01-21). ------------------
         while pendings:
             for chunk in table.scan():
                 self._route_chunk(chunk, nid, pendings)
             self._charge_nid(stats, n)
+            overflowed = [
+                p for p in pendings.values() if p.is_estimated and p.buffer.overflowed
+            ]
+            if overflowed:
+                self._refill_overflowed(table, nid, overflowed, stats, n)
             for p in pendings.values():
                 stats.memory.allocate(f"buf/{p.node.node_id}", p.buffer.nbytes())
 
@@ -183,8 +204,44 @@ class CMPSBuilder(TreeBuilder):
             pendings = new_pendings
             if cfg.prune == "public":
                 pendings = self._public_pass(root, pendings)
+            level += 1
+            if ckpt is not None:
+                ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
 
+        if ckpt is not None:
+            ckpt.clear()
         return DecisionTree(root, schema)
+
+    def _refill_overflowed(
+        self,
+        table,
+        nid: np.ndarray,
+        overflowed: list[PendingSplit],
+        stats: BuildStats,
+        n: int,
+    ) -> None:
+        """Re-collect dropped alive-interval records with one extra scan.
+
+        The CLOUDS-style degradation path: when a node's alive buffer
+        blew its memory budget during the level's scan, its records are
+        recoverable — alive records keep their parent's ``nid`` slot
+        (only preliminary-region records were reassigned).  One shared
+        sequential pass refills every overflowed buffer, preserving the
+        exact append order of the un-budgeted path, so resolution (and
+        the final tree) is unchanged; only the extra scan is charged.
+        """
+        stats.buffer_overflow_rescans += 1
+        by_slot: dict[int, PendingSplit] = {}
+        for p in overflowed:
+            p.buffer = RecordBuffer()  # unbounded: contents fit by paper's premise
+            by_slot[p.parent_slot] = p
+        for chunk in table.scan():
+            slots = nid[chunk.start : chunk.stop]
+            for slot, p in by_slot.items():
+                mask = slots == slot
+                if mask.any():
+                    p.buffer.append(chunk.X[mask], chunk.y[mask], chunk.rids[mask])
+        stats.io.count_aux_read(n)
 
     # -- scan-time routing ---------------------------------------------------
 
@@ -297,6 +354,7 @@ class CMPSBuilder(TreeBuilder):
             totals=hist.totals(),
             best_boundary_value=best_val,
             best_boundary_gini=winner.gini_min,
+            buffer=RecordBuffer(budget_bytes=cfg.buffer_budget_bytes),
         )
         n_parts = len(alive_bounds) + 1
         p.parts = [

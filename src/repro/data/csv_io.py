@@ -73,7 +73,10 @@ def load_csv(path: str | Path, schema: Schema | None = None) -> Dataset:
 
     The last column is the class label.  When ``schema`` is omitted it is
     inferred; when given, categorical values and labels must belong to its
-    vocabularies (unknown values raise ``ValueError``).
+    vocabularies.  Every rejected input — a ragged row, a continuous value
+    that is not a finite number (``nan``/``inf`` included), an unknown
+    category or class label — raises ``ValueError`` naming the file line
+    that caused it.
     """
     path = Path(path)
     with path.open(newline="") as fh:
@@ -82,11 +85,20 @@ def load_csv(path: str | Path, schema: Schema | None = None) -> Dataset:
             header = next(reader)
         except StopIteration:
             raise ValueError(f"{path} is empty") from None
-        rows = [row for row in reader if row]
+        rows: list[list[str]] = []
+        lines: list[int] = []
+        for row in reader:
+            if row:
+                rows.append(row)
+                lines.append(reader.line_num)
     if not rows:
         raise ValueError(f"{path} has no data rows")
-    if any(len(row) != len(header) for row in rows):
-        raise ValueError(f"{path} has ragged rows")
+    for line, row in zip(lines, rows):
+        if len(row) != len(header):
+            raise ValueError(
+                f"{path}, line {line}: ragged row — expected "
+                f"{len(header)} columns, got {len(row)}"
+            )
 
     if schema is None:
         schema = infer_schema(header, rows)
@@ -105,19 +117,35 @@ def load_csv(path: str | Path, schema: Schema | None = None) -> Dataset:
     }
     label_codes = {c: k for k, c in enumerate(schema.class_labels)}
     for i, row in enumerate(rows):
+        line = lines[i]
         for j, attr in enumerate(schema.attributes):
             raw = row[j]
             if attr.is_continuous:
-                X[i, j] = float(raw)
+                try:
+                    value = float(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"{path}, line {line}: {raw!r} is not a number "
+                        f"for continuous attribute {attr.name!r}"
+                    ) from None
+                if not np.isfinite(value):
+                    raise ValueError(
+                        f"{path}, line {line}: non-finite value {raw!r} "
+                        f"for continuous attribute {attr.name!r}"
+                    )
+                X[i, j] = value
             else:
                 try:
                     X[i, j] = cat_codes[j][raw]
                 except KeyError:
                     raise ValueError(
-                        f"unknown category {raw!r} for attribute {attr.name!r}"
+                        f"{path}, line {line}: unknown category {raw!r} "
+                        f"for attribute {attr.name!r}"
                     ) from None
         try:
             y[i] = label_codes[row[-1]]
         except KeyError:
-            raise ValueError(f"unknown class label {row[-1]!r}") from None
+            raise ValueError(
+                f"{path}, line {line}: unknown class label {row[-1]!r}"
+            ) from None
     return Dataset(X, y, schema)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the disk-resident I/O layer.
+
+The fault model distinguishes *recoverable* read faults — the kind a
+bounded retry loop is allowed to absorb — from failures that must
+propagate.  :class:`RecoverableReadError` is the retry boundary: the
+:class:`repro.io.retry.RetryingTable` wrapper catches exactly this type
+(and its subclasses), re-reads the chunk up to the configured retry
+budget, and converts exhaustion into a :class:`ScanFailedError` carrying
+the last fault as its ``__cause__``.
+"""
+
+from __future__ import annotations
+
+
+class TableIOError(Exception):
+    """Base class for all errors raised by the paged-table I/O layer."""
+
+
+class RecoverableReadError(TableIOError):
+    """A chunk read failed in a way a re-read may fix.
+
+    Subclasses model the three fault families the injection harness can
+    produce; real storage raises :class:`ChecksumError` when a stored
+    page fails CRC verification.
+    """
+
+
+class TransientReadError(RecoverableReadError):
+    """The read itself failed (simulated EIO / device hiccup)."""
+
+
+class TruncatedReadError(RecoverableReadError):
+    """The read returned fewer bytes/records than requested."""
+
+
+class CorruptPageError(RecoverableReadError):
+    """A page was read but its content is damaged."""
+
+
+class ChecksumError(CorruptPageError):
+    """A stored page's CRC32 does not match its content.
+
+    Unlike an injected corrupt-page fault, a checksum mismatch on a real
+    file is persistent: every retry re-verifies and fails again, so the
+    retry wrapper surfaces it as a :class:`ScanFailedError` whose cause
+    chain ends here — the table is rejected, never silently trained on.
+    """
+
+
+class ScanFailedError(TableIOError):
+    """A chunk read kept failing after exhausting the retry budget."""

@@ -1,0 +1,192 @@
+"""Deterministic I/O fault injection for paged tables.
+
+Every robustness claim in this repository is testable because faults are
+*injected*, not hoped for: :class:`FaultyTable` wraps any chunked table
+and makes its ``read_chunk`` fail according to a seeded
+:class:`FaultInjector`.  Three recoverable fault families mirror what
+spinning disks and flaky filesystems actually do to long scans:
+
+* **transient read errors** (:class:`~repro.io.errors.TransientReadError`)
+  — the read syscall fails; a re-read succeeds;
+* **truncated chunks** (:class:`~repro.io.errors.TruncatedReadError`)
+  — the read comes back short;
+* **corrupt pages** (:class:`~repro.io.errors.CorruptPageError`)
+  — the bytes arrive but fail validation.
+
+Fault decisions are drawn from a seeded generator, so a given seed
+produces the same fault sequence on every run — failures reproduce.  The
+injector bounds *consecutive* failures per chunk (``max_consecutive``),
+so any retry budget above that bound is guaranteed to finish the scan;
+this keeps fault-injected builds deterministic end-to-end instead of
+probabilistically flaky.
+
+For crash testing, ``kill_at_scan=k`` raises :class:`InjectedCrash` when
+the *k*-th scan (0-based) starts — the moral equivalent of ``kill -9``
+between tree levels, used to exercise checkpoint/resume.
+
+:class:`FaultyDataset` lifts the wrapper to the dataset interface
+builders consume (``as_paged`` and metadata), so an entire build can run
+under fault injection without the builder knowing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.io.errors import (
+    CorruptPageError,
+    RecoverableReadError,
+    TableIOError,
+    TransientReadError,
+    TruncatedReadError,
+)
+from repro.io.pager import ScanChunk
+
+
+class InjectedCrash(TableIOError):
+    """A simulated process kill.  Deliberately *not* recoverable."""
+
+
+class FaultInjector:
+    """Seeded source of fault decisions, shared across a build's scans.
+
+    Parameters
+    ----------
+    transient_rate / truncate_rate / corrupt_rate:
+        Per-chunk-read probability of each fault family.  Rates are
+        evaluated in that order from a single uniform draw per read, so
+        their sum must stay at or below 1.
+    seed:
+        Seeds the decision stream; identical seeds replay identical
+        fault sequences for an identical sequence of reads.
+    max_consecutive:
+        Upper bound on back-to-back failures of one chunk; the next
+        attempt is forced to succeed.  With the default of 2, any retry
+        budget >= 2 completes every scan.
+    kill_at_scan:
+        When set, the injector raises :class:`InjectedCrash` as scan
+        number ``kill_at_scan`` (0-based, counted across the injector's
+        lifetime) begins.
+    """
+
+    def __init__(
+        self,
+        transient_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        seed: int = 0,
+        max_consecutive: int = 2,
+        kill_at_scan: int | None = None,
+    ) -> None:
+        total = transient_rate + truncate_rate + corrupt_rate
+        if min(transient_rate, truncate_rate, corrupt_rate) < 0 or total > 1.0:
+            raise ValueError("fault rates must be non-negative and sum to <= 1")
+        if max_consecutive < 1:
+            raise ValueError("max_consecutive must be at least 1")
+        self.transient_rate = transient_rate
+        self.truncate_rate = truncate_rate
+        self.corrupt_rate = corrupt_rate
+        self.max_consecutive = max_consecutive
+        self.kill_at_scan = kill_at_scan
+        self._rng = np.random.default_rng(seed)
+        self._streak: dict[int, int] = {}
+        #: Scans started under this injector (across all wrapped tables).
+        self.scans_started = 0
+        #: Faults injected, by family — for test assertions.
+        self.injected = {"transient": 0, "truncated": 0, "corrupt": 0}
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults raised so far."""
+        return sum(self.injected.values())
+
+    def on_scan_start(self) -> None:
+        """Notify the injector that a new scan begins; maybe crash."""
+        if self.kill_at_scan is not None and self.scans_started == self.kill_at_scan:
+            raise InjectedCrash(f"injected crash at scan {self.scans_started}")
+        self.scans_started += 1
+
+    def roll(self, start: int) -> RecoverableReadError | None:
+        """Fault decision for one read of the chunk at record ``start``."""
+        if self._streak.get(start, 0) >= self.max_consecutive:
+            self._streak[start] = 0
+            return None
+        u = float(self._rng.random())
+        fault: RecoverableReadError | None = None
+        if u < self.transient_rate:
+            self.injected["transient"] += 1
+            fault = TransientReadError(f"injected transient fault at record {start}")
+        elif u < self.transient_rate + self.truncate_rate:
+            self.injected["truncated"] += 1
+            fault = TruncatedReadError(f"injected short read at record {start}")
+        elif u < self.transient_rate + self.truncate_rate + self.corrupt_rate:
+            self.injected["corrupt"] += 1
+            fault = CorruptPageError(f"injected corrupt page at record {start}")
+        if fault is None:
+            self._streak[start] = 0
+        else:
+            self._streak[start] = self._streak.get(start, 0) + 1
+        return fault
+
+
+class FaultyTable:
+    """A chunked table whose reads fail on the injector's schedule.
+
+    The wrapped table's read is performed (and its pages charged) *before*
+    the fault fires — a failed read still cost real I/O, exactly as the
+    retry accounting assumes.
+    """
+
+    def __init__(self, table, injector: FaultInjector) -> None:
+        self._table = table
+        self.injector = injector
+
+    def __getattr__(self, name: str):
+        return getattr(self._table, name)
+
+    def chunk_starts(self):
+        """Scan-order chunk starts; notifies the injector of scan start."""
+        self.injector.on_scan_start()
+        return self._table.chunk_starts()
+
+    def read_chunk(self, start: int) -> ScanChunk:
+        """Read one chunk, then fail if the injector says so."""
+        chunk = self._table.read_chunk(start)
+        fault = self.injector.roll(start)
+        if fault is not None:
+            raise fault
+        return chunk
+
+    def scan(self) -> Iterator[ScanChunk]:
+        """Unprotected scan (raises on the first injected fault)."""
+        self._table.stats.begin_scan()
+        for start in self.chunk_starts():
+            yield self.read_chunk(start)
+
+
+class FaultyDataset:
+    """Dataset proxy whose paged tables inject faults.
+
+    Wraps anything exposing the builder-facing dataset interface
+    (``schema`` / ``n_records`` / ``n_classes`` / ``n_attributes`` /
+    ``as_paged``), including :class:`~repro.io.storage.StoredDataset`.
+    The injector is shared across ``as_paged`` calls, so scan counting
+    and the fault stream span the whole build.
+    """
+
+    def __init__(self, dataset, injector: FaultInjector) -> None:
+        self._dataset = dataset
+        self.injector = injector
+
+    def __getattr__(self, name: str):
+        return getattr(self._dataset, name)
+
+    def as_paged(self, stats=None, page_records: int | None = None):
+        """Open an accounted, fault-injecting scan handle."""
+        if page_records is None:
+            table = self._dataset.as_paged(stats)
+        else:
+            table = self._dataset.as_paged(stats, page_records)
+        return FaultyTable(table, self.injector)

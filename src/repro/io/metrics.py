@@ -38,6 +38,8 @@ class IOStats:
         "aux_records_read",
         "aux_records_written",
         "random_seeks",
+        "read_retries",
+        "backoff_ms",
     )
 
     def __init__(self) -> None:
@@ -47,6 +49,8 @@ class IOStats:
         self.aux_records_read = 0
         self.aux_records_written = 0
         self.random_seeks = 0
+        self.read_retries = 0
+        self.backoff_ms = 0.0
 
     def begin_scan(self) -> None:
         """Record the start of one sequential pass over the dataset."""
@@ -70,6 +74,19 @@ class IOStats:
     def count_seek(self, n: int = 1) -> None:
         """Record ``n`` random seeks (e.g. hash-probe driven I/O)."""
         self.random_seeks += n
+
+    def count_retry(self, backoff_ms: float = 0.0) -> None:
+        """Record one retried chunk read and the backoff it waited.
+
+        The re-read's pages are charged separately (every read attempt
+        goes through :meth:`count_pages`); this counter tracks how often
+        the retry path fired and how much simulated waiting it cost, so
+        fault recovery shows up honestly in :class:`CostModel` output.
+        """
+        if backoff_ms < 0:
+            raise ValueError("backoff must be non-negative")
+        self.read_retries += 1
+        self.backoff_ms += backoff_ms
 
     def snapshot(self) -> dict[str, int]:
         """Return a plain-dict copy of all counters."""
@@ -147,7 +164,7 @@ class CostModel:
             * self.aux_record_us
             / 1000.0
         )
-        return io + cpu + aux
+        return io + cpu + aux + stats.backoff_ms
 
 
 @dataclass
@@ -166,6 +183,8 @@ class BuildStats:
     two_level_splits: int = 0
     predictions_made: int = 0
     predictions_correct: int = 0
+    buffer_overflow_rescans: int = 0
+    resumed_from_level: int = -1
 
     @property
     def simulated_ms(self) -> float:
@@ -195,6 +214,7 @@ class BuildStats:
             "leaves": self.leaves,
             "linear_splits": self.linear_splits,
             "two_level_splits": self.two_level_splits,
+            "read_retries": self.io.read_retries,
         }
 
 

@@ -94,16 +94,28 @@ class PagedTable:
         """Number of simulated pages the table occupies."""
         return -(-self.n_records // self.page_records)
 
+    def chunk_starts(self) -> range:
+        """Record indices at which scan chunks begin, in scan order."""
+        return range(0, self.n_records, self.page_records * self.pages_per_chunk)
+
+    def read_chunk(self, start: int) -> ScanChunk:
+        """Read (and charge) the single chunk beginning at ``start``.
+
+        The unit of retry: a failed read can be re-issued for just this
+        chunk without restarting the scan.  Each call charges its pages,
+        so retried reads show up in the I/O counters like the re-reads
+        they model.
+        """
+        stop = min(start + self.page_records * self.pages_per_chunk, self.n_records)
+        pages = -(-(stop - start) // self.page_records)
+        self.stats.count_pages(pages, stop - start)
+        return ScanChunk(start, self._X[start:stop], self._y[start:stop])
+
     def scan(self) -> Iterator[ScanChunk]:
         """Yield the whole table in order, charging one full scan."""
         self.stats.begin_scan()
-        chunk_records = self.page_records * self.pages_per_chunk
-        n = self.n_records
-        for start in range(0, n, chunk_records):
-            stop = min(start + chunk_records, n)
-            pages = -(-(stop - start) // self.page_records)
-            self.stats.count_pages(pages, stop - start)
-            yield ScanChunk(start, self._X[start:stop], self._y[start:stop])
+        for start in self.chunk_starts():
+            yield self.read_chunk(start)
 
     def column_unaccounted(self, j: int) -> np.ndarray:
         """Direct view of column ``j`` for test/verification code only.

@@ -1,0 +1,89 @@
+"""Retrying scans: bounded re-reads with exponential backoff.
+
+Production-scale builds scan a disk-resident file once per tree level for
+many levels; a single transient read fault must not discard hours of
+work.  :class:`RetryingTable` wraps any chunked table (anything with
+``chunk_starts()`` / ``read_chunk()``, i.e. :class:`~repro.io.pager.PagedTable`,
+:class:`~repro.io.storage.FilePagedTable` or a fault-injecting wrapper
+from :mod:`repro.io.faults`) and re-issues failed chunk reads up to a
+configured budget, backing off exponentially between attempts.
+
+Accounting stays honest: every read *attempt* charges its pages through
+the wrapped table, each retry bumps ``IOStats.read_retries``, and the
+backoff waits are charged to ``IOStats.backoff_ms`` — simulated time,
+consistent with the repository's deterministic cost model (DESIGN.md §3);
+the wrapper never sleeps for real.  When the budget is exhausted the last
+fault is wrapped in :class:`~repro.io.errors.ScanFailedError` and
+propagates — a persistently corrupt page stops the build rather than
+training on damage.
+
+Builders obtain their table through
+:meth:`repro.core.builder.TreeBuilder._open_table`, which applies this
+wrapper unconditionally, so every classifier in the repository gets the
+same recovery semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.io.errors import RecoverableReadError, ScanFailedError
+from repro.io.metrics import IOStats
+from repro.io.pager import ScanChunk
+
+
+class RetryingTable:
+    """Chunk-level retry wrapper around a paged table.
+
+    Parameters
+    ----------
+    table:
+        The table to protect.  Attribute access (``n_records``,
+        ``schema``, ``stats``…) is delegated, so the wrapper is a drop-in
+        replacement wherever a table is consumed.
+    retries:
+        Re-read attempts allowed per chunk beyond the first (0 disables
+        recovery: the first fault propagates as ``ScanFailedError``).
+    backoff_ms:
+        Simulated wait before the first retry; doubles on each further
+        attempt for the same chunk.
+    """
+
+    def __init__(self, table, retries: int = 3, backoff_ms: float = 1.0) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff_ms < 0:
+            raise ValueError("backoff_ms must be non-negative")
+        self._table = table
+        self.retries = retries
+        self.backoff_ms = backoff_ms
+
+    def __getattr__(self, name: str):
+        return getattr(self._table, name)
+
+    @property
+    def stats(self) -> IOStats:
+        """The wrapped table's counter block."""
+        return self._table.stats
+
+    def read_chunk(self, start: int) -> ScanChunk:
+        """Read one chunk, retrying recoverable faults with backoff."""
+        delay = self.backoff_ms
+        last: RecoverableReadError | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                return self._table.read_chunk(start)
+            except RecoverableReadError as exc:
+                last = exc
+                if attempt < self.retries:
+                    self.stats.count_retry(delay)
+                    delay *= 2.0
+        raise ScanFailedError(
+            f"chunk at record {start} failed after {self.retries + 1} attempts"
+        ) from last
+
+    def scan(self) -> Iterator[ScanChunk]:
+        """Yield the whole table in order, charging one full scan."""
+        self.stats.begin_scan()
+        for start in self._table.chunk_starts():
+            yield self.read_chunk(start)

@@ -10,7 +10,8 @@ in this repository touches training data only through scans, so any of
 them can train directly off a file without the dataset ever being resident
 in memory.
 
-File layout (little-endian)::
+Two on-disk versions exist.  ``CMPTBL01`` is the legacy layout
+(little-endian)::
 
     magic   8 bytes   b"CMPTBL01"
     n       uint64    record count
@@ -19,18 +20,37 @@ File layout (little-endian)::
     schema  slen bytes (UTF-8 JSON, same format as tree serialization)
     X       n*p float64, row-major
     y       n   int64
+
+``CMPTBL02`` — the default written format — keeps that layout bit-for-bit
+and appends an integrity section::
+
+    crcs    k uint32  CRC32 per checksum page (X rows + y rows of the page)
+    cpr     uint32    records per checksum page
+    k       uint32    checksum page count
+    hcrc    uint32    CRC32 of header + schema bytes
+    fmagic  8 bytes   b"CMPFTR02"
+
+Pages are verified lazily as scans first touch them, so a flipped bit in
+the data region raises :class:`~repro.io.errors.ChecksumError` instead of
+becoming training data, while opening a huge table stays O(header).
+Writers go through a temp file and ``os.replace``, so a crash mid-write
+can never leave a half-written table that parses — the destination either
+holds the old bytes or the complete new ones.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import struct
+import zlib
 from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
 from repro.data.schema import Attribute, AttributeKind, Schema
+from repro.io.errors import ChecksumError
 from repro.io.metrics import IOStats
 from repro.io.pager import DEFAULT_PAGE_RECORDS, ScanChunk
 
@@ -38,7 +58,10 @@ if False:  # pragma: no cover - import cycle guard; type checkers only
     from repro.data.dataset import Dataset
 
 MAGIC = b"CMPTBL01"
+MAGIC_V2 = b"CMPTBL02"
+FOOTER_MAGIC = b"CMPFTR02"
 _HEADER = struct.Struct("<8sQII")
+_FOOTER = struct.Struct("<III8s")
 
 
 def _schema_json(schema: Schema) -> bytes:
@@ -61,24 +84,80 @@ def _schema_from_json(raw: bytes) -> Schema:
     return Schema(attrs, tuple(payload["class_labels"]))
 
 
-def write_table(dataset: "Dataset", path: str | Path) -> Path:
-    """Materialize ``dataset`` into the binary table format."""
+def _page_crcs(
+    X: np.ndarray, y: np.ndarray, page_records: int
+) -> np.ndarray:
+    """CRC32 per checksum page over the page's X rows then y rows."""
+    n = len(y)
+    crcs = []
+    for a in range(0, n, page_records):
+        b = min(a + page_records, n)
+        crc = zlib.crc32(X[a:b].tobytes())
+        crc = zlib.crc32(y[a:b].tobytes(), crc)
+        crcs.append(crc)
+    return np.asarray(crcs, dtype="<u4")
+
+
+def write_table(
+    dataset: "Dataset",
+    path: str | Path,
+    version: int = 2,
+    checksum_page_records: int = DEFAULT_PAGE_RECORDS,
+) -> Path:
+    """Materialize ``dataset`` into the binary table format, atomically.
+
+    The bytes are staged in a sibling temp file, flushed and fsynced,
+    then renamed over ``path`` — readers never observe a torn table.
+    ``version=1`` writes the legacy checksum-less ``CMPTBL01`` layout
+    (kept for compatibility tests and old files).
+    """
+    if version not in (1, 2):
+        raise ValueError(f"unknown table version {version}")
+    if checksum_page_records <= 0:
+        raise ValueError("checksum_page_records must be positive")
     path = Path(path)
+    magic = MAGIC if version == 1 else MAGIC_V2
     schema_bytes = _schema_json(dataset.schema)
-    with path.open("wb") as fh:
-        fh.write(
-            _HEADER.pack(
-                MAGIC, dataset.n_records, dataset.n_attributes, len(schema_bytes)
-            )
-        )
-        fh.write(schema_bytes)
-        np.ascontiguousarray(dataset.X, dtype="<f8").tofile(fh)
-        np.ascontiguousarray(dataset.y, dtype="<i8").tofile(fh)
+    header = _HEADER.pack(
+        magic, dataset.n_records, dataset.n_attributes, len(schema_bytes)
+    )
+    X = np.ascontiguousarray(dataset.X, dtype="<f8")
+    y = np.ascontiguousarray(dataset.y, dtype="<i8")
+
+    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
+    try:
+        with tmp.open("wb") as fh:
+            fh.write(header)
+            fh.write(schema_bytes)
+            X.tofile(fh)
+            y.tofile(fh)
+            if version == 2:
+                crcs = _page_crcs(X, y, checksum_page_records)
+                crcs.tofile(fh)
+                fh.write(
+                    _FOOTER.pack(
+                        checksum_page_records,
+                        len(crcs),
+                        zlib.crc32(header + schema_bytes),
+                        FOOTER_MAGIC,
+                    )
+                )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 
 class FilePagedTable:
-    """Sequential paged scans over a stored table file."""
+    """Sequential paged scans over a stored table file.
+
+    Owns two read-only memory maps over the file; call :meth:`close` (or
+    use the table as a context manager) to release them deterministically
+    instead of waiting for garbage collection.  For ``CMPTBL02`` files,
+    every checksum page is CRC-verified the first time a scan touches it.
+    """
 
     def __init__(
         self,
@@ -94,14 +173,18 @@ class FilePagedTable:
         self.page_records = page_records
         self.pages_per_chunk = pages_per_chunk
 
+        file_size = self.path.stat().st_size
         with self.path.open("rb") as fh:
             header = fh.read(_HEADER.size)
             if len(header) < _HEADER.size:
                 raise ValueError(f"{self.path} is not a CMP table (truncated header)")
             magic, n, p, slen = _HEADER.unpack(header)
-            if magic != MAGIC:
+            if magic not in (MAGIC, MAGIC_V2):
                 raise ValueError(f"{self.path} is not a CMP table (bad magic)")
             schema_raw = fh.read(slen)
+            if len(schema_raw) < slen:
+                raise ValueError(f"{self.path} is truncated (schema)")
+        self.version = 1 if magic == MAGIC else 2
         self.n_records = int(n)
         self.n_attributes = int(p)
         self.schema = _schema_from_json(schema_raw)
@@ -110,34 +193,125 @@ class FilePagedTable:
 
         x_offset = _HEADER.size + slen
         y_offset = x_offset + self.n_records * self.n_attributes * 8
-        self._X = np.memmap(
+        data_end = y_offset + self.n_records * 8
+
+        self._cksum_page_records = 0
+        self._crcs: np.ndarray | None = None
+        self._verified: np.ndarray | None = None
+        if self.version == 2:
+            self._read_footer(file_size, header, schema_raw, data_end)
+        elif file_size < data_end:
+            raise ValueError(f"{self.path} is truncated (data)")
+
+        self._X: np.ndarray | None = np.memmap(
             self.path, mode="r", dtype="<f8",
             offset=x_offset, shape=(self.n_records, self.n_attributes),
         )
-        self._y = np.memmap(
+        self._y: np.ndarray | None = np.memmap(
             self.path, mode="r", dtype="<i8", offset=y_offset, shape=(self.n_records,)
         )
+
+    def _read_footer(
+        self, file_size: int, header: bytes, schema_raw: bytes, data_end: int
+    ) -> None:
+        if file_size < data_end + _FOOTER.size:
+            raise ValueError(f"{self.path} is truncated (missing footer)")
+        with self.path.open("rb") as fh:
+            fh.seek(file_size - _FOOTER.size)
+            cpr, k, hcrc, fmagic = _FOOTER.unpack(fh.read(_FOOTER.size))
+            if fmagic != FOOTER_MAGIC:
+                raise ValueError(f"{self.path} is truncated or corrupt (bad footer)")
+            if cpr <= 0 or k != -(-self.n_records // cpr):
+                raise ValueError(f"{self.path}: inconsistent checksum geometry")
+            if file_size != data_end + 4 * k + _FOOTER.size:
+                raise ValueError(f"{self.path}: file size disagrees with footer")
+            if hcrc != zlib.crc32(header + schema_raw):
+                raise ChecksumError(f"{self.path}: header checksum mismatch")
+            fh.seek(data_end)
+            raw = fh.read(4 * k)
+        self._cksum_page_records = int(cpr)
+        self._crcs = np.frombuffer(raw, dtype="<u4")
+        self._verified = np.zeros(int(k), dtype=bool)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the memory maps."""
+        return self._X is None
+
+    def close(self) -> None:
+        """Release the file's memory maps (idempotent).
+
+        Chunks handed out by :meth:`read_chunk` are copies, so no view
+        can dangle; further reads raise ``ValueError``.
+        """
+        for arr in (self._X, self._y):
+            mm = getattr(arr, "_mmap", None)
+            if mm is not None:
+                mm.close()
+        self._X = None
+        self._y = None
+
+    def __enter__(self) -> "FilePagedTable":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- scans -------------------------------------------------------------
 
     @property
     def n_pages(self) -> int:
         """Number of pages the table occupies."""
         return -(-self.n_records // self.page_records)
 
+    def _verify_range(self, start: int, stop: int) -> None:
+        """CRC-check every unverified checksum page overlapping [start, stop)."""
+        if self._crcs is None or start >= stop:
+            return
+        assert self._verified is not None and self._X is not None and self._y is not None
+        cpr = self._cksum_page_records
+        for k in range(start // cpr, -(-stop // cpr)):
+            if self._verified[k]:
+                continue
+            a, b = k * cpr, min((k + 1) * cpr, self.n_records)
+            crc = zlib.crc32(self._X[a:b].tobytes())
+            crc = zlib.crc32(self._y[a:b].tobytes(), crc)
+            if crc != int(self._crcs[k]):
+                raise ChecksumError(
+                    f"{self.path}: checksum mismatch in page {k} "
+                    f"(records {a}..{b - 1})"
+                )
+            self._verified[k] = True
+
+    def chunk_starts(self) -> range:
+        """Record indices at which scan chunks begin, in scan order."""
+        return range(0, self.n_records, self.page_records * self.pages_per_chunk)
+
+    def read_chunk(self, start: int) -> ScanChunk:
+        """Read (and charge) the single chunk beginning at ``start``.
+
+        Copies out of the memory map so callers never hold mmap views;
+        verifies page checksums on first touch for ``CMPTBL02`` files.
+        """
+        if self._X is None or self._y is None:
+            raise ValueError(f"{self.path}: table is closed")
+        stop = min(start + self.page_records * self.pages_per_chunk, self.n_records)
+        pages = -(-(stop - start) // self.page_records)
+        self.stats.count_pages(pages, stop - start)
+        self._verify_range(start, stop)
+        return ScanChunk(
+            start,
+            np.array(self._X[start:stop], dtype=np.float64),
+            np.array(self._y[start:stop], dtype=np.int64),
+        )
+
     def scan(self) -> Iterator[ScanChunk]:
         """Yield the whole table in order, charging one full scan."""
         self.stats.begin_scan()
-        chunk_records = self.page_records * self.pages_per_chunk
-        n = self.n_records
-        for start in range(0, n, chunk_records):
-            stop = min(start + chunk_records, n)
-            pages = -(-(stop - start) // self.page_records)
-            self.stats.count_pages(pages, stop - start)
-            # Copy out of the memory map so callers never hold mmap views.
-            yield ScanChunk(
-                start,
-                np.array(self._X[start:stop], dtype=np.float64),
-                np.array(self._y[start:stop], dtype=np.int64),
-            )
+        for start in self.chunk_starts():
+            yield self.read_chunk(start)
 
 
 class StoredDataset:
@@ -145,15 +319,18 @@ class StoredDataset:
 
     Implements the slice of the :class:`~repro.data.dataset.Dataset`
     interface that builders use: ``schema``, ``n_records``, ``n_classes``,
-    ``n_attributes`` and ``as_paged()``.
+    ``n_attributes`` and ``as_paged()``.  The metadata probe used at
+    construction is closed before ``__init__`` returns — no memory map
+    outlives it.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        probe = FilePagedTable(self.path)
-        self.schema = probe.schema
-        self.n_records = probe.n_records
-        self.n_attributes = probe.n_attributes
+        with FilePagedTable(self.path) as probe:
+            self.schema = probe.schema
+            self.n_records = probe.n_records
+            self.n_attributes = probe.n_attributes
+            self.version = probe.version
 
     @property
     def n_classes(self) -> int:
@@ -172,9 +349,9 @@ class StoredDataset:
         """Materialize the whole table in memory (for evaluation)."""
         from repro.data.dataset import Dataset
 
-        table = FilePagedTable(self.path)
-        X_parts, y_parts = [], []
-        for chunk in table.scan():
-            X_parts.append(chunk.X)
-            y_parts.append(chunk.y)
+        with FilePagedTable(self.path) as table:
+            X_parts, y_parts = [], []
+            for chunk in table.scan():
+                X_parts.append(chunk.X)
+                y_parts.append(chunk.y)
         return Dataset(np.concatenate(X_parts), np.concatenate(y_parts), self.schema)

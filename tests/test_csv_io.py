@@ -111,3 +111,37 @@ class TestErrors:
         path.write_text("a,class\n1.0,yes\n")
         with pytest.raises(ValueError, match="declares"):
             load_csv(path, schema=small_dataset.schema)
+
+    def test_nan_rejected_with_line_number(self, small_dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(
+            "age,color,pay,class\n1.0,red,2.0,yes\nnan,red,2.0,no\n"
+        )
+        with pytest.raises(ValueError, match=r"line 3: non-finite value 'nan'"):
+            load_csv(path, schema=small_dataset.schema)
+
+    def test_inf_rejected(self, small_dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("age,color,pay,class\n1.0,red,inf,yes\n")
+        with pytest.raises(ValueError, match="non-finite value 'inf'.*'pay'"):
+            load_csv(path, schema=small_dataset.schema)
+
+    def test_non_numeric_continuous_names_line(self, small_dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("age,color,pay,class\noops,red,2.0,yes\n")
+        with pytest.raises(ValueError, match="line 2: 'oops' is not a number"):
+            load_csv(path, schema=small_dataset.schema)
+
+    def test_ragged_row_names_line(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,class\n1,p\n2\n")
+        with pytest.raises(ValueError, match="line 3.*expected 2 columns, got 1"):
+            load_csv(path)
+
+    def test_unknown_label_names_line(self, small_dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(
+            "age,color,pay,class\n1.0,red,2.0,yes\n2.0,red,3.0,maybe\n"
+        )
+        with pytest.raises(ValueError, match="line 3: unknown class label"):
+            load_csv(path, schema=small_dataset.schema)

@@ -35,6 +35,12 @@ class TestExamplesRun:
         assert "linear split" in out
         assert "CMP tree" in out
 
+    def test_fault_tolerant_training(self):
+        out = run_example("fault_tolerant_training.py")
+        assert "identical tree" in out
+        assert "bit-identical tree" in out
+        assert "checksum mismatch" in out
+
 
 class TestExamplesCompile:
     @pytest.mark.parametrize(

@@ -1,0 +1,183 @@
+"""Tests for fault injection and retrying scans.
+
+The contract under test: with a retry budget of at least the injector's
+``max_consecutive`` bound, every builder completes under seeded fault
+injection and produces exactly the tree an un-faulted build would, with
+the recovery work visible in ``IOStats`` (retries, simulated backoff).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import BuilderConfig
+from repro.core.cmp_b import CMPBBuilder
+from repro.core.cmp_full import CMPBuilder
+from repro.core.cmp_s import CMPSBuilder
+from repro.core.serialize import tree_to_json
+from repro.baselines.clouds import CloudsBuilder
+from repro.baselines.sprint import SprintBuilder
+from repro.io.errors import (
+    CorruptPageError,
+    RecoverableReadError,
+    ScanFailedError,
+    TransientReadError,
+    TruncatedReadError,
+)
+from repro.io.faults import FaultInjector, FaultyDataset, FaultyTable, InjectedCrash
+from repro.io.metrics import CostModel, IOStats
+from repro.io.pager import PagedTable
+from repro.io.retry import RetryingTable
+
+
+def make_table(n=1000, stats=None):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(n, 3))
+    y = rng.integers(0, 2, n).astype(np.int64)
+    return (
+        PagedTable(X, y, stats=stats, page_records=100, pages_per_chunk=1),
+        X,
+        y,
+    )
+
+
+class TestFaultInjector:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultInjector(transient_rate=0.9, corrupt_rate=0.2)
+        with pytest.raises(ValueError):
+            FaultInjector(transient_rate=-0.1)
+
+    def test_deterministic_across_runs(self):
+        outcomes = []
+        for _ in range(2):
+            inj = FaultInjector(transient_rate=0.3, seed=42)
+            table = FaultyTable(make_table()[0], inj)
+            hits = []
+            for start in table.chunk_starts():
+                try:
+                    table.read_chunk(start)
+                    hits.append(None)
+                except RecoverableReadError as exc:
+                    hits.append((start, type(exc).__name__))
+            outcomes.append(tuple(hits))
+        assert outcomes[0] == outcomes[1]
+        assert any(h is not None for h in outcomes[0])
+
+    def test_fault_families(self):
+        inj = FaultInjector(
+            transient_rate=0.2, truncate_rate=0.2, corrupt_rate=0.2, seed=1
+        )
+        table = FaultyTable(make_table(4000)[0], inj)
+        seen = set()
+        for __ in range(4):
+            for start in table.chunk_starts():
+                try:
+                    table.read_chunk(start)
+                except (TransientReadError, TruncatedReadError, CorruptPageError) as e:
+                    seen.add(type(e))
+        assert seen == {TransientReadError, TruncatedReadError, CorruptPageError}
+        assert inj.total_injected == sum(inj.injected.values())
+
+    def test_max_consecutive_bounds_streak(self):
+        # Even at rate 1.0, a chunk read must succeed after max_consecutive
+        # failures, so retries >= max_consecutive always completes the scan.
+        inj = FaultInjector(transient_rate=1.0, seed=0, max_consecutive=2)
+        table = RetryingTable(FaultyTable(make_table()[0], inj), retries=2)
+        chunks = list(table.scan())
+        assert sum(c.stop - c.start for c in chunks) == 1000
+
+    def test_kill_at_scan(self):
+        inj = FaultInjector(kill_at_scan=1)
+        table = FaultyTable(make_table()[0], inj)
+        list(table.scan())  # scan 0 fine
+        with pytest.raises(InjectedCrash):
+            list(table.scan())
+
+
+class TestRetryingTable:
+    def test_retry_recovers_and_counts(self):
+        stats = IOStats()
+        inner, X, __ = make_table(stats=stats)
+        inj = FaultInjector(transient_rate=0.5, seed=3)
+        table = RetryingTable(FaultyTable(inner, inj), retries=3, backoff_ms=2.0)
+        got = np.concatenate([c.X for c in table.scan()])
+        np.testing.assert_array_equal(got, X)
+        assert inj.total_injected > 0
+        assert stats.read_retries == inj.total_injected
+        # Backoff doubles per retry within a chunk; with max_consecutive=2
+        # every retried chunk costs 2.0 (one retry) or 2.0+4.0 (two).
+        assert stats.backoff_ms >= 2.0 * stats.read_retries
+        assert CostModel().simulated_ms(stats) > CostModel().simulated_ms(
+            IOStats()
+        )
+
+    def test_budget_exhaustion_raises_scan_failed(self):
+        inj = FaultInjector(transient_rate=1.0, seed=0, max_consecutive=5)
+        table = RetryingTable(FaultyTable(make_table()[0], inj), retries=2)
+        with pytest.raises(ScanFailedError):
+            list(table.scan())
+
+    def test_zero_retries_aborts_on_first_fault(self):
+        inj = FaultInjector(transient_rate=1.0, seed=0)
+        table = RetryingTable(FaultyTable(make_table()[0], inj), retries=0)
+        with pytest.raises(ScanFailedError):
+            list(table.scan())
+
+    def test_crash_is_not_retried(self):
+        inj = FaultInjector(kill_at_scan=0)
+        table = RetryingTable(FaultyTable(make_table()[0], inj), retries=5)
+        with pytest.raises(InjectedCrash):
+            list(table.scan())
+
+    def test_no_faults_means_no_retries(self):
+        stats = IOStats()
+        inner, X, __ = make_table(stats=stats)
+        table = RetryingTable(inner, retries=3)
+        got = np.concatenate([c.X for c in table.scan()])
+        np.testing.assert_array_equal(got, X)
+        assert stats.read_retries == 0
+        assert stats.backoff_ms == 0.0
+
+    def test_metadata_delegated(self):
+        inner, __, __ = make_table()
+        table = RetryingTable(inner)
+        assert table.n_records == inner.n_records
+        assert table.n_pages == inner.n_pages
+
+
+@pytest.mark.parametrize(
+    "builder_cls",
+    [CMPSBuilder, CMPBBuilder, CMPBuilder, CloudsBuilder, SprintBuilder],
+)
+class TestBuildersUnderInjection:
+    def test_build_completes_with_identical_tree(self, builder_cls, f2_small):
+        # Small pages so each scan covers many chunks (chunk = page_records
+        # * pages_per_chunk) and the <= 0.1/chunk rate actually fires.
+        cfg = BuilderConfig(
+            n_intervals=16, max_depth=5, min_records=30, page_records=10
+        )
+        clean = builder_cls(cfg).build(f2_small)
+        inj = FaultInjector(
+            transient_rate=0.05, truncate_rate=0.03, corrupt_rate=0.02, seed=9
+        )
+        faulted = builder_cls(cfg).build(FaultyDataset(f2_small, inj))
+        assert tree_to_json(faulted.tree) == tree_to_json(clean.tree)
+        assert inj.total_injected > 0
+        assert faulted.stats.io.read_retries == inj.total_injected
+        assert faulted.stats.io.backoff_ms > 0.0
+        # Failed attempts still touched pages: the faulted run reads at
+        # least as much as the clean one, with the same scan count.
+        assert faulted.stats.io.scans == clean.stats.io.scans
+        assert faulted.stats.io.pages_read >= clean.stats.io.pages_read
+
+    def test_retries_disabled_fails_fast(self, builder_cls, f2_small):
+        cfg = BuilderConfig(
+            n_intervals=16,
+            max_depth=5,
+            min_records=30,
+            page_records=10,
+            scan_retries=0,
+        )
+        inj = FaultInjector(transient_rate=0.5, seed=9)
+        with pytest.raises(ScanFailedError):
+            builder_cls(cfg).build(FaultyDataset(f2_small, inj))

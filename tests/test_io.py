@@ -65,6 +65,7 @@ class TestIOStats:
         s.count_aux_read(50)
         s.count_aux_write(20)
         s.count_seek(2)
+        s.count_retry(4.0)
         snap = s.snapshot()
         assert snap == {
             "scans": 1,
@@ -73,6 +74,8 @@ class TestIOStats:
             "aux_records_read": 50,
             "aux_records_written": 20,
             "random_seeks": 2,
+            "read_retries": 1,
+            "backoff_ms": 4.0,
         }
 
     def test_negative_rejected(self):

@@ -6,8 +6,15 @@ import pytest
 from repro.config import BuilderConfig
 from repro.core.cmp_s import CMPSBuilder
 from repro.data.synthetic import generate_agrawal
+from repro.io.errors import ChecksumError
 from repro.io.metrics import IOStats
-from repro.io.storage import MAGIC, FilePagedTable, StoredDataset, write_table
+from repro.io.storage import (
+    MAGIC,
+    MAGIC_V2,
+    FilePagedTable,
+    StoredDataset,
+    write_table,
+)
 
 
 @pytest.fixture(scope="module")
@@ -66,6 +73,98 @@ class TestScans:
         assert isinstance(chunk.X, np.ndarray)
         assert not isinstance(chunk.X, np.memmap)
         chunk.X[0, 0] = -1.0  # must not raise (writable copy)
+
+
+class TestV2Integrity:
+    @pytest.fixture()
+    def v2(self, tmp_path):
+        ds = generate_agrawal("F2", 1_000, seed=4)
+        path = tmp_path / "f2.cmptbl"
+        write_table(ds, path)
+        return ds, path
+
+    def test_v2_is_the_default_format(self, v2):
+        __, path = v2
+        assert path.read_bytes()[:8] == MAGIC_V2
+        assert StoredDataset(path).version == 2
+
+    def test_flipped_data_byte_rejected(self, v2):
+        __, path = v2
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x01  # mid-file: inside the X data pages
+        path.write_bytes(bytes(raw))
+        table = FilePagedTable(path)
+        with pytest.raises(ChecksumError, match="checksum mismatch in page"):
+            list(table.scan())
+
+    def test_flipped_header_byte_rejected_at_open(self, v2):
+        __, path = v2
+        raw = bytearray(path.read_bytes())
+        raw[10] ^= 0x01  # inside the counts the footer CRC covers
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError):
+            FilePagedTable(path)
+
+    def test_truncated_tail_rejected_at_open(self, v2):
+        __, path = v2
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])
+        with pytest.raises(ValueError):
+            FilePagedTable(path)
+
+    def test_clean_file_verifies_once_and_scans(self, v2):
+        ds, path = v2
+        table = FilePagedTable(path)
+        for __ in range(2):  # second scan hits already-verified pages
+            got = np.concatenate([c.y for c in table.scan()])
+            np.testing.assert_array_equal(got, ds.y)
+
+    def test_legacy_v1_still_readable(self, tmp_path):
+        ds = generate_agrawal("F2", 500, seed=4)
+        path = tmp_path / "legacy.cmptbl"
+        write_table(ds, path, version=1)
+        assert path.read_bytes()[:8] == MAGIC
+        sd = StoredDataset(path)
+        assert sd.version == 1
+        loaded = sd.load()
+        np.testing.assert_array_equal(loaded.X, ds.X)
+        np.testing.assert_array_equal(loaded.y, ds.y)
+
+    def test_write_is_atomic_no_temp_left_behind(self, v2, tmp_path):
+        __, path = v2
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "future.cmptbl"
+        path.write_bytes(b"CMPTBL99" + b"\x00" * 64)
+        with pytest.raises(ValueError, match="bad magic"):
+            FilePagedTable(path)
+
+
+class TestLifecycle:
+    def test_close_releases_and_blocks_reads(self, stored):
+        __, path = stored
+        table = FilePagedTable(path)
+        list(table.scan())
+        assert not table.closed
+        table.close()
+        assert table.closed
+        with pytest.raises(ValueError, match="closed"):
+            table.read_chunk(0)
+        table.close()  # idempotent
+
+    def test_context_manager_closes(self, stored):
+        ds, path = stored
+        with FilePagedTable(path) as table:
+            got = np.concatenate([c.y for c in table.scan()])
+        np.testing.assert_array_equal(got, ds.y)
+        assert table.closed
+
+    def test_stored_dataset_probe_does_not_leak(self, stored):
+        __, path = stored
+        sd = StoredDataset(path)
+        probe = getattr(sd, "_probe", None)
+        assert probe is None or probe.closed
 
 
 class TestBuildFromFile:
