@@ -1,0 +1,117 @@
+"""Benchmark: chunk-parallel level scans vs the serial path.
+
+Standalone script (not a pytest benchmark): builds each CMP-family
+classifier serially and with ``--workers`` routing threads, verifies the
+trees are bit-identical, and emits ``BENCH_scan.json`` with per-phase
+wall-clock timings, scan counts and the measured wall/simulated speedups.
+CI runs it as a smoke step and uploads the JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_scan_parallel.py \
+        --records 20000 --workers 4 --out BENCH_scan.json
+
+Interpreting the numbers: routing here is NumPy-heavy Python, so
+wall-clock gains on small inputs are modest (and can dip below 1x under
+thread contention); the honest headline is the *simulated* speedup, where
+the cost model divides per-record CPU across workers while page I/O stays
+serial — one spindle, however many routing threads.  Bit-identity is the
+hard guarantee either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.config import BuilderConfig
+from repro.core.cmp_b import CMPBBuilder
+from repro.core.cmp_full import CMPBuilder
+from repro.core.cmp_s import CMPSBuilder
+from repro.core.serialize import tree_to_json
+from repro.data.synthetic import generate_agrawal
+
+BUILDERS = (CMPSBuilder, CMPBBuilder, CMPBuilder)
+
+
+def _measure(builder_cls, dataset, config: BuilderConfig) -> dict[str, object]:
+    result = builder_cls(config).build(dataset)
+    stats = result.stats
+    return {
+        "tree_json": tree_to_json(result.tree),
+        "wall_seconds": round(stats.wall_seconds, 4),
+        "simulated_ms": round(stats.simulated_ms, 3),
+        "scans": stats.io.scans,
+        "pages_read": stats.io.pages_read,
+        "scan_workers": stats.scan_workers,
+        "parallel_batches": stats.parallel_batches,
+        "phase_seconds": {k: round(v, 4) for k, v in sorted(stats.phase_seconds.items())},
+        "nodes": stats.nodes_created,
+        "levels": stats.levels_built,
+    }
+
+
+def run(records: int, workers: int, function: str, seed: int) -> dict[str, object]:
+    dataset = generate_agrawal(function, records, seed=seed)
+    config = BuilderConfig(max_depth=8)
+    report: dict[str, object] = {
+        "benchmark": "scan_parallel",
+        "function": function,
+        "records": records,
+        "workers": workers,
+        "seed": seed,
+        "python": platform.python_version(),
+        "builders": {},
+    }
+    ok = True
+    for builder_cls in BUILDERS:
+        serial = _measure(builder_cls, dataset, config)
+        parallel = _measure(
+            builder_cls, dataset, config.with_(scan_workers=workers)
+        )
+        identical = serial.pop("tree_json") == parallel.pop("tree_json")
+        ok &= identical
+        entry = {
+            "bit_identical": identical,
+            "serial": serial,
+            "parallel": parallel,
+            "wall_speedup": round(
+                serial["wall_seconds"] / max(parallel["wall_seconds"], 1e-9), 3
+            ),
+            "simulated_speedup": round(
+                serial["simulated_ms"] / max(parallel["simulated_ms"], 1e-9), 3
+            ),
+        }
+        report["builders"][builder_cls.name] = entry
+        print(
+            f"{builder_cls.name:6s} identical={identical} "
+            f"serial={serial['wall_seconds']:.3f}s "
+            f"parallel={parallel['wall_seconds']:.3f}s "
+            f"(x{entry['wall_speedup']:.2f} wall, "
+            f"x{entry['simulated_speedup']:.2f} simulated)"
+        )
+    report["all_bit_identical"] = ok
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=20_000)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--function", default="F2")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_scan.json", metavar="PATH")
+    args = parser.parse_args(argv)
+
+    report = run(args.records, args.workers, args.function, args.seed)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not report["all_bit_identical"]:
+        print("ERROR: parallel build diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

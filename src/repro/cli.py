@@ -27,11 +27,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--intervals", type=int, default=100)
     parser.add_argument("--max-depth", type=int, default=12)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="chunk-routing worker threads per scan (trees are bit-identical "
+        "for any worker count; default 1 = serial)",
+    )
 
 
 def _config(args: argparse.Namespace) -> BuilderConfig:
     return experiments.default_config(
-        n_intervals=args.intervals, max_depth=args.max_depth
+        n_intervals=args.intervals,
+        max_depth=args.max_depth,
+        scan_workers=args.workers,
     )
 
 

@@ -95,6 +95,13 @@ class BuilderConfig:
     #: records — correctness preserved, one extra scan charged.
     buffer_budget_bytes: int = 0
 
+    # --- Parallelism knobs --------------------------------------------------
+    #: Worker threads routing each scan's chunks (1 = serial).  Each worker
+    #: accumulates private histogram/matrix/buffer deltas over a contiguous
+    #: slice of the chunk list; deltas are merged deterministically in chunk
+    #: order, so the built tree is bit-identical for any worker count.
+    scan_workers: int = 1
+
     def __post_init__(self) -> None:
         if self.n_intervals < 2:
             raise ValueError("n_intervals must be at least 2")
@@ -116,6 +123,8 @@ class BuilderConfig:
             raise ValueError("retry_backoff_ms must be non-negative")
         if self.buffer_budget_bytes < 0:
             raise ValueError("buffer_budget_bytes must be non-negative")
+        if self.scan_workers < 1:
+            raise ValueError("scan_workers must be at least 1")
         if self.resume and not self.checkpoint_path:
             raise ValueError("resume requires checkpoint_path")
 

@@ -23,6 +23,7 @@ import numpy as np
 from repro.config import BuilderConfig
 from repro.core.checkpoint import CheckpointManager, build_fingerprint
 from repro.core.gini import gini_partition
+from repro.core.parallel import ScanEngine
 from repro.core.histogram import CategoryHistogram, ClassHistogram
 from repro.core.tree import DecisionTree, Node, TreeAccount
 from repro.data.dataset import Dataset
@@ -70,6 +71,7 @@ class TreeBuilder(ABC):
         if dataset.n_records == 0:
             raise ValueError("cannot build a tree on an empty dataset")
         stats = BuildStats()
+        stats.scan_workers = self.config.scan_workers
         with Stopwatch(stats):
             tree = self._build(dataset, stats)
             prune = self.config.prune
@@ -100,6 +102,10 @@ class TreeBuilder(ABC):
         return RetryingTable(
             table, self.config.scan_retries, self.config.retry_backoff_ms
         )
+
+    def _scan_engine(self) -> ScanEngine:
+        """A scan engine sized to ``config.scan_workers`` (close after use)."""
+        return ScanEngine(self.config.scan_workers)
 
     def _checkpointer(self, dataset: Dataset) -> CheckpointManager | None:
         """The build's checkpoint manager, or ``None`` when not configured."""
@@ -140,6 +146,20 @@ class PartState:
     def nbytes(self) -> int:
         """Memory footprint of all histograms."""
         return sum(h.nbytes() for h in self.hists.values())
+
+    def clone_empty(self) -> "PartState":
+        """Structural copy with zeroed counts (a worker's scan delta)."""
+        return PartState(
+            self.slot,
+            self.n_classes,
+            {j: h.clone_empty() for j, h in self.hists.items()},
+        )
+
+    def merge_from(self, other: "PartState") -> None:
+        """Fold another part's counts into this one (exact, associative)."""
+        self.class_counts += other.class_counts
+        for j, hist in self.hists.items():
+            hist.merge_from(other.hists[j])
 
 
 def make_part_hists(
@@ -187,6 +207,32 @@ class RecordBuffer:
         self.X_chunks.append(np.array(X, copy=True))
         self.y_chunks.append(np.array(y, copy=True))
         self.rid_chunks.append(np.array(rids, copy=True))
+        if self.budget_bytes and self.nbytes() > self.budget_bytes:
+            self.X_chunks.clear()
+            self.y_chunks.clear()
+            self.rid_chunks.clear()
+            self.overflowed = True
+
+    def extend_from(self, other: "RecordBuffer") -> None:
+        """Append another buffer's batches (worker-delta merge).
+
+        Worker deltas carry this buffer's own ``budget_bytes``, so the
+        merged buffer overflows exactly when a serial pass would have:
+        either some worker already crossed the budget on its own, or the
+        concatenated total does here.
+        """
+        self.n_records += other.n_records
+        if self.overflowed:
+            return
+        if other.overflowed:
+            self.X_chunks.clear()
+            self.y_chunks.clear()
+            self.rid_chunks.clear()
+            self.overflowed = True
+            return
+        self.X_chunks.extend(other.X_chunks)
+        self.y_chunks.extend(other.y_chunks)
+        self.rid_chunks.extend(other.rid_chunks)
         if self.budget_bytes and self.nbytes() > self.budget_bytes:
             self.X_chunks.clear()
             self.y_chunks.clear()

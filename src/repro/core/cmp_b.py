@@ -30,7 +30,7 @@ Mechanics on top of CMP-S:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -53,6 +53,7 @@ from repro.core.intervals import (
 )
 from repro.core.checkpoint import SlotCounter, loop_state as _loop_state
 from repro.core.matrix import MatrixSet
+from repro.core.parallel import ScanEngine
 from repro.core.predict import predict_split
 from repro.core.splits import CategoricalSplit, LinearSplit, NumericSplit, Split
 from repro.core.tree import DecisionTree, Node, TreeAccount
@@ -73,6 +74,14 @@ class BPart:
     slot: int
     mset: MatrixSet
     predicted: bool
+
+    def clone_empty(self) -> "BPart":
+        """Structural copy with zeroed matrices (a worker's scan delta)."""
+        return BPart(self.slot, self.mset.clone_empty(), self.predicted)
+
+    def merge_from(self, other: "BPart") -> None:
+        """Fold another part's counts into this one (exact, associative)."""
+        self.mset.merge_from(other.mset)
 
 
 @dataclass
@@ -97,6 +106,26 @@ class SecondSplit:
     aux_hist: ClassHistogram | None = None
     buffer: RecordBuffer = field(default_factory=RecordBuffer)
 
+    def scan_delta(self) -> "SecondSplit":
+        """Structural clone with empty accumulators (worker-private)."""
+        return replace(
+            self,
+            parts=[part.clone_empty() for part in self.parts],
+            aux_hist=(
+                self.aux_hist.clone_empty() if self.aux_hist is not None else None
+            ),
+            buffer=RecordBuffer(budget_bytes=self.buffer.budget_bytes),
+        )
+
+    def merge_scan_delta(self, delta: "SecondSplit") -> None:
+        """Fold one worker's delta in; callers merge in chunk order."""
+        for part, dpart in zip(self.parts, delta.parts):
+            part.merge_from(dpart)
+        if self.aux_hist is not None:
+            assert delta.aux_hist is not None
+            self.aux_hist.merge_from(delta.aux_hist)
+        self.buffer.extend_from(delta.buffer)
+
 
 @dataclass
 class Side:
@@ -111,6 +140,22 @@ class Side:
             return self.second.parts
         assert self.part is not None
         return [self.part]
+
+    def scan_delta(self) -> "Side":
+        """Structural clone with empty accumulators (worker-private)."""
+        return Side(
+            second=self.second.scan_delta() if self.second is not None else None,
+            part=self.part.clone_empty() if self.part is not None else None,
+        )
+
+    def merge_scan_delta(self, delta: "Side") -> None:
+        """Fold one worker's delta in; callers merge in chunk order."""
+        if self.second is not None:
+            assert delta.second is not None
+            self.second.merge_scan_delta(delta.second)
+        if self.part is not None:
+            assert delta.part is not None
+            self.part.merge_from(delta.part)
 
 
 @dataclass
@@ -143,6 +188,37 @@ class BPending:
             return [p for s in self.sides for p in s.parts()]
         return self.parts
 
+    def scan_delta(self) -> "BPending":
+        """Structural clone with empty accumulators (one worker's delta).
+
+        Decision-time fields (split, zones, the linear projection, part
+        slots) are shared read-only; parts, sides and buffers are fresh
+        so each worker thread accumulates privately.  Covers all four
+        routing paths — exact, estimated, two-level and linear.
+        """
+        return replace(
+            self,
+            parts=[part.clone_empty() for part in self.parts],
+            buffer=RecordBuffer(budget_bytes=self.buffer.budget_bytes),
+            sides=[side.scan_delta() for side in self.sides],
+        )
+
+    def merge_scan_delta(self, delta: "BPending") -> None:
+        """Fold one worker's delta in; callers merge in chunk order."""
+        for part, dpart in zip(self.parts, delta.parts):
+            part.merge_from(dpart)
+        self.buffer.extend_from(delta.buffer)
+        for side, dside in zip(self.sides, delta.sides):
+            side.merge_scan_delta(dside)
+
+    def delta_nbytes(self) -> int:
+        """Bytes one fresh scan delta occupies (buffers start empty)."""
+        total = sum(part.mset.nbytes() for part in self.all_parts())
+        for side in self.sides:
+            if side.second is not None and side.second.aux_hist is not None:
+                total += side.second.aux_hist.nbytes()
+        return total
+
     def region_bounds(self) -> list[tuple[float, float]]:
         """Value range per part (single-level estimated path only)."""
         bounds: list[tuple[float, float]] = []
@@ -167,14 +243,24 @@ class CMPBBuilder(TreeBuilder):
     SECOND_MAX_ALIVE = 1
 
     def _build(self, dataset: Dataset, stats: BuildStats) -> DecisionTree:
-        cfg = self.config
-        if cfg.criterion != "gini":
+        if self.config.criterion != "gini":
             raise ValueError(f"{self.name} supports only the gini criterion")
+        if len(dataset.schema.continuous_indices()) < 2:
+            raise ValueError("CMP-B needs at least two continuous attributes")
+        engine = self._scan_engine()
+        try:
+            return self._build_loop(dataset, stats, engine)
+        finally:
+            stats.parallel_batches += engine.batches_dispatched
+            engine.close()
+
+    def _build_loop(
+        self, dataset: Dataset, stats: BuildStats, engine: ScanEngine
+    ) -> DecisionTree:
+        cfg = self.config
         schema = dataset.schema
         n, c = dataset.n_records, dataset.n_classes
         cont = schema.continuous_indices()
-        if len(cont) < 2:
-            raise ValueError("CMP-B needs at least two continuous attributes")
         table = self._open_table(dataset, stats)
         ckpt = self._checkpointer(dataset)
 
@@ -192,14 +278,17 @@ class CMPBBuilder(TreeBuilder):
             rng = np.random.default_rng(cfg.seed)
 
             # --- Scan 1: quantiling pass (root grid + class totals). ------
+            # Reservoir sampling consumes records in stream order, so this
+            # scan stays serial under every worker count.
             reservoirs = {
                 j: ReservoirSampler(cfg.reservoir_capacity, rng) for j in cont
             }
             totals = np.zeros(c, dtype=np.float64)
-            for chunk in table.scan():
-                totals += np.bincount(chunk.y, minlength=c)
-                for j in cont:
-                    reservoirs[j].extend(chunk.X[:, j])
+            with stats.phase("scan"):
+                for chunk in table.scan():
+                    totals += np.bincount(chunk.y, minlength=c)
+                    for j in cont:
+                        reservoirs[j].extend(chunk.X[:, j])
             root_edges = {
                 j: equal_depth_edges(reservoirs[j].sample(), cfg.n_intervals)
                 for j in cont
@@ -215,23 +304,46 @@ class CMPBBuilder(TreeBuilder):
             # --- Scan 2: root matrices (Figure 10, line 03). ---------------
             root_mset = MatrixSet.create(schema, root_x, root_edges)
             stats.memory.allocate("mset/root", root_mset.nbytes())
-            for chunk in table.scan():
-                root_mset.update(chunk.X, chunk.y)
+            with stats.phase("scan"):
+                engine.scan(
+                    table,
+                    route=lambda chunk, mset: mset.update(chunk.X, chunk.y),
+                    live=root_mset,
+                    make_delta=root_mset.clone_empty,
+                    merge_delta=root_mset.merge_from,
+                    memory=stats.memory,
+                    delta_nbytes=root_mset.nbytes(),
+                )
             self._charge_nid(stats, n)
 
             pendings = {}
-            first = self._decide(root, 0, root_mset, False, next_slot, schema, stats)
+            with stats.phase("resolve"):
+                first = self._decide(root, 0, root_mset, False, next_slot, schema, stats)
             stats.memory.release("mset/root")
             if first is not None:
                 pendings[0] = first
             level = 0
             if ckpt is not None:
-                ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
+                with stats.phase("checkpoint"):
+                    ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
 
         # --- One scan per one-or-two levels (Figure 10). -------------------
         while pendings:
-            for chunk in table.scan():
-                self._route_chunk(chunk, nid, pendings)
+            live = pendings
+            with stats.phase("scan"):
+                engine.scan(
+                    table,
+                    route=lambda chunk, tgt: self._route_chunk(chunk, nid, tgt),
+                    live=live,
+                    make_delta=lambda: {
+                        slot: p.scan_delta() for slot, p in live.items()
+                    },
+                    merge_delta=lambda delta: [
+                        live[slot].merge_scan_delta(d) for slot, d in delta.items()
+                    ],
+                    memory=stats.memory,
+                    delta_nbytes=sum(p.delta_nbytes() for p in live.values()),
+                )
             self._charge_nid(stats, n)
             for p in pendings.values():
                 stats.memory.allocate(
@@ -244,26 +356,28 @@ class CMPBBuilder(TreeBuilder):
                     ),
                 )
 
-            new_pendings: dict[int, BPending] = {}
-            remap: dict[int, int] = {}
-            for p in pendings.values():
-                items = self._resolve(p, nid, remap, next_slot, account, schema, stats)
-                stats.memory.release(f"parts/{p.node.node_id}")
-                stats.memory.release(f"buf/{p.node.node_id}")
-                for child, slot, mset, predicted in items:
-                    stats.memory.allocate(f"mset/{child.node_id}", mset.nbytes())
-                    q = self._decide(child, slot, mset, predicted, next_slot, schema, stats)
-                    stats.memory.release(f"mset/{child.node_id}")
-                    if q is not None:
-                        new_pendings[slot] = q
-            if remap:
-                self._apply_remap(nid, remap)
+            with stats.phase("resolve"):
+                new_pendings: dict[int, BPending] = {}
+                remap: dict[int, int] = {}
+                for p in pendings.values():
+                    items = self._resolve(p, nid, remap, next_slot, account, schema, stats)
+                    stats.memory.release(f"parts/{p.node.node_id}")
+                    stats.memory.release(f"buf/{p.node.node_id}")
+                    for child, slot, mset, predicted in items:
+                        stats.memory.allocate(f"mset/{child.node_id}", mset.nbytes())
+                        q = self._decide(child, slot, mset, predicted, next_slot, schema, stats)
+                        stats.memory.release(f"mset/{child.node_id}")
+                        if q is not None:
+                            new_pendings[slot] = q
+                if remap:
+                    self._apply_remap(nid, remap)
             pendings = new_pendings
             if cfg.prune == "public":
                 pendings = self._public_pass(root, pendings)
             level += 1
             if ckpt is not None:
-                ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
+                with stats.phase("checkpoint"):
+                    ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
 
         if ckpt is not None:
             ckpt.clear()

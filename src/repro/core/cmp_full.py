@@ -16,6 +16,12 @@ deferred-exactness trick CMP uses for univariate splits.
 On the paper's Function f (``age >= 40 and salary + commission >=
 100 000``) this produces the two-level tree of Figure 13 where univariate
 algorithms build the sprawling staircase of Figure 9.
+
+Chunk-parallel scans (:mod:`repro.core.parallel`) need nothing extra
+here: a linear pending routes through the generic :class:`BPending`
+delta — the projection line is shared read-only, each worker buffers its
+own slice of the band, and band buffers concatenate in chunk order — so
+full-CMP trees are bit-identical for any worker count too.
 """
 
 from __future__ import annotations

@@ -28,7 +28,7 @@ the data (:func:`repro.data.discretize.edges_from_histogram`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -45,6 +45,7 @@ from repro.core.builder import (
 )
 from repro.core.checkpoint import SlotCounter, loop_state as _loop_state
 from repro.core.histogram import CategoryHistogram, ClassHistogram
+from repro.core.parallel import ScanEngine
 from repro.core.intervals import analyze_attribute, choose_split_attribute
 from repro.core.splits import CategoricalSplit, NumericSplit, Split
 from repro.core.tree import DecisionTree, Node, TreeAccount
@@ -88,6 +89,29 @@ class PendingSplit:
         """True when the exact threshold is still pending."""
         return self.exact_split is None
 
+    def scan_delta(self) -> "PendingSplit":
+        """Structural clone with empty accumulators (one worker's delta).
+
+        Decision-time fields (split, zones, part slots) are shared
+        read-only; parts and buffer are fresh so each worker thread
+        accumulates privately during a parallel scan.
+        """
+        return replace(
+            self,
+            parts=[part.clone_empty() for part in self.parts],
+            buffer=RecordBuffer(budget_bytes=self.buffer.budget_bytes),
+        )
+
+    def merge_scan_delta(self, delta: "PendingSplit") -> None:
+        """Fold one worker's delta in; callers merge in chunk order."""
+        for part, dpart in zip(self.parts, delta.parts):
+            part.merge_from(dpart)
+        self.buffer.extend_from(delta.buffer)
+
+    def delta_nbytes(self) -> int:
+        """Bytes one fresh scan delta occupies (buffers start empty)."""
+        return sum(part.nbytes() for part in self.parts)
+
     def region_bounds(self) -> list[tuple[float, float]]:
         """Value range covered by each preliminary part, in order."""
         bounds: list[tuple[float, float]] = []
@@ -117,9 +141,19 @@ class CMPSBuilder(TreeBuilder):
     supports_integrated_pruning = True
 
     def _build(self, dataset: Dataset, stats: BuildStats) -> DecisionTree:
-        cfg = self.config
-        if cfg.criterion != "gini":
+        if self.config.criterion != "gini":
             raise ValueError(f"{self.name} supports only the gini criterion")
+        engine = self._scan_engine()
+        try:
+            return self._build_loop(dataset, stats, engine)
+        finally:
+            stats.parallel_batches += engine.batches_dispatched
+            engine.close()
+
+    def _build_loop(
+        self, dataset: Dataset, stats: BuildStats, engine: ScanEngine
+    ) -> DecisionTree:
+        cfg = self.config
         schema = dataset.schema
         n, c = dataset.n_records, dataset.n_classes
         table = self._open_table(dataset, stats)
@@ -140,14 +174,17 @@ class CMPSBuilder(TreeBuilder):
             rng = np.random.default_rng(cfg.seed)
 
             # --- Scan 1: quantiling pass (root grid + class totals). ------
+            # Reservoir sampling consumes records in stream order, so this
+            # scan stays serial under every worker count.
             reservoirs = {
                 j: ReservoirSampler(cfg.reservoir_capacity, rng) for j in cont
             }
             totals = np.zeros(c, dtype=np.float64)
-            for chunk in table.scan():
-                totals += np.bincount(chunk.y, minlength=c)
-                for j in cont:
-                    reservoirs[j].extend(chunk.X[:, j])
+            with stats.phase("scan"):
+                for chunk in table.scan():
+                    totals += np.bincount(chunk.y, minlength=c)
+                    for j in cont:
+                        reservoirs[j].extend(chunk.X[:, j])
             root_edges = {
                 j: equal_depth_edges(reservoirs[j].sample(), cfg.n_intervals)
                 for j in cont
@@ -161,52 +198,78 @@ class CMPSBuilder(TreeBuilder):
             # --- Scan 2: root histograms (Figure 4, line 03). -------------
             root_part = PartState(0, c, make_part_hists(schema, root_edges))
             stats.memory.allocate("hist/root", root_part.nbytes())
-            for chunk in table.scan():
-                root_part.update(chunk.X, chunk.y)
+            with stats.phase("scan"):
+                engine.scan(
+                    table,
+                    route=lambda chunk, part: part.update(chunk.X, chunk.y),
+                    live=root_part,
+                    make_delta=root_part.clone_empty,
+                    merge_delta=root_part.merge_from,
+                    memory=stats.memory,
+                    delta_nbytes=root_part.nbytes(),
+                )
             self._charge_nid(stats, n)
 
             pendings = {}
-            first = self._decide(root, 0, root_part.hists, next_slot, schema, stats)
+            with stats.phase("resolve"):
+                first = self._decide(root, 0, root_part.hists, next_slot, schema, stats)
             stats.memory.release("hist/root")
             if first is not None:
                 pendings[0] = first
             level = 0
             if ckpt is not None:
-                ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
+                with stats.phase("checkpoint"):
+                    ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
 
         # --- One scan per level (Figure 4, lines 01-21). ------------------
         while pendings:
-            for chunk in table.scan():
-                self._route_chunk(chunk, nid, pendings)
+            live = pendings
+            with stats.phase("scan"):
+                engine.scan(
+                    table,
+                    route=lambda chunk, tgt: self._route_chunk(chunk, nid, tgt),
+                    live=live,
+                    make_delta=lambda: {
+                        slot: p.scan_delta() for slot, p in live.items()
+                    },
+                    merge_delta=lambda delta: [
+                        live[slot].merge_scan_delta(d) for slot, d in delta.items()
+                    ],
+                    memory=stats.memory,
+                    delta_nbytes=sum(p.delta_nbytes() for p in live.values()),
+                )
             self._charge_nid(stats, n)
             overflowed = [
                 p for p in pendings.values() if p.is_estimated and p.buffer.overflowed
             ]
             if overflowed:
-                self._refill_overflowed(table, nid, overflowed, stats, n)
+                with stats.phase("scan"):
+                    self._refill_overflowed(table, nid, overflowed, stats, n, engine)
             for p in pendings.values():
                 stats.memory.allocate(f"buf/{p.node.node_id}", p.buffer.nbytes())
 
-            new_pendings: dict[int, PendingSplit] = {}
-            remap: dict[int, int] = {}
-            for p in pendings.values():
-                children = self._resolve(p, nid, remap, next_slot, account, schema, stats)
-                stats.memory.release(f"parts/{p.node.node_id}")
-                stats.memory.release(f"buf/{p.node.node_id}")
-                for child, slot, hists in children:
-                    stats.memory.allocate(f"hist/{child.node_id}", _hists_nbytes(hists))
-                    q = self._decide(child, slot, hists, next_slot, schema, stats)
-                    stats.memory.release(f"hist/{child.node_id}")
-                    if q is not None:
-                        new_pendings[slot] = q
-            if remap:
-                self._apply_remap(nid, remap, stats)
+            with stats.phase("resolve"):
+                new_pendings: dict[int, PendingSplit] = {}
+                remap: dict[int, int] = {}
+                for p in pendings.values():
+                    children = self._resolve(p, nid, remap, next_slot, account, schema, stats)
+                    stats.memory.release(f"parts/{p.node.node_id}")
+                    stats.memory.release(f"buf/{p.node.node_id}")
+                    for child, slot, hists in children:
+                        stats.memory.allocate(f"hist/{child.node_id}", _hists_nbytes(hists))
+                        q = self._decide(child, slot, hists, next_slot, schema, stats)
+                        stats.memory.release(f"hist/{child.node_id}")
+                        if q is not None:
+                            new_pendings[slot] = q
+                if remap:
+                    self._apply_remap(nid, remap, stats)
             pendings = new_pendings
             if cfg.prune == "public":
                 pendings = self._public_pass(root, pendings)
             level += 1
             if ckpt is not None:
-                ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
+                with stats.phase("checkpoint"):
+                    ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
 
         if ckpt is not None:
             ckpt.clear()
@@ -219,6 +282,7 @@ class CMPSBuilder(TreeBuilder):
         overflowed: list[PendingSplit],
         stats: BuildStats,
         n: int,
+        engine: ScanEngine,
     ) -> None:
         """Re-collect dropped alive-interval records with one extra scan.
 
@@ -226,21 +290,34 @@ class CMPSBuilder(TreeBuilder):
         blew its memory budget during the level's scan, its records are
         recoverable — alive records keep their parent's ``nid`` slot
         (only preliminary-region records were reassigned).  One shared
-        sequential pass refills every overflowed buffer, preserving the
-        exact append order of the un-budgeted path, so resolution (and
-        the final tree) is unchanged; only the extra scan is charged.
+        pass (chunk-parallel like any other scan; worker sub-buffers
+        concatenate in chunk order) refills every overflowed buffer,
+        preserving the exact append order of the un-budgeted path, so
+        resolution — and the final tree — is unchanged; only the extra
+        scan is charged.
         """
         stats.buffer_overflow_rescans += 1
         by_slot: dict[int, PendingSplit] = {}
         for p in overflowed:
             p.buffer = RecordBuffer()  # unbounded: contents fit by paper's premise
             by_slot[p.parent_slot] = p
-        for chunk in table.scan():
+
+        def route(chunk: ScanChunk, buffers: dict[int, RecordBuffer]) -> None:
             slots = nid[chunk.start : chunk.stop]
-            for slot, p in by_slot.items():
+            for slot, buf in buffers.items():
                 mask = slots == slot
                 if mask.any():
-                    p.buffer.append(chunk.X[mask], chunk.y[mask], chunk.rids[mask])
+                    buf.append(chunk.X[mask], chunk.y[mask], chunk.rids[mask])
+
+        engine.scan(
+            table,
+            route=route,
+            live={slot: p.buffer for slot, p in by_slot.items()},
+            make_delta=lambda: {slot: RecordBuffer() for slot in by_slot},
+            merge_delta=lambda delta: [
+                by_slot[slot].buffer.extend_from(buf) for slot, buf in delta.items()
+            ],
+        )
         stats.io.count_aux_read(n)
 
     # -- scan-time routing ---------------------------------------------------

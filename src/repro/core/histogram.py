@@ -83,6 +83,10 @@ class ClassHistogram:
             return np.zeros(self.n_classes, dtype=np.float64)
         return self.cumulative()[interval - 1]
 
+    def clone_empty(self) -> "ClassHistogram":
+        """Same edges and classes, zero counts (for scan-worker deltas)."""
+        return ClassHistogram(self.edges, self.n_classes)
+
     def merge_from(self, other: "ClassHistogram") -> None:
         """Accumulate another histogram with identical structure."""
         if other.counts.shape != self.counts.shape or not np.array_equal(
@@ -120,6 +124,10 @@ class CategoryHistogram:
     def totals(self) -> np.ndarray:
         """Class counts of the whole node."""
         return self.counts.sum(axis=0)
+
+    def clone_empty(self) -> "CategoryHistogram":
+        """Same shape, zero counts (for scan-worker deltas)."""
+        return CategoryHistogram(self.counts.shape[0], self.counts.shape[1])
 
     def merge_from(self, other: "CategoryHistogram") -> None:
         """Accumulate another histogram with identical structure."""

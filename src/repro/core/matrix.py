@@ -32,6 +32,16 @@ from repro.data.discretize import bin_index
 from repro.data.schema import Schema
 
 
+#: Narrow count dtype: 4 bytes per cell, the paper's memory story (Fig. 19).
+#: Integer, not float32 — float32 silently stops incrementing once a cell
+#: reaches 2**24 records, corrupting counts on exactly the large-data
+#: regime the paper targets.
+_COUNT_DTYPE = np.int32
+#: Widened dtype once a matrix has absorbed more records than int32 holds.
+_WIDE_DTYPE = np.int64
+_NARROW_MAX = np.iinfo(_COUNT_DTYPE).max
+
+
 class AxisStats:
     """Per-interval value extrema along one axis."""
 
@@ -68,13 +78,23 @@ class HistogramMatrix:
         self.x_edges = np.asarray(x_edges, dtype=np.float64)
         self.y_edges = np.asarray(y_edges, dtype=np.float64)
         self.n_classes = n_classes
-        # float32 counts: the paper's implementation uses 4-byte ints; the
-        # matrices dominate CMP's memory (Figure 19) so the width matters.
+        # 4-byte integer counts (the paper's implementation uses 4-byte
+        # ints; the matrices dominate CMP's memory, Figure 19).  Exact up
+        # to 2**31 - 1 per cell; ``_n_added`` tracks the total records ever
+        # absorbed so the cube widens to int64 before any cell could
+        # overflow — counting never saturates or wraps.
         self.counts = np.zeros(
             (len(self.x_edges) + 1, len(self.y_edges) + 1, n_classes),
-            dtype=np.float32,
+            dtype=_COUNT_DTYPE,
         )
+        self._n_added = 0
         self.y_stats = AxisStats(len(self.y_edges) + 1)
+
+    def clone_empty(self) -> "HistogramMatrix":
+        """Structurally identical matrix with zero counts (worker deltas)."""
+        return HistogramMatrix(
+            self.x_attr, self.y_attr, self.x_edges, self.y_edges, self.n_classes
+        )
 
     @property
     def qx(self) -> int:
@@ -90,14 +110,26 @@ class HistogramMatrix:
         """Memory footprint of the count cube."""
         return self.counts.nbytes
 
+    def _widen_for(self, incoming: int) -> None:
+        """Switch to the wide dtype before cell counts could exceed int32.
+
+        A cell can never hold more than the matrix's total record count,
+        so widening when ``_n_added`` approaches the narrow maximum keeps
+        every addition exact without scanning the cube for its max.
+        """
+        self._n_added += incoming
+        if self.counts.dtype != _WIDE_DTYPE and self._n_added > _NARROW_MAX:
+            self.counts = self.counts.astype(_WIDE_DTYPE)
+
     def update_binned(
         self, x_bins: np.ndarray, y_values: np.ndarray, labels: np.ndarray
     ) -> None:
         """Add records whose x-interval indices are already computed."""
         if len(labels) == 0:
             return
+        self._widen_for(len(labels))
         y_bins = bin_index(y_values, self.y_edges)
-        np.add.at(self.counts, (x_bins, y_bins, np.asarray(labels)), np.float32(1.0))
+        np.add.at(self.counts, (x_bins, y_bins, np.asarray(labels)), 1)
         self.y_stats.update(y_bins, y_values)
 
     def y_marginal_counts(self, x_lo: int = 0, x_hi: int | None = None) -> np.ndarray:
@@ -110,9 +142,11 @@ class HistogramMatrix:
         return self.counts.sum(axis=1)
 
     def merge_from(self, other: "HistogramMatrix") -> None:
-        """Accumulate another matrix with identical structure."""
+        """Accumulate another matrix with identical structure (widening
+        out of the narrow dtype first when the sum could overflow it)."""
         if other.counts.shape != self.counts.shape:
             raise ValueError("matrices must share shape to merge")
+        self._widen_for(other._n_added)
         self.counts += other.counts
         self.y_stats.merge_from(other.y_stats)
 
@@ -171,6 +205,26 @@ class MatrixSet:
                 ms.categorical[j] = CategoryHistogram(
                     attr.cardinality, schema.n_classes
                 )
+        return ms
+
+    def clone_empty(self) -> "MatrixSet":
+        """Structurally identical, empty matrix set.
+
+        Scan workers accumulate into private clones which are merged back
+        (``merge_from``) in chunk order; grids and attribute layout are
+        shared with the original, counts start at zero.
+        """
+        ms = MatrixSet(
+            x_attr=self.x_attr, x_edges=self.x_edges, n_classes=self.n_classes
+        )
+        ms.x_stats = AxisStats(len(self.x_edges) + 1)
+        ms.class_counts = np.zeros(self.n_classes, dtype=np.float64)
+        for j, m in self.matrices.items():
+            ms.matrices[j] = m.clone_empty()
+        for j, h in self.categorical.items():
+            ms.categorical[j] = CategoryHistogram(
+                h.n_categories, h.counts.shape[1]
+            )
         return ms
 
     @property

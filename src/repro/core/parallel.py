@@ -1,0 +1,170 @@
+"""Chunk-parallel scan engine with deterministic delta merging.
+
+Every CMP builder is level-synchronous: a tree level is one sequential
+pass over the training table, during which each chunk's records are
+routed into per-pending accumulators (class histograms, histogram
+matrices, alive-interval record buffers) and the ``nid`` record→slot
+map.  All of those accumulators are *mergeable sketches* — they expose
+exact ``merge_from`` reducers — which is precisely the structure that
+lets split finding parallelize in the streaming/massively-parallel
+model (Pham, Ta & Vu).
+
+:class:`ScanEngine` exploits that:
+
+* the level's chunk list is partitioned into ``workers`` **contiguous**
+  slices, preserving chunk order within each slice;
+* each worker thread reads its chunks through the shared (retrying,
+  possibly fault-injecting) table handle and routes them into a
+  **private delta** — a structural clone of the live pendings with
+  empty accumulators;
+* after the pass, deltas are merged into the live pendings **in slice
+  order**, i.e. in global chunk order.
+
+Determinism rule: every accumulator update is exact (integer-valued
+float64 or integer counts, extrema, concatenated record buffers), so
+merging worker deltas in chunk order reproduces the serial pass *bit
+for bit* — the built tree, its predictions and the scan counts are
+identical for any worker count.  ``nid`` writes need no delta at all:
+a chunk only ever writes the record ids it covers, so chunk-disjoint
+writes commute.
+
+The engine composes with the fault-tolerance layer unchanged: chunk
+reads go through :class:`~repro.io.retry.RetryingTable.read_chunk`
+(per-chunk retries with simulated backoff), injected crashes fire on
+``chunk_starts()`` in the caller's thread before workers launch, and
+level checkpoints see exactly the same post-merge state a serial build
+would produce — a checkpointed parallel build resumes bit-identically
+under any other worker count.
+
+With ``workers == 1`` the engine streams chunks straight into the live
+pendings — byte-for-byte the pre-engine serial path, no pool, no
+deltas, no merge.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.io.metrics import MemoryTracker
+
+#: Memory-tracker tag under which worker-delta bytes are charged.
+DELTA_ALLOCATION = "scan/worker-deltas"
+
+
+def partition_chunks(starts: Sequence[int], workers: int) -> list[list[int]]:
+    """Split chunk starts into at most ``workers`` contiguous, balanced runs.
+
+    Contiguity is what makes the merge deterministic: concatenating the
+    per-slice results in slice order reproduces global chunk order.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    n = len(starts)
+    w = min(workers, n)
+    if w == 0:
+        return []
+    base, extra = divmod(n, w)
+    slices: list[list[int]] = []
+    lo = 0
+    for i in range(w):
+        hi = lo + base + (1 if i < extra else 0)
+        slices.append(list(starts[lo:hi]))
+        lo = hi
+    return slices
+
+
+class ScanEngine:
+    """Executes accounted table scans, serially or chunk-parallel.
+
+    Parameters
+    ----------
+    workers:
+        Routing threads per scan.  ``1`` keeps the exact serial path; a
+        pool is created lazily only for ``workers > 1``.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+        #: Parallel chunk batches dispatched over the engine's lifetime.
+        self.batches_dispatched = 0
+
+    @property
+    def parallel(self) -> bool:
+        """True when scans fan chunks out across worker threads."""
+        return self.workers > 1
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="cmp-scan"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ScanEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def scan(
+        self,
+        table: Any,
+        route: Callable[[Any, Any], None],
+        live: Any,
+        make_delta: Callable[[], Any],
+        merge_delta: Callable[[Any], None],
+        *,
+        memory: MemoryTracker | None = None,
+        delta_nbytes: int = 0,
+    ) -> None:
+        """One full accounted pass over ``table``.
+
+        ``route(chunk, target)`` folds one chunk into ``target`` —
+        ``live`` on the serial path, a private ``make_delta()`` result
+        per worker otherwise.  Deltas are handed to ``merge_delta`` in
+        chunk order.  ``delta_nbytes`` (per delta) is charged to
+        ``memory`` for the duration of a parallel pass so worker copies
+        show up in the Figure 19 accounting.
+        """
+        if not self.parallel:
+            for chunk in table.scan():
+                route(chunk, live)
+            return
+        # Mirror RetryingTable.scan: charge the scan, then list the chunk
+        # starts (a fault injector's kill_at_scan fires here, in the
+        # caller's thread, before any worker launches).
+        table.stats.begin_scan()
+        slices = partition_chunks(list(table.chunk_starts()), self.workers)
+        if memory is not None and delta_nbytes:
+            memory.allocate(DELTA_ALLOCATION, len(slices) * delta_nbytes)
+        try:
+            pool = self._ensure_pool()
+
+            def job(chunk_starts: list[int]) -> Any:
+                delta = make_delta()
+                for start in chunk_starts:
+                    route(table.read_chunk(start), delta)
+                return delta
+
+            futures = [pool.submit(job, s) for s in slices]
+            self.batches_dispatched += len(slices)
+            # Collect in submission order == chunk order.  result() re-raises
+            # worker failures (e.g. ScanFailedError after exhausted retries).
+            for future in futures:
+                merge_delta(future.result())
+        finally:
+            if memory is not None and delta_nbytes:
+                memory.release(DELTA_ALLOCATION)
+
+
+__all__ = ["ScanEngine", "partition_chunks", "DELTA_ALLOCATION"]

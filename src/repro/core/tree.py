@@ -113,21 +113,26 @@ class DecisionTree:
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Per-class probabilities from the training-count distribution of
-        each record's leaf; shape ``(n, n_classes)``."""
+        each record's leaf; shape ``(n, n_classes)``.
+
+        A single leaf-indexed gather: one ``(n_leaves, c)`` probability
+        table plus a ``node_id -> row`` lookup replaces the former
+        per-leaf masked assignment, which rescanned all ``n`` leaf ids
+        once per leaf (O(n_leaves * n)).
+        """
         leaf_ids = self.apply(X)
-        proba_by_leaf: dict[int, np.ndarray] = {}
-        for node in self.iter_nodes():
-            if node.is_leaf:
-                total = node.class_counts.sum()
-                proba_by_leaf[node.node_id] = (
-                    node.class_counts / total
-                    if total > 0
-                    else np.full_like(node.class_counts, 1.0 / len(node.class_counts))
-                )
-        out = np.empty((len(leaf_ids), self.schema.n_classes), dtype=np.float64)
-        for leaf_id, proba in proba_by_leaf.items():
-            out[leaf_ids == leaf_id] = proba
-        return out
+        leaves = [n for n in self.iter_nodes() if n.is_leaf]
+        table = np.empty((len(leaves), self.schema.n_classes), dtype=np.float64)
+        lookup = np.zeros(max(n.node_id for n in leaves) + 1, dtype=np.intp)
+        for row, node in enumerate(leaves):
+            total = node.class_counts.sum()
+            table[row] = (
+                node.class_counts / total
+                if total > 0
+                else np.full_like(node.class_counts, 1.0 / len(node.class_counts))
+            )
+            lookup[node.node_id] = row
+        return table[lookup[leaf_ids]]
 
     def _route(
         self,
@@ -137,14 +142,19 @@ class DecisionTree:
         out: np.ndarray,
         predict: bool = False,
     ) -> None:
-        if len(idx) == 0:
-            return
-        if node.is_leaf:
-            out[idx] = node.majority_class if predict else node.node_id
-            return
-        goes_left = node.split.goes_left(X[idx])  # type: ignore[union-attr]
-        self._route(node.left, X, idx[goes_left], out, predict)  # type: ignore[arg-type]
-        self._route(node.right, X, idx[~goes_left], out, predict)  # type: ignore[arg-type]
+        # Iterative with an explicit stack: a chain tree deeper than
+        # Python's recursion limit (~1000) must still predict correctly.
+        stack = [(node, idx)]
+        while stack:
+            node, idx = stack.pop()
+            if len(idx) == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.majority_class if predict else node.node_id
+                continue
+            goes_left = node.split.goes_left(X[idx])  # type: ignore[union-attr]
+            stack.append((node.right, idx[~goes_left]))  # type: ignore[arg-type]
+            stack.append((node.left, idx[goes_left]))  # type: ignore[arg-type]
 
     def render(self) -> str:
         """Multi-line text rendering of the tree (for examples and docs)."""

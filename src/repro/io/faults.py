@@ -31,6 +31,7 @@ under fault injection without the builder knowing.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 import numpy as np
@@ -92,6 +93,12 @@ class FaultInjector:
         self.kill_at_scan = kill_at_scan
         self._rng = np.random.default_rng(seed)
         self._streak: dict[int, int] = {}
+        # Parallel scans issue chunk reads from worker threads; the decision
+        # stream (rng + streak table) must stay internally consistent.  The
+        # *order* of draws then follows thread scheduling, so retry counts
+        # may vary run-to-run under parallelism — trees never do (retries
+        # re-read the same chunk).
+        self._lock = threading.Lock()
         #: Scans started under this injector (across all wrapped tables).
         self.scans_started = 0
         #: Faults injected, by family — for test assertions.
@@ -110,25 +117,28 @@ class FaultInjector:
 
     def roll(self, start: int) -> RecoverableReadError | None:
         """Fault decision for one read of the chunk at record ``start``."""
-        if self._streak.get(start, 0) >= self.max_consecutive:
-            self._streak[start] = 0
-            return None
-        u = float(self._rng.random())
-        fault: RecoverableReadError | None = None
-        if u < self.transient_rate:
-            self.injected["transient"] += 1
-            fault = TransientReadError(f"injected transient fault at record {start}")
-        elif u < self.transient_rate + self.truncate_rate:
-            self.injected["truncated"] += 1
-            fault = TruncatedReadError(f"injected short read at record {start}")
-        elif u < self.transient_rate + self.truncate_rate + self.corrupt_rate:
-            self.injected["corrupt"] += 1
-            fault = CorruptPageError(f"injected corrupt page at record {start}")
-        if fault is None:
-            self._streak[start] = 0
-        else:
-            self._streak[start] = self._streak.get(start, 0) + 1
-        return fault
+        with self._lock:
+            if self._streak.get(start, 0) >= self.max_consecutive:
+                self._streak[start] = 0
+                return None
+            u = float(self._rng.random())
+            fault: RecoverableReadError | None = None
+            if u < self.transient_rate:
+                self.injected["transient"] += 1
+                fault = TransientReadError(
+                    f"injected transient fault at record {start}"
+                )
+            elif u < self.transient_rate + self.truncate_rate:
+                self.injected["truncated"] += 1
+                fault = TruncatedReadError(f"injected short read at record {start}")
+            elif u < self.transient_rate + self.truncate_rate + self.corrupt_rate:
+                self.injected["corrupt"] += 1
+                fault = CorruptPageError(f"injected corrupt page at record {start}")
+            if fault is None:
+                self._streak[start] = 0
+            else:
+                self._streak[start] = self._streak.get(start, 0) + 1
+            return fault
 
 
 class FaultyTable:

@@ -19,8 +19,23 @@ Three pieces:
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
+
+#: The counter fields of :class:`IOStats`, in snapshot order.
+_IO_COUNTERS = (
+    "scans",
+    "pages_read",
+    "records_read",
+    "aux_records_read",
+    "aux_records_written",
+    "random_seeks",
+    "read_retries",
+    "backoff_ms",
+)
 
 
 class IOStats:
@@ -29,18 +44,14 @@ class IOStats:
     All counts are cumulative over the lifetime of one tree build.
     ``aux_*`` counters cover algorithm-private disk structures (attribute
     lists, nid arrays swapped to disk, buffers) measured in *records*.
+
+    Mutators are guarded by a lock: the parallel scan engine
+    (:mod:`repro.core.parallel`) reads chunks from several worker threads
+    through one shared counter block, and ``+=`` on an attribute is not
+    atomic.
     """
 
-    __slots__ = (
-        "scans",
-        "pages_read",
-        "records_read",
-        "aux_records_read",
-        "aux_records_written",
-        "random_seeks",
-        "read_retries",
-        "backoff_ms",
-    )
+    __slots__ = (*_IO_COUNTERS, "_lock")
 
     def __init__(self) -> None:
         self.scans = 0
@@ -51,29 +62,35 @@ class IOStats:
         self.random_seeks = 0
         self.read_retries = 0
         self.backoff_ms = 0.0
+        self._lock = threading.Lock()
 
     def begin_scan(self) -> None:
         """Record the start of one sequential pass over the dataset."""
-        self.scans += 1
+        with self._lock:
+            self.scans += 1
 
     def count_pages(self, pages: int, records: int) -> None:
         """Record ``pages`` sequential page reads holding ``records`` rows."""
         if pages < 0 or records < 0:
             raise ValueError("page and record counts must be non-negative")
-        self.pages_read += pages
-        self.records_read += records
+        with self._lock:
+            self.pages_read += pages
+            self.records_read += records
 
     def count_aux_read(self, records: int) -> None:
         """Record reads of ``records`` rows from an auxiliary structure."""
-        self.aux_records_read += records
+        with self._lock:
+            self.aux_records_read += records
 
     def count_aux_write(self, records: int) -> None:
         """Record writes of ``records`` rows to an auxiliary structure."""
-        self.aux_records_written += records
+        with self._lock:
+            self.aux_records_written += records
 
     def count_seek(self, n: int = 1) -> None:
         """Record ``n`` random seeks (e.g. hash-probe driven I/O)."""
-        self.random_seeks += n
+        with self._lock:
+            self.random_seeks += n
 
     def count_retry(self, backoff_ms: float = 0.0) -> None:
         """Record one retried chunk read and the backoff it waited.
@@ -85,12 +102,13 @@ class IOStats:
         """
         if backoff_ms < 0:
             raise ValueError("backoff must be non-negative")
-        self.read_retries += 1
-        self.backoff_ms += backoff_ms
+        with self._lock:
+            self.read_retries += 1
+            self.backoff_ms += backoff_ms
 
     def snapshot(self) -> dict[str, int]:
         """Return a plain-dict copy of all counters."""
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {name: getattr(self, name) for name in _IO_COUNTERS}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
@@ -155,10 +173,17 @@ class CostModel:
     cpu_record_us: float = 15.0
     aux_record_us: float = 8.0
 
-    def simulated_ms(self, stats: IOStats) -> float:
-        """Convert raw counters to simulated milliseconds."""
+    def simulated_ms(self, stats: IOStats, scan_workers: int = 1) -> float:
+        """Convert raw counters to simulated milliseconds.
+
+        ``scan_workers`` is the chunk-parallel worker count of the build
+        (see :mod:`repro.core.parallel`): the per-record CPU charge is
+        divided across workers, while sequential page reads, seeks and
+        auxiliary-structure traffic stay serial — one spindle, however
+        many routing threads.
+        """
         io = stats.pages_read * self.seq_page_ms + stats.random_seeks * self.seek_ms
-        cpu = stats.records_read * self.cpu_record_us / 1000.0
+        cpu = stats.records_read * self.cpu_record_us / 1000.0 / max(1, scan_workers)
         aux = (
             (stats.aux_records_read + stats.aux_records_written)
             * self.aux_record_us
@@ -185,11 +210,28 @@ class BuildStats:
     predictions_correct: int = 0
     buffer_overflow_rescans: int = 0
     resumed_from_level: int = -1
+    #: Chunk-routing worker threads the build was configured with.
+    scan_workers: int = 1
+    #: Parallel chunk batches dispatched across all scans of the build.
+    parallel_batches: int = 0
+    #: Wall-clock seconds per build phase ("scan", "resolve", "checkpoint").
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock time of one named build phase."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + time.perf_counter() - start
+            )
 
     @property
     def simulated_ms(self) -> float:
         """Simulated build time in milliseconds under :class:`CostModel`."""
-        return self.cost_model.simulated_ms(self.io)
+        return self.cost_model.simulated_ms(self.io, self.scan_workers)
 
     @property
     def prediction_accuracy(self) -> float:
@@ -200,7 +242,7 @@ class BuildStats:
 
     def summary(self) -> dict[str, float]:
         """Flat dict used by experiment tables."""
-        return {
+        out = {
             "scans": self.io.scans,
             "pages_read": self.io.pages_read,
             "records_read": self.io.records_read,
@@ -215,7 +257,12 @@ class BuildStats:
             "linear_splits": self.linear_splits,
             "two_level_splits": self.two_level_splits,
             "read_retries": self.io.read_retries,
+            "scan_workers": self.scan_workers,
+            "parallel_batches": self.parallel_batches,
         }
+        for name, seconds in sorted(self.phase_seconds.items()):
+            out[f"phase_{name}_s"] = round(seconds, 4)
+        return out
 
 
 class Stopwatch:

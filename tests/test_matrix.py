@@ -159,3 +159,50 @@ class TestPseudoHistogram:
         np.testing.assert_array_equal(
             pseudo.atomic_intervals(), real.atomic_intervals()
         )
+
+
+class TestCountExactness:
+    """Regression: float32 counts silently saturate at 2**24 = 16 777 216.
+
+    The count cube is integer now and widens to int64 before any cell
+    could exceed int32; totals must stay exact far past the float32
+    saturation point.
+    """
+
+    def test_counts_exact_past_float32_saturation(self):
+        m = HistogramMatrix(0, 1, np.array([5.0]), np.array([5.0]), 1)
+        batch = 1 << 20
+        x_bins = np.zeros(batch, dtype=np.intp)
+        y_values = np.zeros(batch)
+        labels = np.zeros(batch, dtype=np.int64)
+        m.update_binned(x_bins, y_values, labels)
+        # Double the single cell by self-merging clones: 2**20 -> 2**25.
+        for _ in range(5):
+            other = HistogramMatrix(0, 1, np.array([5.0]), np.array([5.0]), 1)
+            other.counts = m.counts.copy()
+            other._n_added = m._n_added
+            m.merge_from(other)
+        expected = batch * 32  # 2**25, well past float32's 2**24 plateau
+        assert int(m.counts[0, 0, 0]) == expected
+        # And incremental updates keep counting exactly from there.
+        m.update_binned(x_bins[:3], y_values[:3], labels[:3])
+        assert int(m.counts[0, 0, 0]) == expected + 3
+        # float32 would have plateaued: (2**24) + 1 == 2**24 in float32.
+        assert np.float32(2**24) + np.float32(1) == np.float32(2**24)
+
+    def test_widens_to_int64_before_int32_overflow(self):
+        m = HistogramMatrix(0, 1, np.array([5.0]), np.array([5.0]), 1)
+        assert m.counts.dtype == np.int32  # 4 bytes/cell (Figure 19 story)
+        m._n_added = np.iinfo(np.int32).max - 1
+        m.update_binned(
+            np.zeros(2, dtype=np.intp), np.zeros(2), np.zeros(2, dtype=np.int64)
+        )
+        assert m.counts.dtype == np.int64
+
+    def test_merge_widens(self):
+        a = HistogramMatrix(0, 1, np.array([5.0]), np.array([5.0]), 1)
+        b = HistogramMatrix(0, 1, np.array([5.0]), np.array([5.0]), 1)
+        a._n_added = 2**30
+        b._n_added = 2**30 + 1
+        a.merge_from(b)
+        assert a.counts.dtype == np.int64

@@ -1,0 +1,473 @@
+"""Tests for the chunk-parallel scan engine and its determinism guarantees.
+
+Two layers of evidence:
+
+* **merge equivalence** — every accumulator the engine clones for worker
+  deltas (class/category histograms, histogram matrices, axis extrema,
+  matrix sets, record buffers) produces identical state whether a batch
+  stream is folded in one pass or partitioned arbitrarily and merged; and
+* **bit-identity** — the three CMP builders produce the same serialized
+  tree, predictions and scan counts under any worker count, including
+  under fault injection, buffer-budget overflow and checkpoint/resume.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import BuilderConfig
+from repro.core.builder import PartState, RecordBuffer, make_part_hists
+from repro.core.cmp_b import CMPBBuilder
+from repro.core.cmp_full import CMPBuilder
+from repro.core.cmp_s import CMPSBuilder
+from repro.core.histogram import CategoryHistogram, ClassHistogram
+from repro.core.matrix import AxisStats, HistogramMatrix, MatrixSet
+from repro.core.parallel import ScanEngine, partition_chunks
+from repro.core.serialize import tree_to_json
+from repro.data.schema import Schema, categorical, continuous
+from repro.data.synthetic import generate_agrawal
+from repro.io.faults import FaultInjector, FaultyDataset, InjectedCrash
+
+CFG = BuilderConfig(n_intervals=16, max_depth=4, min_records=30)
+BUILDERS = [CMPSBuilder, CMPBBuilder, CMPBuilder]
+
+
+@pytest.fixture(scope="module", params=["F2", "F7"])
+def dataset(request):
+    return generate_agrawal(request.param, 3_000, seed=5)
+
+
+# ---------------------------------------------------------------------------
+# partition_chunks
+# ---------------------------------------------------------------------------
+
+
+class TestPartitionChunks:
+    def test_contiguous_and_complete(self):
+        starts = list(range(0, 1000, 100))
+        slices = partition_chunks(starts, 3)
+        assert [s for sl in slices for s in sl] == starts
+        assert len(slices) == 3
+        # Balanced: sizes differ by at most one, largest first.
+        sizes = [len(sl) for sl in slices]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_more_workers_than_chunks(self):
+        slices = partition_chunks([0, 64], 8)
+        assert slices == [[0], [64]]
+
+    def test_empty(self):
+        assert partition_chunks([], 4) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            partition_chunks([0], 0)
+
+    @given(
+        n=st.integers(min_value=0, max_value=200),
+        workers=st.integers(min_value=1, max_value=16),
+    )
+    def test_property_order_preserved(self, n, workers):
+        starts = list(range(n))
+        slices = partition_chunks(starts, workers)
+        assert [s for sl in slices for s in sl] == starts
+        assert len(slices) == min(workers, n)
+
+
+# ---------------------------------------------------------------------------
+# Merge equivalence: chunked-and-merged == single pass
+# ---------------------------------------------------------------------------
+
+
+def _partition(n: int, cuts: list[int]) -> list[slice]:
+    """Slices covering [0, n) with the given (possibly ragged) cut points."""
+    points = sorted({c % (n + 1) for c in cuts} | {0, n})
+    return [slice(a, b) for a, b in zip(points, points[1:])]
+
+
+batches = st.lists(st.integers(min_value=0, max_value=10_000), max_size=6)
+
+
+class TestMergeEquivalence:
+    @given(seed=st.integers(0, 2**16), cuts=batches)
+    @settings(max_examples=50, deadline=None)
+    def test_class_histogram(self, seed, cuts):
+        rng = np.random.default_rng(seed)
+        n = 300
+        values = rng.uniform(0, 10, n)
+        labels = rng.integers(0, 3, n)
+        edges = np.array([2.0, 5.0, 8.0])
+        serial = ClassHistogram(edges, 3)
+        serial.update(values, labels)
+        merged = ClassHistogram(edges, 3)
+        for sl in _partition(n, cuts):
+            delta = merged.clone_empty()
+            delta.update(values[sl], labels[sl])
+            merged.merge_from(delta)
+        np.testing.assert_array_equal(merged.counts, serial.counts)
+        np.testing.assert_array_equal(merged.vmin, serial.vmin)
+        np.testing.assert_array_equal(merged.vmax, serial.vmax)
+
+    @given(seed=st.integers(0, 2**16), cuts=batches)
+    @settings(max_examples=50, deadline=None)
+    def test_category_histogram(self, seed, cuts):
+        rng = np.random.default_rng(seed)
+        n = 300
+        codes = rng.integers(0, 4, n).astype(float)
+        labels = rng.integers(0, 2, n)
+        serial = CategoryHistogram(4, 2)
+        serial.update(codes, labels)
+        merged = CategoryHistogram(4, 2)
+        for sl in _partition(n, cuts):
+            delta = merged.clone_empty()
+            delta.update(codes[sl], labels[sl])
+            merged.merge_from(delta)
+        np.testing.assert_array_equal(merged.counts, serial.counts)
+
+    @given(seed=st.integers(0, 2**16), cuts=batches)
+    @settings(max_examples=50, deadline=None)
+    def test_axis_stats(self, seed, cuts):
+        rng = np.random.default_rng(seed)
+        n = 300
+        bins = rng.integers(0, 5, n)
+        values = rng.normal(size=n)
+        serial = AxisStats(5)
+        serial.update(bins, values)
+        merged = AxisStats(5)
+        for sl in _partition(n, cuts):
+            delta = AxisStats(5)
+            delta.update(bins[sl], values[sl])
+            merged.merge_from(delta)
+        np.testing.assert_array_equal(merged.vmin, serial.vmin)
+        np.testing.assert_array_equal(merged.vmax, serial.vmax)
+
+    @given(seed=st.integers(0, 2**16), cuts=batches)
+    @settings(max_examples=50, deadline=None)
+    def test_histogram_matrix(self, seed, cuts):
+        rng = np.random.default_rng(seed)
+        n = 300
+        x_bins = rng.integers(0, 3, n)
+        y_values = rng.uniform(0, 10, n)
+        labels = rng.integers(0, 2, n)
+        x_edges = np.array([3.0, 6.0])
+        y_edges = np.array([2.0, 5.0, 8.0])
+        serial = HistogramMatrix(0, 1, x_edges, y_edges, 2)
+        serial.update_binned(x_bins, y_values, labels)
+        merged = serial.clone_empty()
+        for sl in _partition(n, cuts):
+            delta = merged.clone_empty()
+            delta.update_binned(x_bins[sl], y_values[sl], labels[sl])
+            merged.merge_from(delta)
+        np.testing.assert_array_equal(merged.counts, serial.counts)
+        np.testing.assert_array_equal(merged.y_stats.vmin, serial.y_stats.vmin)
+        np.testing.assert_array_equal(merged.y_stats.vmax, serial.y_stats.vmax)
+
+    @given(seed=st.integers(0, 2**16), cuts=batches)
+    @settings(max_examples=25, deadline=None)
+    def test_matrix_set(self, seed, cuts):
+        schema = Schema(
+            (continuous("x"), continuous("y"), categorical("c", ("a", "b"))),
+            ("n", "p"),
+        )
+        rng = np.random.default_rng(seed)
+        n = 300
+        X = np.column_stack(
+            [rng.uniform(0, 10, n), rng.uniform(0, 10, n), rng.integers(0, 2, n)]
+        ).astype(float)
+        y = rng.integers(0, 2, n)
+        edges = {0: np.array([3.0, 6.0]), 1: np.array([2.0, 5.0, 8.0])}
+        serial = MatrixSet.create(schema, 0, edges)
+        serial.update(X, y)
+        merged = serial.clone_empty()
+        for sl in _partition(n, cuts):
+            delta = merged.clone_empty()
+            delta.update(X[sl], y[sl])
+            merged.merge_from(delta)
+        np.testing.assert_array_equal(merged.class_counts, serial.class_counts)
+        for j in serial.matrices:
+            np.testing.assert_array_equal(
+                merged.matrices[j].counts, serial.matrices[j].counts
+            )
+        for j in serial.categorical:
+            np.testing.assert_array_equal(
+                merged.categorical[j].counts, serial.categorical[j].counts
+            )
+
+    @given(seed=st.integers(0, 2**16), cuts=batches)
+    @settings(max_examples=25, deadline=None)
+    def test_part_state(self, seed, cuts):
+        schema = Schema(
+            (continuous("x"), continuous("y"), categorical("c", ("a", "b"))),
+            ("n", "p"),
+        )
+        rng = np.random.default_rng(seed)
+        n = 300
+        X = np.column_stack(
+            [rng.uniform(0, 10, n), rng.uniform(0, 10, n), rng.integers(0, 2, n)]
+        ).astype(float)
+        y = rng.integers(0, 2, n)
+        edges = {0: np.array([3.0, 6.0]), 1: np.array([2.0, 5.0, 8.0])}
+        serial = PartState(0, 2, make_part_hists(schema, edges))
+        serial.update(X, y)
+        merged = PartState(0, 2, make_part_hists(schema, edges))
+        for sl in _partition(n, cuts):
+            delta = merged.clone_empty()
+            delta.update(X[sl], y[sl])
+            merged.merge_from(delta)
+        np.testing.assert_array_equal(merged.class_counts, serial.class_counts)
+        for j in serial.hists:
+            np.testing.assert_array_equal(
+                merged.hists[j].counts, serial.hists[j].counts
+            )
+
+
+class TestRecordBufferExtend:
+    def _batch(self, k, n=10):
+        X = np.full((n, 2), float(k))
+        y = np.full(n, k % 2, dtype=np.int64)
+        rids = np.arange(k * n, (k + 1) * n, dtype=np.int64)
+        return X, y, rids
+
+    def test_concatenation_order(self):
+        serial = RecordBuffer()
+        merged = RecordBuffer()
+        workers = [RecordBuffer(), RecordBuffer()]
+        for k in range(4):
+            serial.append(*self._batch(k))
+            workers[k // 2].append(*self._batch(k))
+        for w in workers:
+            merged.extend_from(w)
+        for a, b in zip(serial.concatenated(), merged.concatenated()):
+            np.testing.assert_array_equal(a, b)
+        assert merged.n_records == serial.n_records
+
+    def test_overflow_latches_from_worker(self):
+        merged = RecordBuffer(budget_bytes=1)
+        worker = RecordBuffer(budget_bytes=1)
+        worker.append(*self._batch(0))
+        assert worker.overflowed
+        merged.extend_from(worker)
+        assert merged.overflowed
+        assert merged.n_records == 10
+        assert not merged.X_chunks
+
+    def test_overflow_latches_on_total(self):
+        # Each worker fits its budget alone; the merged total does not —
+        # exactly when a serial pass would have overflowed too.
+        budget = 400
+        workers = [RecordBuffer(budget_bytes=budget) for _ in range(2)]
+        for k, w in enumerate(workers):
+            w.append(*self._batch(k, n=2))
+            assert not w.overflowed
+        merged = RecordBuffer(budget_bytes=120)
+        serial = RecordBuffer(budget_bytes=120)
+        for k in range(2):
+            serial.append(*self._batch(k, n=2))
+        for w in workers:
+            merged.extend_from(w)
+        assert serial.overflowed
+        assert merged.overflowed
+
+    def test_records_counted_after_overflow(self):
+        merged = RecordBuffer(budget_bytes=1)
+        w1 = RecordBuffer(budget_bytes=1)
+        w1.append(*self._batch(0))
+        merged.extend_from(w1)
+        w2 = RecordBuffer(budget_bytes=1)
+        w2.append(*self._batch(1))
+        merged.extend_from(w2)
+        assert merged.n_records == 20
+
+
+# ---------------------------------------------------------------------------
+# ScanEngine behaviour
+# ---------------------------------------------------------------------------
+
+
+class _FakeStats:
+    def __init__(self):
+        self.scans = 0
+
+    def begin_scan(self):
+        self.scans += 1
+
+
+class _FakeTable:
+    """Minimal chunked table: chunks are just ints."""
+
+    def __init__(self, n_chunks):
+        self.stats = _FakeStats()
+        self._n = n_chunks
+
+    def chunk_starts(self):
+        return range(self._n)
+
+    def read_chunk(self, start):
+        return start
+
+    def scan(self):
+        self.stats.begin_scan()
+        yield from self.chunk_starts()
+
+
+class TestScanEngine:
+    def test_serial_streams_into_live(self):
+        table = _FakeTable(5)
+        seen = []
+        with ScanEngine(1) as engine:
+            assert not engine.parallel
+            engine.scan(
+                table,
+                route=lambda chunk, tgt: tgt.append(chunk),
+                live=seen,
+                make_delta=list,
+                merge_delta=lambda d: pytest.fail("serial path must not merge"),
+            )
+        assert seen == [0, 1, 2, 3, 4]
+        assert table.stats.scans == 1
+
+    def test_parallel_merges_in_chunk_order(self):
+        table = _FakeTable(10)
+        merged = []
+        with ScanEngine(3) as engine:
+            assert engine.parallel
+            engine.scan(
+                table,
+                route=lambda chunk, tgt: tgt.append(chunk),
+                live=merged,
+                make_delta=list,
+                merge_delta=merged.extend,
+            )
+            assert engine.batches_dispatched == 3
+        assert merged == list(range(10))
+        assert table.stats.scans == 1
+
+    def test_worker_error_propagates(self):
+        table = _FakeTable(4)
+
+        def route(chunk, tgt):
+            if chunk == 2:
+                raise RuntimeError("boom")
+
+        with ScanEngine(2) as engine:
+            with pytest.raises(RuntimeError, match="boom"):
+                engine.scan(
+                    table,
+                    route=route,
+                    live=None,
+                    make_delta=list,
+                    merge_delta=lambda d: None,
+                )
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ScanEngine(0)
+
+
+# ---------------------------------------------------------------------------
+# Builder bit-identity, serial vs parallel
+# ---------------------------------------------------------------------------
+
+
+class TestParallelBitIdentity:
+    @pytest.mark.parametrize("builder_cls", BUILDERS)
+    def test_tree_and_io_identical(self, dataset, builder_cls):
+        serial = builder_cls(CFG).build(dataset)
+        parallel = builder_cls(CFG.with_(scan_workers=4)).build(dataset)
+        assert tree_to_json(parallel.tree) == tree_to_json(serial.tree)
+        np.testing.assert_array_equal(
+            parallel.tree.predict(dataset.X), serial.tree.predict(dataset.X)
+        )
+        # Same number of passes and the same pages touched: parallelism
+        # redistributes work, it never changes what is read.
+        assert parallel.stats.io.scans == serial.stats.io.scans
+        assert parallel.stats.io.pages_read == serial.stats.io.pages_read
+        assert parallel.stats.scan_workers == 4
+        assert parallel.stats.parallel_batches > 0
+        assert serial.stats.parallel_batches == 0
+
+    def test_many_worker_counts(self, dataset):
+        reference = tree_to_json(CMPBuilder(CFG).build(dataset).tree)
+        for workers in (2, 3, 7):
+            got = CMPBuilder(CFG.with_(scan_workers=workers)).build(dataset)
+            assert tree_to_json(got.tree) == reference, f"workers={workers}"
+
+    def test_phase_timings_recorded(self, dataset):
+        result = CMPBuilder(CFG.with_(scan_workers=2)).build(dataset)
+        assert {"scan", "resolve"} <= set(result.stats.phase_seconds)
+        summary = result.summary
+        assert "phase_scan_s" in summary
+        assert summary["scan_workers"] == 2
+
+    @pytest.mark.parametrize("builder_cls", BUILDERS)
+    def test_identical_under_fault_injection(self, dataset, builder_cls):
+        clean = builder_cls(CFG).build(dataset)
+        injector = FaultInjector(
+            transient_rate=0.08, truncate_rate=0.04, corrupt_rate=0.04, seed=3
+        )
+        faulty = builder_cls(CFG.with_(scan_workers=4)).build(
+            FaultyDataset(dataset, injector)
+        )
+        assert injector.total_injected > 0
+        assert faulty.stats.io.read_retries > 0
+        assert tree_to_json(faulty.tree) == tree_to_json(clean.tree)
+
+    def test_overflow_rescan_identical(self, dataset):
+        cfg = CFG.with_(buffer_budget_bytes=2_048)
+        serial = CMPSBuilder(cfg).build(dataset)
+        parallel = CMPSBuilder(cfg.with_(scan_workers=4)).build(dataset)
+        assert serial.stats.buffer_overflow_rescans > 0
+        assert (
+            parallel.stats.buffer_overflow_rescans
+            == serial.stats.buffer_overflow_rescans
+        )
+        assert tree_to_json(parallel.tree) == tree_to_json(serial.tree)
+        # And the degraded path still matches the unbudgeted tree.
+        unbudgeted = CMPSBuilder(CFG).build(dataset)
+        assert tree_to_json(parallel.tree) == tree_to_json(unbudgeted.tree)
+
+
+class TestParallelCheckpointResume:
+    @pytest.mark.parametrize("resume_workers", [1, 4])
+    def test_crash_parallel_resume_any_workers(
+        self, dataset, tmp_path, resume_workers
+    ):
+        """A mid-build checkpoint written under workers=4 resumes
+        bit-identically under any worker count."""
+        reference = CMPBuilder(CFG).build(dataset)
+        path = tmp_path / "build.ckpt"
+        injector = FaultInjector(kill_at_scan=4)
+        with pytest.raises(InjectedCrash):
+            CMPBuilder(
+                CFG.with_(checkpoint_path=str(path), scan_workers=4)
+            ).build(FaultyDataset(dataset, injector))
+        assert path.exists()
+        resumed = CMPBuilder(
+            CFG.with_(
+                checkpoint_path=str(path), resume=True, scan_workers=resume_workers
+            )
+        ).build(dataset)
+        assert resumed.stats.resumed_from_level >= 0
+        assert tree_to_json(resumed.tree) == tree_to_json(reference.tree)
+        assert not path.exists()  # cleared on completion
+
+
+class TestConfig:
+    def test_workers_validated(self):
+        with pytest.raises(ValueError, match="scan_workers"):
+            BuilderConfig(scan_workers=0)
+
+    def test_simulated_time_divides_cpu_only(self):
+        from repro.io.metrics import CostModel, IOStats
+
+        stats = IOStats()
+        stats.count_pages(10, 2_000)
+        model = CostModel()
+        serial = model.simulated_ms(stats)
+        parallel = model.simulated_ms(stats, scan_workers=4)
+        io_ms = 10 * model.seq_page_ms
+        cpu_ms = 2_000 * model.cpu_record_us / 1000.0
+        assert serial == pytest.approx(io_ms + cpu_ms)
+        assert parallel == pytest.approx(io_ms + cpu_ms / 4)

@@ -117,3 +117,70 @@ class TestTreeAccount:
         b = acc.new_node(1, np.array([1.0]))
         assert (a.node_id, b.node_id) == (0, 1)
         assert acc.created == 2
+
+
+def chain_tree(depth: int) -> DecisionTree:
+    """A degenerate path tree: node i splits x0 <= i, left child is a leaf."""
+    schema = Schema((continuous("x0"),), ("a", "b"))
+    account = TreeAccount()
+    root = account.new_node(0, np.array([depth + 1.0, depth + 1.0]))
+    node = root
+    for i in range(depth):
+        node.split = NumericSplit(0, float(i))
+        node.left = account.new_node(i + 1, np.array([1.0, 0.0]))
+        node.right = account.new_node(i + 1, np.array([depth - i, depth + 1.0]))
+        node = node.right
+    return DecisionTree(root, schema)
+
+
+class TestDeepTreeRouting:
+    """Regression: routing recursed per node and hit Python's recursion
+    limit (~1000) on deep chain trees; it is iterative now."""
+
+    def test_depth_2000_chain(self):
+        t = chain_tree(2_000)
+        assert t.depth == 2_000
+        X = np.array([[-0.5], [500.5], [10**9]])
+        np.testing.assert_array_equal(t.predict(X), [0, 0, 1])
+        leaf_ids = t.apply(X)
+        assert len(set(leaf_ids)) == 3
+
+    def test_deep_tree_proba(self):
+        proba = chain_tree(2_000).predict_proba(np.array([[-0.5], [10**9]]))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+
+class TestPredictProba:
+    def test_matches_per_leaf_computation(self):
+        t = small_tree()
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-2, 3, size=(200, 2))
+        proba = t.predict_proba(X)
+        # Reference: the former per-leaf masked loop.
+        leaf_ids = t.apply(X)
+        expected = np.zeros_like(proba)
+        for node in t.iter_nodes():
+            if not node.is_leaf:
+                continue
+            mask = leaf_ids == node.node_id
+            expected[mask] = node.class_counts / node.class_counts.sum()
+        np.testing.assert_array_equal(proba, expected)
+
+    def test_rows_sum_to_one(self):
+        t = small_tree()
+        X = np.random.default_rng(1).uniform(-2, 3, size=(64, 2))
+        proba = t.predict_proba(X)
+        assert proba.shape == (64, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_zero_count_leaf_uniform(self):
+        schema = Schema((continuous("x0"),), ("a", "b"))
+        account = TreeAccount()
+        root = account.new_node(0, np.array([2.0, 2.0]))
+        root.split = NumericSplit(0, 0.0)
+        root.left = account.new_node(1, np.array([0.0, 0.0]))
+        root.right = account.new_node(1, np.array([2.0, 2.0]))
+        t = DecisionTree(root, schema)
+        proba = t.predict_proba(np.array([[-1.0], [1.0]]))
+        np.testing.assert_allclose(proba[0], [0.5, 0.5])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
