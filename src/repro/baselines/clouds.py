@@ -285,7 +285,11 @@ class CloudsBuilder(TreeBuilder):
             a = boundary_best
             hist = hists[a.attr]
             assert isinstance(hist, ClassHistogram)
-            fallback_split = NumericSplit(a.attr, float(a.edges[a.best_boundary]))
+            fallback_split = NumericSplit(
+                a.attr,
+                float(a.edges[a.best_boundary]),
+                n_candidates=max(1, len(a.edges)),
+            )
             fallback_gini = a.gini_min
             fallback_left = hist.cumulative()[a.best_boundary]
 
@@ -383,7 +387,9 @@ class CloudsBuilder(TreeBuilder):
             k = int(np.argmin(ginis))
             if ginis[k] < best_gini - _EPS:
                 best_gini = float(ginis[k])
-                best_split = NumericSplit(probe.attr, float(v[distinct[k]]))
+                best_split = NumericSplit(
+                    probe.attr, float(v[distinct[k]]), n_candidates=len(distinct)
+                )
                 best_left = left[k]
                 improved = True
         if best_split is None or not np.isfinite(best_gini):

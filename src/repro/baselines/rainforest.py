@@ -224,7 +224,9 @@ class RainForestBuilder(TreeBuilder):
                 k = int(np.argmin(ginis))
                 if ginis[k] < best_gini:
                     best_gini = float(ginis[k])
-                    best_split = NumericSplit(j, float(avc.values[k]))
+                    best_split = NumericSplit(
+                        j, float(avc.values[k]), n_candidates=max(1, avc.entries - 1)
+                    )
                     best_left = cum[k]
             else:
                 hist = CategoryHistogram(attr.cardinality, schema.n_classes)

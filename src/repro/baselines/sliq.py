@@ -158,7 +158,9 @@ class SliqBuilder(TreeBuilder):
                     except ValueError:
                         continue
                     if lid not in best or g < best[lid][1]:
-                        best[lid] = (NumericSplit(j, thr), g)
+                        v = values[sel]  # sorted subset of a sorted list
+                        n_cand = max(1, int(np.count_nonzero(v[:-1] < v[1:])))
+                        best[lid] = (NumericSplit(j, thr, n_candidates=n_cand), g)
             else:
                 for lid in growable:
                     sel = entry_leaf == lid

@@ -129,7 +129,12 @@ class SprintBuilder(TreeBuilder):
                 except ValueError:
                     continue
                 if g < best_gini:
-                    best_gini, best = g, NumericSplit(j, thr)
+                    # Candidate thresholds = boundaries between distinct
+                    # values of the (sorted) attribute list — the MDL
+                    # split-encoding value term.
+                    v = alist.values
+                    n_cand = max(1, int(np.count_nonzero(v[:-1] < v[1:])))
+                    best_gini, best = g, NumericSplit(j, thr, n_candidates=n_cand)
             else:
                 hist = CategoryHistogram(
                     schema.attributes[j].cardinality, schema.n_classes

@@ -16,6 +16,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+import numpy as np
+
 from repro.config import BuilderConfig
 from repro.core.cmp_full import CMPBuilder
 from repro.data.synthetic import generate_agrawal
@@ -81,6 +83,29 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--records", type=int, default=100_000)
     _add_common(p)
 
+    p = sub.add_parser(
+        "serve-bench",
+        help="Benchmark the compiled serving engine against the object walker",
+    )
+    p.add_argument("--records", type=int, default=200_000)
+    p.add_argument("--depth", type=int, default=10)
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=50_000,
+        metavar="N",
+        help="rows per serving request (the record stream is split into "
+        "ceil(records/batch) requests)",
+    )
+    p.add_argument(
+        "--serve-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="row-sharding threads inside the serving engine",
+    )
+    p.add_argument("--seed", type=int, default=0)
+
     p = sub.add_parser("demo", help="Train CMP on a synthetic function, print the tree")
     p.add_argument("--function", default="Ff")
     p.add_argument("--records", type=int, default=50_000)
@@ -124,6 +149,48 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "prediction":
         print(experiments.prediction_accuracy(args.records, _config(args), args.seed))
         return 0
+    if args.command == "serve-bench":
+        import time
+
+        from repro.eval.treegen import random_batch, random_tree
+        from repro.serve import ModelRegistry, ServingEngine
+
+        tree = random_tree(depth=args.depth, seed=args.seed)
+        registry = ModelRegistry()
+        key = registry.register(tree)
+        X = random_batch(tree.schema, args.records, seed=args.seed + 1)
+
+        start = time.perf_counter()
+        walked = tree.walk_predict(X)
+        walk_s = time.perf_counter() - start
+
+        with ServingEngine(registry, workers=args.serve_workers) as engine:
+            parts = []
+            for lo in range(0, args.records, args.batch):
+                parts.append(engine.predict(key, X[lo : lo + args.batch]))
+            served = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        snap = registry.stats(key).snapshot()
+
+        identical = bool(np.array_equal(served, walked))
+        rows = [
+            {
+                "model": key,
+                "nodes": tree.n_nodes,
+                "records": args.records,
+                "batches": int(snap["batches"]),
+                "mean_batch": round(snap["mean_batch"], 1),
+                "mean_latency_ms": round(snap["mean_latency_ms"], 3),
+                "records_per_s": round(snap["records_per_s"], 1),
+                "walker_records_per_s": round(args.records / max(walk_s, 1e-9), 1),
+                "speedup": round(
+                    snap["records_per_s"] / max(args.records / max(walk_s, 1e-9), 1e-9),
+                    2,
+                ),
+                "bit_identical": identical,
+            }
+        ]
+        print(format_table(rows))
+        return 0 if identical else 1
     if args.command == "demo":
         if args.resume and not args.checkpoint:
             parser.error("--resume requires --checkpoint")

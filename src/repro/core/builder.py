@@ -320,6 +320,9 @@ class ResolvedThreshold:
     gini: float
     #: True when the winning point came from inside an alive interval.
     from_buffer: bool
+    #: Candidate thresholds examined (best boundary + distinct buffered
+    #: values); feeds the MDL split-encoding value term.
+    n_candidates: int = 1
 
 
 def resolve_exact_threshold(
@@ -364,9 +367,11 @@ def resolve_exact_threshold(
     best_gini = np.inf
     best_thr = np.nan
     best_from_buffer = False
+    n_candidates = 0
     if best_boundary_value is not None and np.isfinite(best_boundary_gini):
         best_gini = float(best_boundary_gini)
         best_thr = float(best_boundary_value)
+        n_candidates = 1
 
     n_classes = len(totals)
     for (lo, hi), cum_below in zip(alive_bounds, alive_cum_below):
@@ -387,6 +392,7 @@ def resolve_exact_threshold(
         distinct = np.nonzero(v[:-1] < v[1:])[0]
         if len(distinct) == 0:
             continue
+        n_candidates += len(distinct)
         left = cum[distinct]
         nl = left.sum(axis=1)
         valid = (nl > 0) & (nl < n)
@@ -402,7 +408,7 @@ def resolve_exact_threshold(
             best_from_buffer = True
     if not np.isfinite(best_gini):
         return None
-    return ResolvedThreshold(best_thr, best_gini, best_from_buffer)
+    return ResolvedThreshold(best_thr, best_gini, best_from_buffer, n_candidates)
 
 
 __all__ = [

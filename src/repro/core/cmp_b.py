@@ -178,6 +178,9 @@ class BPending:
     # --- two-level path ----------------------------------------------------
     two_level: bool = False
     first_exact_threshold: float | None = None
+    #: Candidate-threshold count behind ``first_exact_threshold`` (the MDL
+    #: split-encoding value term).
+    first_exact_candidates: int = 1
     sides: list[Side] = field(default_factory=list)
     # --- linear path (full CMP): a projection band instead of an attribute --
     linear: "LinearSplit | None" = None
@@ -604,7 +607,9 @@ class CMPBBuilder(TreeBuilder):
             hist = node_hists[winner.attr]
             if not winner.alive:
                 exact_split = NumericSplit(
-                    winner.attr, float(winner.edges[winner.best_boundary])
+                    winner.attr,
+                    float(winner.edges[winner.best_boundary]),
+                    n_candidates=max(1, len(winner.edges)),
                 )
             else:
                 runs = merge_contiguous(winner.alive)
@@ -676,6 +681,7 @@ class CMPBBuilder(TreeBuilder):
         else:
             k = winner.best_boundary
             p.first_exact_threshold = float(first_hist.edges[k])
+            p.first_exact_candidates = max(1, len(first_hist.edges))
             ranges = [(0, k + 1), (k + 1, q1)]
 
         for lo_i, hi_i in ranges:
@@ -782,6 +788,7 @@ class CMPBBuilder(TreeBuilder):
                 exact_split=NumericSplit(
                     side_winner.attr,
                     float(side_winner.edges[side_winner.best_boundary]),
+                    n_candidates=max(1, len(side_winner.edges)),
                 ),
             )
         i0, i1 = runs[0]
@@ -909,7 +916,7 @@ class CMPBBuilder(TreeBuilder):
             for part in p.parts:
                 remap[part.slot] = p.parent_slot
             return []
-        node.split = NumericSplit(p.attr, threshold)
+        node.split = NumericSplit(p.attr, threshold, n_candidates=res.n_candidates)
         left = account.new_node(node.depth + 1, left_mset.class_counts.copy())
         right = account.new_node(node.depth + 1, right_mset.class_counts.copy())
         node.left, node.right = left, right
@@ -1017,6 +1024,7 @@ class CMPBBuilder(TreeBuilder):
         node = p.node
         if p.first_exact_threshold is not None:
             threshold = p.first_exact_threshold
+            first_candidates = p.first_exact_candidates
         else:
             Xb, yb, rids = p.buffer.concatenated()
             buf_vals = Xb[:, p.attr] if len(yb) else np.empty(0)
@@ -1036,6 +1044,7 @@ class CMPBBuilder(TreeBuilder):
             if res.from_buffer:
                 stats.splits_resolved_exactly += 1
             threshold = res.threshold
+            first_candidates = res.n_candidates
             if len(yb):
                 goes_left = buf_vals <= threshold
                 for s, m in ((0, goes_left), (1, ~goes_left)):
@@ -1057,7 +1066,7 @@ class CMPBBuilder(TreeBuilder):
             for part in p.all_parts():
                 remap[part.slot] = p.parent_slot
             return []
-        node.split = NumericSplit(p.attr, threshold)
+        node.split = NumericSplit(p.attr, threshold, n_candidates=first_candidates)
         node.left, node.right = children
         return items
 
@@ -1171,7 +1180,10 @@ class CMPBBuilder(TreeBuilder):
         )
         k = int(np.argmin(ginis))
         stats.splits_resolved_exactly += 1
-        return NumericSplit(sec.attr, float(cand_thr[k])), float(cand_thr[k])
+        return (
+            NumericSplit(sec.attr, float(cand_thr[k]), n_candidates=len(cand_thr)),
+            float(cand_thr[k]),
+        )
 
     def _merge_side(
         self,

@@ -402,7 +402,11 @@ class CMPSBuilder(TreeBuilder):
         hist = hists[winner.attr]
         assert isinstance(hist, ClassHistogram)
         if not winner.alive:
-            split = NumericSplit(winner.attr, float(winner.edges[winner.best_boundary]))
+            split = NumericSplit(
+                winner.attr,
+                float(winner.edges[winner.best_boundary]),
+                n_candidates=max(1, len(winner.edges)),
+            )
             return self._new_pending_exact(node, slot, split, child_edges, next_slot, schema, stats)
 
         # Estimated split around the alive intervals.
@@ -561,7 +565,7 @@ class CMPSBuilder(TreeBuilder):
             remap[rslot] = p.parent_slot
             return []
 
-        node.split = NumericSplit(p.attr, threshold)
+        node.split = NumericSplit(p.attr, threshold, n_candidates=res.n_candidates)
         left = account.new_node(node.depth + 1, left_counts)
         right = account.new_node(node.depth + 1, right_counts)
         node.left, node.right = left, right

@@ -40,6 +40,23 @@ class GridLine:
     y: float
 
 
+def _require_proper(line: GridLine) -> None:
+    """Reject degenerate lines (``x <= 0`` or ``y <= 0``).
+
+    A degenerate intercept makes ``rhs = x * y`` collapse to zero and the
+    cross-multiplied under/above tests misclassify cells — with both
+    intercepts zero every cell satisfies *both* tests at once, so the
+    partition double-counts.  The intercept walk starts at ``(1, 1)`` and
+    only grows, so it can never propose such a line; anything else must
+    not either.
+    """
+    if not (line.x > 0 and line.y > 0):
+        raise ValueError(
+            f"degenerate grid line ({line.x:g}, {line.y:g}): both "
+            "intercepts must be positive"
+        )
+
+
 def classify_cells(qx: int, qy: int, line: GridLine) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Classify grid cells against a line (under / above / on).
 
@@ -47,7 +64,9 @@ def classify_cells(qx: int, qy: int, line: GridLine) -> tuple[np.ndarray, np.nda
     is *under* when its far corner is on or below the line, *above* when
     its near corner is on or over it, and *on the line* otherwise.
     Comparisons use the cross-multiplied form so no division is involved.
+    Degenerate lines raise ``ValueError`` (see :func:`_require_proper`).
     """
+    _require_proper(line)
     i = np.arange(qx, dtype=np.float64)[:, None]
     j = np.arange(qy, dtype=np.float64)[None, :]
     rhs = line.x * line.y
@@ -89,6 +108,7 @@ class _WalkScratch:
 
     def evaluate(self, line: GridLine) -> tuple[float, bool]:
         """Three-way gini of the line plus whether any cell is above it."""
+        _require_proper(line)
         rhs = line.x * line.y
         under = (self.far_i * line.y + self.far_j * line.x) <= rhs
         above = (self.near_i * line.y + self.near_j * line.x) >= rhs

@@ -1,0 +1,163 @@
+"""Optional native routing kernel, built on demand with the system C compiler.
+
+The numpy descent in :mod:`repro.core.compiled` streams whole columns
+per tree node; a scalar C loop visits each *record's* row once and walks
+it root-to-leaf while the row sits in cache, which is several times
+faster again.  This module compiles that loop (~40 lines of C, no
+dependencies) into a shared library at first use via whatever ``cc`` /
+``gcc`` / ``clang`` the machine has, loads it through :mod:`ctypes`, and
+hands back a kernel callable.  No compiler, a failed compile, an
+unusual platform, or ``CMP_NO_NATIVE=1`` in the environment all degrade
+to returning ``None`` — callers then use the pure-numpy path, which is
+always available and bit-identical.
+
+Bit-identity notes: the kernel is compiled with ``-ffp-contract=off``
+so ``a*x + b*y`` rounds exactly like the two-instruction numpy
+evaluation (no FMA contraction), and the categorical code conversion
+uses the same float→int64 C cast semantics numpy's ``astype(intp)``
+has on every platform where this kernel builds (the build is refused
+on platforms where ``intp`` is not 64-bit).
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* Node tags match repro.core.compiled: LEAF=0 NUMERIC=1 CATEGORICAL=2
+ * LINEAR=3.  Leaves self-loop through left/right, so the walk simply
+ * stops when it sees a leaf tag. */
+void cmp_route(int64_t n, int64_t ncols, const double *X,
+               const int8_t *kind, const int32_t *attr, const int32_t *attr2,
+               const double *coef_a, const double *coef_b,
+               const double *threshold,
+               const int64_t *left, const int64_t *right,
+               const uint8_t *default_left,
+               const int64_t *cat_offset, const int64_t *cat_len,
+               const uint8_t *cat_mask,
+               int64_t *out)
+{
+    for (int64_t r = 0; r < n; ++r) {
+        const double *row = X + r * ncols;
+        int64_t i = 0;
+        for (;;) {
+            int8_t k = kind[i];
+            int go;
+            if (k == 0)
+                break;
+            if (k == 1) {
+                go = row[attr[i]] <= threshold[i];
+            } else if (k == 3) {
+                go = coef_a[i] * row[attr[i]] + coef_b[i] * row[attr2[i]]
+                     <= threshold[i];
+            } else {
+                int64_t code = (int64_t)row[attr[i]];
+                if (code >= 0 && code < cat_len[i])
+                    go = cat_mask[cat_offset[i] + code];
+                else
+                    go = default_left[i];
+            }
+            i = go ? left[i] : right[i];
+        }
+        out[r] = i;
+    }
+}
+"""
+
+_lock = threading.Lock()
+_kernel = None
+_resolved = False
+
+
+def _build():
+    if np.intp(0).itemsize != 8 or np.dtype(np.int64).byteorder not in ("=", "<", ">"):
+        return None
+    cc = (
+        os.environ.get("CC")
+        or shutil.which("cc")
+        or shutil.which("gcc")
+        or shutil.which("clang")
+    )
+    if not cc:
+        return None
+    tmpdir = tempfile.mkdtemp(prefix="cmp-repro-native-")
+    atexit.register(shutil.rmtree, tmpdir, ignore_errors=True)
+    src = os.path.join(tmpdir, "route.c")
+    lib_path = os.path.join(tmpdir, "route.so")
+    with open(src, "w", encoding="utf-8") as f:
+        f.write(_SOURCE)
+    subprocess.run(
+        [cc, "-O2", "-ffp-contract=off", "-fPIC", "-shared", src, "-o", lib_path],
+        check=True,
+        capture_output=True,
+        timeout=120,
+    )
+    lib = ctypes.CDLL(lib_path)
+    fn = lib.cmp_route
+    fn.argtypes = [ctypes.c_int64, ctypes.c_int64] + [ctypes.c_void_p] * 14
+    fn.restype = None
+
+    def kernel(ct, X: np.ndarray, out: np.ndarray) -> None:
+        n, ncols = X.shape
+        fn(
+            n,
+            ncols,
+            X.ctypes.data,
+            ct.kind.ctypes.data,
+            ct.attr.ctypes.data,
+            ct.attr2.ctypes.data,
+            ct.coef_a.ctypes.data,
+            ct.coef_b.ctypes.data,
+            ct.threshold.ctypes.data,
+            ct.left.ctypes.data,
+            ct.right.ctypes.data,
+            ct.default_left.ctypes.data,
+            ct.cat_offset.ctypes.data,
+            ct.cat_len.ctypes.data,
+            ct.cat_mask.ctypes.data,
+            out.ctypes.data,
+        )
+
+    return kernel
+
+
+def route_kernel():
+    """The native routing kernel, or ``None`` when unavailable.
+
+    Resolved once per process (build + load on first call); honours
+    ``CMP_NO_NATIVE=1`` for forcing the numpy path, e.g. to compare the
+    two implementations or on machines where the toolchain misbehaves.
+    """
+    global _kernel, _resolved
+    if _resolved:
+        return _kernel
+    with _lock:
+        if _resolved:
+            return _kernel
+        if os.environ.get("CMP_NO_NATIVE"):
+            _kernel = None
+        else:
+            try:
+                _kernel = _build()
+            except Exception:
+                _kernel = None
+        _resolved = True
+    return _kernel
+
+
+def native_available() -> bool:
+    """True when the C kernel built (or will build) on this machine."""
+    return route_kernel() is not None
+
+
+__all__ = ["route_kernel", "native_available"]

@@ -20,7 +20,14 @@ from repro.data.schema import Attribute, AttributeKind, Schema
 def split_to_dict(split: Split) -> dict[str, object]:
     """Tagged plain-dict form of a split criterion."""
     if isinstance(split, NumericSplit):
-        return {"kind": "numeric", "attr": split.attr, "threshold": split.threshold}
+        out: dict[str, object] = {
+            "kind": "numeric",
+            "attr": split.attr,
+            "threshold": split.threshold,
+        }
+        if split.n_candidates is not None:
+            out["n_candidates"] = split.n_candidates
+        return out
     if isinstance(split, CategoricalSplit):
         return {
             "kind": "categorical",
@@ -43,7 +50,12 @@ def split_from_dict(data: dict[str, object]) -> Split:
     """Inverse of :func:`split_to_dict`."""
     kind = data.get("kind")
     if kind == "numeric":
-        return NumericSplit(int(data["attr"]), float(data["threshold"]))  # type: ignore[arg-type]
+        n_cand = data.get("n_candidates")
+        return NumericSplit(
+            int(data["attr"]),  # type: ignore[arg-type]
+            float(data["threshold"]),  # type: ignore[arg-type]
+            n_candidates=int(n_cand) if n_cand is not None else None,  # type: ignore[arg-type]
+        )
     if kind == "categorical":
         return CategoricalSplit(
             int(data["attr"]), tuple(bool(b) for b in data["left_mask"])  # type: ignore[arg-type]

@@ -44,10 +44,19 @@ def _attr_name(schema: Schema | None, attr: int) -> str:
 
 @dataclass(frozen=True)
 class NumericSplit(Split):
-    """``value(attr) <= threshold`` routes left."""
+    """``value(attr) <= threshold`` routes left.
+
+    ``n_candidates`` records how many candidate thresholds the builder
+    examined when it chose this split (interval boundaries plus distinct
+    buffered values).  It does not affect routing; MDL pruning uses it
+    for the SLIQ/C4.5 value term — ``log2(candidate count)`` bits rather
+    than ``log2(n_records)`` — falling back to the record count when the
+    builder did not supply it.
+    """
 
     attr: int
     threshold: float
+    n_candidates: int | None = None
 
     def goes_left(self, X: np.ndarray) -> np.ndarray:
         return X[:, self.attr] <= self.threshold
@@ -69,10 +78,23 @@ class CategoricalSplit(Split):
     attr: int
     left_mask: tuple[bool, ...]
 
-    def goes_left(self, X: np.ndarray) -> np.ndarray:
+    def goes_left(self, X: np.ndarray, unseen_left: bool = False) -> np.ndarray:
+        """Boolean goes-left vector; ``unseen_left`` routes codes outside
+        ``left_mask`` (categories never seen at training time, or negative
+        codes from NaN casts).
+
+        Indexing ``mask[codes]`` directly raised ``IndexError`` on unseen
+        codes; the tree walker and the compiled engine both pass the
+        heavier child as the default so their routing agrees.
+        """
         mask = np.asarray(self.left_mask, dtype=bool)
         codes = X[:, self.attr].astype(np.intp)
-        return mask[codes]
+        seen = (codes >= 0) & (codes < len(mask))
+        if seen.all():
+            return mask[codes]
+        out = np.full(len(codes), unseen_left, dtype=bool)
+        out[seen] = mask[codes[seen]]
+        return out
 
     def describe(self, schema: Schema | None = None) -> str:
         name = _attr_name(schema, self.attr)

@@ -8,7 +8,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.gini import gini
-from repro.core.splits import Split
+from repro.core.splits import CategoricalSplit, Split
 from repro.data.schema import Schema
 
 
@@ -65,12 +65,55 @@ class Node:
         self.right = None
 
 
+def _as_batch(X: np.ndarray) -> np.ndarray:
+    """Coerce ``X`` to a float64 record batch.
+
+    An empty batch may arrive as shape ``(0,)`` (e.g. a plain ``[]``);
+    it is reshaped to ``(0, 1)`` so column indexing stays valid and the
+    prediction paths return correctly shaped empty outputs.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1 and len(X) == 0:
+        return X.reshape(0, 1)
+    return X
+
+
 class DecisionTree:
-    """A trained classifier: a root node plus the schema it was built on."""
+    """A trained classifier: a root node plus the schema it was built on.
+
+    ``predict`` / ``predict_proba`` / ``apply`` route whole batches through
+    the compiled array form (:mod:`repro.core.compiled`), built lazily on
+    first use and invalidated when the tree is pruned.  The original
+    object walker stays available as ``walk_*`` reference methods; the two
+    are bit-identical on every input.
+    """
 
     def __init__(self, root: Node, schema: Schema) -> None:
         self.root = root
         self.schema = schema
+        self._compiled = None
+        self._compiled_nodes = -1
+
+    def compiled(self):
+        """The tree's compiled form, rebuilt when the structure changed.
+
+        The cache key is the node count: pruning (the only in-repo
+        mutation of a finished tree) strictly shrinks the tree, so a
+        stale cache can always be detected.  Code that mutates nodes
+        without changing their count must call :meth:`invalidate_compiled`.
+        """
+        from repro.core.compiled import compile_tree
+
+        n_nodes = self.n_nodes
+        if self._compiled is None or self._compiled_nodes != n_nodes:
+            self._compiled = compile_tree(self)
+            self._compiled_nodes = n_nodes
+        return self._compiled
+
+    def invalidate_compiled(self) -> None:
+        """Drop the compiled form (called by pruning after ``make_leaf``)."""
+        self._compiled = None
+        self._compiled_nodes = -1
 
     def iter_nodes(self) -> Iterator[Node]:
         """Pre-order traversal of all nodes."""
@@ -99,28 +142,45 @@ class DecisionTree:
 
     def apply(self, X: np.ndarray) -> np.ndarray:
         """Route records to leaves; returns the leaf ``node_id`` per record."""
-        X = np.asarray(X, dtype=np.float64)
+        return self.compiled().apply(X)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict a class label for each record."""
+        return self.compiled().predict(X)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Per-class probabilities from the training-count distribution of
+        each record's leaf; shape ``(n, n_classes)``."""
+        return self.compiled().predict_proba(X)
+
+    # -- object-walker reference implementations ----------------------------
+    #
+    # The compiled engine is asserted bit-identical to these; they remain
+    # the executable specification (and the benchmark baseline).
+
+    def walk_apply(self, X: np.ndarray) -> np.ndarray:
+        """Object-walker ``apply``: leaf ``node_id`` per record."""
+        X = _as_batch(X)
         out = np.empty(len(X), dtype=np.int64)
         self._route(self.root, X, np.arange(len(X)), out)
         return out
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        """Predict a class label for each record."""
-        X = np.asarray(X, dtype=np.float64)
+    def walk_predict(self, X: np.ndarray) -> np.ndarray:
+        """Object-walker ``predict``: class label per record."""
+        X = _as_batch(X)
         out = np.empty(len(X), dtype=np.int64)
         self._route(self.root, X, np.arange(len(X)), out, predict=True)
         return out
 
-    def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """Per-class probabilities from the training-count distribution of
-        each record's leaf; shape ``(n, n_classes)``.
+    def walk_predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Object-walker ``predict_proba``.
 
         A single leaf-indexed gather: one ``(n_leaves, c)`` probability
         table plus a ``node_id -> row`` lookup replaces the former
         per-leaf masked assignment, which rescanned all ``n`` leaf ids
         once per leaf (O(n_leaves * n)).
         """
-        leaf_ids = self.apply(X)
+        leaf_ids = self.walk_apply(X)
         leaves = [n for n in self.iter_nodes() if n.is_leaf]
         table = np.empty((len(leaves), self.schema.n_classes), dtype=np.float64)
         lookup = np.zeros(max(n.node_id for n in leaves) + 1, dtype=np.intp)
@@ -152,7 +212,14 @@ class DecisionTree:
             if node.is_leaf:
                 out[idx] = node.majority_class if predict else node.node_id
                 continue
-            goes_left = node.split.goes_left(X[idx])  # type: ignore[union-attr]
+            split = node.split
+            if isinstance(split, CategoricalSplit):
+                # Category codes unseen at training time follow the child
+                # that absorbed more training records (ties go left).
+                heavier_left = node.left.n_records >= node.right.n_records  # type: ignore[union-attr]
+                goes_left = split.goes_left(X[idx], unseen_left=heavier_left)
+            else:
+                goes_left = split.goes_left(X[idx])  # type: ignore[union-attr]
             stack.append((node.right, idx[~goes_left]))  # type: ignore[arg-type]
             stack.append((node.left, idx[goes_left]))  # type: ignore[arg-type]
 

@@ -3,6 +3,7 @@
 from repro.eval.crossval import CrossValResult, cross_validate, kfold_indices
 from repro.eval.harness import RunRecord, format_table, run_builder
 from repro.eval.metrics import accuracy, confusion_matrix, error_rate, per_class_recall
+from repro.eval.treegen import random_batch, random_tree
 
 __all__ = [
     "CrossValResult",
@@ -15,4 +16,6 @@ __all__ = [
     "confusion_matrix",
     "error_rate",
     "per_class_recall",
+    "random_batch",
+    "random_tree",
 ]

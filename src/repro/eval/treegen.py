@@ -1,0 +1,155 @@
+"""Randomized decision-tree and record-batch generators.
+
+The compiled inference engine must agree with the object walker on *any*
+tree the builders can produce, including shapes the synthetic datasets
+rarely induce (deep categorical chains, linear splits off the root,
+lopsided class counts).  :func:`random_tree` manufactures such trees
+directly — mixing all three split kinds of :mod:`repro.core.splits` with
+controllable proportions — and :func:`random_batch` draws record batches
+over the matching schema, optionally including category codes never seen
+at training time.  Used by ``tests/test_compiled.py``, the prediction
+benchmark and the ``serve-bench`` CLI command.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.splits import CategoricalSplit, LinearSplit, NumericSplit
+from repro.core.tree import DecisionTree, Node
+from repro.data.schema import Attribute, AttributeKind, Schema
+
+
+def _make_schema(n_continuous: int, cardinalities: list[int], n_classes: int) -> Schema:
+    attrs = [
+        Attribute(f"c{i}", AttributeKind.CONTINUOUS) for i in range(n_continuous)
+    ]
+    attrs += [
+        Attribute(
+            f"d{i}",
+            AttributeKind.CATEGORICAL,
+            tuple(f"d{i}_v{j}" for j in range(card)),
+        )
+        for i, card in enumerate(cardinalities)
+    ]
+    labels = tuple(f"class{i}" for i in range(n_classes))
+    return Schema(tuple(attrs), labels)
+
+
+def random_tree(
+    *,
+    depth: int = 6,
+    n_continuous: int = 4,
+    n_categorical: int = 2,
+    n_classes: int = 3,
+    seed: int = 0,
+    p_numeric: float = 0.5,
+    p_categorical: float = 0.25,
+    p_linear: float = 0.25,
+    leaf_prob: float = 0.0,
+    root_records: int = 10_000,
+) -> DecisionTree:
+    """A random tree mixing numeric, categorical and linear splits.
+
+    ``depth`` bounds the tree; with ``leaf_prob == 0`` every branch
+    reaches it (a full tree with ``2**depth`` leaves), otherwise each
+    internal candidate independently stops early with that probability.
+    Split-kind probabilities are renormalized over the kinds the schema
+    supports (linear needs two continuous attributes, categorical needs
+    a categorical one).  Class counts split binomially parent to child,
+    so ``n_records`` is consistent down every path — which is what the
+    unseen-category "heavier child" routing rule keys off.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    if n_continuous + n_categorical < 1:
+        raise ValueError("need at least one attribute")
+    rng = np.random.default_rng(seed)
+    cards = [int(rng.integers(2, 7)) for _ in range(n_categorical)]
+    schema = _make_schema(n_continuous, cards, n_classes)
+
+    kinds: list[str] = []
+    weights: list[float] = []
+    if n_continuous >= 1 and p_numeric > 0:
+        kinds.append("numeric")
+        weights.append(p_numeric)
+    if n_categorical >= 1 and p_categorical > 0:
+        kinds.append("categorical")
+        weights.append(p_categorical)
+    if n_continuous >= 2 and p_linear > 0:
+        kinds.append("linear")
+        weights.append(p_linear)
+    if not kinds:
+        raise ValueError("no split kind is possible under these parameters")
+    probs = np.asarray(weights, dtype=np.float64)
+    probs /= probs.sum()
+
+    counter = {"next": 0}
+
+    def new_node(node_depth: int, counts: np.ndarray) -> Node:
+        node = Node(counter["next"], node_depth, counts.astype(np.float64))
+        counter["next"] += 1
+        return node
+
+    def make_split():
+        kind = kinds[int(rng.choice(len(kinds), p=probs))]
+        if kind == "numeric":
+            attr = int(rng.integers(0, n_continuous))
+            return NumericSplit(attr, float(rng.uniform(0.0, 1.0)))
+        if kind == "categorical":
+            j = int(rng.integers(0, n_categorical))
+            card = cards[j]
+            mask = rng.random(card) < 0.5
+            if mask.all():
+                mask[int(rng.integers(0, card))] = False
+            if not mask.any():
+                mask[int(rng.integers(0, card))] = True
+            return CategoricalSplit(n_continuous + j, tuple(bool(b) for b in mask))
+        ax, ay = rng.choice(n_continuous, size=2, replace=False)
+        a = float(rng.uniform(0.25, 2.0)) * (1 if rng.random() < 0.5 else -1)
+        b = float(rng.uniform(0.25, 2.0)) * (1 if rng.random() < 0.5 else -1)
+        return LinearSplit(int(ax), int(ay), b=b, c=float(rng.uniform(-1.0, 1.0)), a=a)
+
+    def grow(node: Node) -> None:
+        if node.depth >= depth or (leaf_prob > 0 and rng.random() < leaf_prob):
+            return
+        node.split = make_split()
+        frac = rng.uniform(0.2, 0.8)
+        left_counts = rng.binomial(node.class_counts.astype(np.int64), frac)
+        right_counts = node.class_counts.astype(np.int64) - left_counts
+        node.left = new_node(node.depth + 1, np.asarray(left_counts))
+        node.right = new_node(node.depth + 1, np.asarray(right_counts))
+        grow(node.left)
+        grow(node.right)
+
+    root_counts = rng.multinomial(root_records, np.full(n_classes, 1.0 / n_classes))
+    root = new_node(0, np.asarray(root_counts))
+    grow(root)
+    return DecisionTree(root, schema)
+
+
+def random_batch(
+    schema: Schema,
+    n: int,
+    seed: int = 0,
+    unseen_frac: float = 0.0,
+) -> np.ndarray:
+    """Record batch over ``schema``: continuous in ``[-0.5, 1.5)``, codes in range.
+
+    ``unseen_frac`` of each categorical column is replaced by codes one
+    past the training vocabulary, exercising the heavier-child fallback.
+    """
+    rng = np.random.default_rng(seed)
+    X = np.empty((n, schema.n_attributes), dtype=np.float64)
+    for j, attr in enumerate(schema.attributes):
+        if attr.is_continuous:
+            X[:, j] = rng.uniform(-0.5, 1.5, size=n)
+        else:
+            X[:, j] = rng.integers(0, attr.cardinality, size=n).astype(np.float64)
+            if unseen_frac > 0 and n:
+                hit = rng.random(n) < unseen_frac
+                X[hit, j] = float(attr.cardinality)
+    return X
+
+
+__all__ = ["random_tree", "random_batch"]

@@ -10,7 +10,14 @@ from repro.io.errors import (
     TruncatedReadError,
 )
 from repro.io.faults import FaultInjector, FaultyDataset, FaultyTable, InjectedCrash
-from repro.io.metrics import BuildStats, CostModel, IOStats, MemoryTracker, Stopwatch
+from repro.io.metrics import (
+    BuildStats,
+    CostModel,
+    IOStats,
+    MemoryTracker,
+    ServingStats,
+    Stopwatch,
+)
 from repro.io.pager import DEFAULT_PAGE_RECORDS, PagedTable, ScanChunk
 from repro.io.retry import RetryingTable
 from repro.io.storage import FilePagedTable, StoredDataset, write_table
@@ -20,6 +27,7 @@ __all__ = [
     "CostModel",
     "IOStats",
     "MemoryTracker",
+    "ServingStats",
     "Stopwatch",
     "PagedTable",
     "ScanChunk",

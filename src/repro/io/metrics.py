@@ -265,6 +265,99 @@ class BuildStats:
         return out
 
 
+class ServingStats:
+    """Thread-safe latency/throughput/batch-size counters for one served model.
+
+    The serving engine (:mod:`repro.serve`) records one observation per
+    executed batch; requests may be finer-grained than batches when the
+    micro-batcher coalesces them.  All mutators take the internal lock —
+    observations arrive from pool worker threads and the batcher's
+    flush thread concurrently.
+    """
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.batches = 0
+        self.records = 0
+        self.busy_seconds = 0.0
+        self.max_latency_s = 0.0
+        self.min_batch = 0
+        self.max_batch = 0
+        self._lock = threading.Lock()
+
+    def count_request(self, n: int = 1) -> None:
+        """Record ``n`` incoming requests (before any batching)."""
+        if n < 0:
+            raise ValueError("request count must be non-negative")
+        with self._lock:
+            self.requests += n
+
+    def observe_batch(self, batch_size: int, latency_s: float) -> None:
+        """Record one executed batch of ``batch_size`` records."""
+        if batch_size < 0 or latency_s < 0:
+            raise ValueError("batch size and latency must be non-negative")
+        with self._lock:
+            self.batches += 1
+            self.records += batch_size
+            self.busy_seconds += latency_s
+            if latency_s > self.max_latency_s:
+                self.max_latency_s = latency_s
+            if self.min_batch == 0 or batch_size < self.min_batch:
+                self.min_batch = batch_size
+            if batch_size > self.max_batch:
+                self.max_batch = batch_size
+
+    def merge_from(self, other: "ServingStats") -> None:
+        """Fold ``other``'s counters into this block (for worker-local stats)."""
+        snap = other.snapshot()
+        with self._lock:
+            self.requests += snap["requests"]
+            self.batches += snap["batches"]
+            self.records += snap["records"]
+            self.busy_seconds += snap["busy_seconds"]
+            self.max_latency_s = max(self.max_latency_s, snap["max_latency_s"])
+            if snap["min_batch"]:
+                self.min_batch = (
+                    snap["min_batch"]
+                    if self.min_batch == 0
+                    else min(self.min_batch, snap["min_batch"])
+                )
+            self.max_batch = max(self.max_batch, snap["max_batch"])
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of the raw counters plus derived rates.
+
+        ``records_per_s`` is records over summed batch latency (device
+        throughput while busy), ``mean_batch`` and ``mean_latency_ms``
+        are per-batch averages.
+        """
+        with self._lock:
+            out: dict[str, float] = {
+                "requests": self.requests,
+                "batches": self.batches,
+                "records": self.records,
+                "busy_seconds": self.busy_seconds,
+                "max_latency_s": self.max_latency_s,
+                "min_batch": self.min_batch,
+                "max_batch": self.max_batch,
+            }
+        out["mean_batch"] = out["records"] / out["batches"] if out["batches"] else 0.0
+        out["mean_latency_ms"] = (
+            1000.0 * out["busy_seconds"] / out["batches"] if out["batches"] else 0.0
+        )
+        out["records_per_s"] = (
+            out["records"] / out["busy_seconds"] if out["busy_seconds"] > 0 else 0.0
+        )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snap = self.snapshot()
+        return (
+            f"ServingStats(requests={snap['requests']:.0f}, "
+            f"batches={snap['batches']:.0f}, records={snap['records']:.0f})"
+        )
+
+
 class Stopwatch:
     """Tiny context manager feeding :attr:`BuildStats.wall_seconds`."""
 

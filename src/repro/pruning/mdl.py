@@ -40,10 +40,21 @@ def leaf_cost(node: Node, n_classes: int) -> float:
 
 
 def split_cost(split: Split, n_attributes: int, n_records: float) -> float:
-    """Bits to encode one split criterion."""
+    """Bits to encode one split criterion.
+
+    SLIQ/C4.5 prescribe ``log2(candidate-threshold count)`` value bits
+    for a continuous split — the threshold names one of the candidates
+    actually examined, not one of ``n_records`` arbitrary values.
+    Builders record that count on :class:`NumericSplit.n_candidates`;
+    charging ``log2(n_records)`` (the previous behaviour, kept as the
+    fallback for splits without the count) over-penalized splits on
+    low-cardinality attributes and over-pruned them.
+    """
     attr_bits = math.log2(max(n_attributes, 2))
     value_bits = math.log2(max(n_records, 2.0))
     if isinstance(split, NumericSplit):
+        if split.n_candidates is not None:
+            return attr_bits + math.log2(max(split.n_candidates, 2))
         return attr_bits + value_bits
     if isinstance(split, CategoricalSplit):
         return attr_bits + len(split.left_mask)
@@ -104,6 +115,9 @@ def mdl_prune(tree: DecisionTree) -> int:
         return as_subtree
 
     walk(tree.root)
+    if removed:
+        # The compiled inference form caches the pre-prune structure.
+        tree.invalidate_compiled()
     return removed
 
 

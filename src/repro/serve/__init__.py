@@ -1,0 +1,11 @@
+"""Model serving on top of the compiled inference engine.
+
+:mod:`repro.serve.engine` holds the model registry (keyed by compiled-tree
+fingerprint) and the batch execution engine; :mod:`repro.serve.batcher`
+coalesces single-record requests into micro-batches for it.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.engine import ModelRegistry, ServingEngine
+
+__all__ = ["ModelRegistry", "ServingEngine", "MicroBatcher"]

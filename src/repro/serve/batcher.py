@@ -1,0 +1,151 @@
+"""Request micro-batching for the serving engine.
+
+Single-record prediction requests are the worst case for a vectorized
+engine: every call pays batch setup for one row.  :class:`MicroBatcher`
+sits in front of :class:`~repro.serve.engine.ServingEngine` and coalesces
+concurrent requests:
+
+* :meth:`submit` enqueues one record and returns a
+  :class:`concurrent.futures.Future` immediately;
+* a background flush thread drains the queue into one engine call when
+  either ``max_batch`` records are waiting or the oldest request has
+  waited ``max_delay_s`` (whichever comes first), then resolves every
+  future from the batch result;
+* :meth:`close` flushes whatever is queued and joins the thread, so no
+  future is ever left pending.
+
+An engine-side failure is propagated to every future in the failed
+batch rather than killing the flush thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.serve.engine import ServingEngine
+
+
+class MicroBatcher:
+    """Coalesces single-record requests into batched engine calls.
+
+    Parameters
+    ----------
+    engine:
+        The executing engine.
+    fingerprint:
+        Registry key of the model this batcher serves.
+    method:
+        Engine method to call per batch: ``"predict"``,
+        ``"predict_proba"`` or ``"apply"``.
+    max_batch:
+        Flush as soon as this many records are queued.
+    max_delay_s:
+        Flush when the oldest queued record has waited this long.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        fingerprint: str,
+        method: str = "predict",
+        max_batch: int = 256,
+        max_delay_s: float = 0.005,
+    ) -> None:
+        if method not in ("predict", "predict_proba", "apply"):
+            raise ValueError(f"unknown engine method {method!r}")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_delay_s <= 0:
+            raise ValueError("max_delay_s must be positive")
+        engine.registry.get(fingerprint)  # fail fast on unknown models
+        self.engine = engine
+        self.fingerprint = fingerprint
+        self.method = method
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self._rows: list[np.ndarray] = []
+        self._futures: list[Future] = []
+        self._deadline = 0.0
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._flush_loop, name="cmp-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # -- client side ---------------------------------------------------------
+
+    def submit(self, row: np.ndarray) -> Future:
+        """Enqueue one record; the future resolves to its prediction."""
+        x = np.asarray(row, dtype=np.float64).reshape(-1)
+        future: Future = Future()
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            if not self._rows:
+                # The flush window is anchored to the *oldest* request.
+                self._deadline = time.perf_counter() + self.max_delay_s
+            self._rows.append(x)
+            self._futures.append(future)
+            self.engine.registry.stats(self.fingerprint).count_request()
+            self._wake.notify()
+        return future
+
+    def close(self) -> None:
+        """Flush pending requests and stop the background thread."""
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify()
+        self._thread.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- flush thread --------------------------------------------------------
+
+    def _take_batch(self) -> tuple[list[np.ndarray], list[Future]]:
+        rows, futures = self._rows, self._futures
+        self._rows, self._futures = [], []
+        return rows, futures
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._closed and len(self._rows) < self.max_batch:
+                    if self._rows:
+                        remaining = self._deadline - time.perf_counter()
+                        if remaining <= 0:
+                            break  # window expired: flush a partial batch
+                        self._wake.wait(timeout=remaining)
+                    else:
+                        self._wake.wait()
+                rows, futures = self._take_batch()
+                done = self._closed
+            if rows:
+                self._execute(rows, futures)
+            if done:
+                return
+
+    def _execute(self, rows: list[np.ndarray], futures: list[Future]) -> None:
+        try:
+            X = np.vstack(rows)
+            out = getattr(self.engine, self.method)(self.fingerprint, X)
+        except BaseException as exc:  # propagate, don't kill the thread
+            for f in futures:
+                f.set_exception(exc)
+            return
+        for i, f in enumerate(futures):
+            f.set_result(out[i])
+
+
+__all__ = ["MicroBatcher"]

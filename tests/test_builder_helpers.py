@@ -91,7 +91,7 @@ class TestResolveExactThreshold:
             totals, 5.0, 0.25, [(4.0, 6.0)], [np.array([5.0, 1.0])],
             np.empty(0), np.empty(0, dtype=int),
         )
-        assert res == ResolvedThreshold(5.0, 0.25, False)
+        assert res == ResolvedThreshold(5.0, 0.25, False, n_candidates=1)
 
     def test_interior_beats_boundary(self):
         # 6 class-0 records below the interval; buffered records split

@@ -133,3 +133,52 @@ class TestBestLinearCandidate:
         # Matrix exists but is empty; should not crash.
         cand = best_linear_candidate(ms)
         assert cand is None or np.isfinite(cand.gini)
+
+
+class TestDegenerateLines:
+    """Regression: a GridLine with a zero/negative intercept describes no
+    actual line through the grid; classify_cells used to silently return
+    an all-or-nothing partition that corrupted the gini walk.  Both entry
+    points now reject it up front."""
+
+    @pytest.mark.parametrize("line", [
+        GridLine(0.0, 2.0),
+        GridLine(2.0, 0.0),
+        GridLine(-1.0, 3.0),
+        GridLine(0.0, 0.0),
+    ])
+    def test_classify_cells_rejects(self, line):
+        with pytest.raises(ValueError, match="degenerate grid line"):
+            classify_cells(4, 4, line)
+
+    def test_line_gini_rejects(self):
+        counts = np.ones((4, 4, 2))
+        with pytest.raises(ValueError, match="both intercepts must be positive"):
+            line_gini(counts, GridLine(3.0, 0.0))
+
+
+class TestDegenerateGrids:
+    """The slope walk must stay well-formed on 1-column / 1-row count
+    grids instead of ever proposing a line with a zero intercept."""
+
+    def test_single_column_grid(self):
+        counts = np.zeros((1, 5, 2))
+        counts[0, :2, 0] = 10.0
+        counts[0, 2:, 1] = 10.0
+        gini, line = gini_slope_walk(counts)
+        assert line.x > 0.0 and line.y > 0.0
+        assert 0.0 <= gini <= 1.0
+
+    def test_single_row_grid(self):
+        counts = np.zeros((5, 1, 2))
+        counts[:3, 0, 0] = 7.0
+        counts[3:, 0, 1] = 7.0
+        gini, line = gini_slope_walk(counts)
+        assert line.x > 0.0 and line.y > 0.0
+        assert 0.0 <= gini <= 1.0
+
+    def test_single_cell_grid(self):
+        counts = np.full((1, 1, 2), 5.0)
+        gini, line = gini_slope_walk(counts)
+        assert line.x > 0.0 and line.y > 0.0
+        assert 0.0 <= gini <= 1.0

@@ -131,3 +131,37 @@ class TestPublicPrune:
 
     def test_bound_constant(self):
         assert OPEN_LEAF_BOUND == 1.0
+
+
+class TestNumericValueBits:
+    """Regression: split_cost charged log2(n_records) value bits for every
+    numeric split, over-pruning splits whose threshold was chosen from a
+    handful of candidates.  With the candidate count recorded on the
+    split, the charge is log2(n_candidates)."""
+
+    def test_candidate_count_lowers_cost(self):
+        cheap = split_cost(NumericSplit(0, 0.5, n_candidates=2), 2, 900.0)
+        expensive = split_cost(NumericSplit(0, 0.5), 2, 900.0)
+        assert cheap == pytest.approx(1.0 + 1.0)  # attr bit + 1 value bit
+        assert expensive == pytest.approx(1.0 + np.log2(900.0))
+        assert cheap < expensive
+
+    def borderline_tree(self, n_candidates):
+        """A genuinely useful split that log2(n_records) bits wipe out."""
+        account = TreeAccount()
+        root = account.new_node(0, np.array([900.0, 124.0]))
+        left = account.new_node(1, np.array([470.0, 42.0]))
+        right = account.new_node(1, np.array([430.0, 82.0]))
+        root.split = NumericSplit(0, 0.5, n_candidates=n_candidates)
+        root.left, root.right = left, right
+        return DecisionTree(root, schema2())
+
+    def test_split_survives_with_candidate_count(self):
+        tree = self.borderline_tree(n_candidates=2)
+        assert mdl_prune(tree) == 0
+        assert not tree.root.is_leaf
+
+    def test_same_split_pruned_under_fallback(self):
+        tree = self.borderline_tree(n_candidates=None)
+        assert mdl_prune(tree) == 2
+        assert tree.root.is_leaf

@@ -1,0 +1,232 @@
+"""Tests for the serving layer (serve/engine.py, serve/batcher.py)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.io.metrics import ServingStats
+from repro.eval.treegen import random_batch, random_tree
+from repro.serve import MicroBatcher, ModelRegistry, ServingEngine
+
+
+class TestServingStats:
+    def test_observe_and_snapshot(self):
+        s = ServingStats()
+        s.count_request(3)
+        s.observe_batch(10, 0.5)
+        s.observe_batch(30, 1.5)
+        snap = s.snapshot()
+        assert snap["requests"] == 3
+        assert snap["batches"] == 2
+        assert snap["records"] == 40
+        assert snap["mean_batch"] == 20
+        assert snap["min_batch"] == 10 and snap["max_batch"] == 30
+        assert snap["mean_latency_ms"] == pytest.approx(1000.0)
+        assert snap["records_per_s"] == pytest.approx(20.0)
+        assert snap["max_latency_s"] == pytest.approx(1.5)
+
+    def test_empty_snapshot_has_no_nans(self):
+        snap = ServingStats().snapshot()
+        assert snap["mean_batch"] == 0.0
+        assert snap["records_per_s"] == 0.0
+
+    def test_rejects_negative(self):
+        s = ServingStats()
+        with pytest.raises(ValueError):
+            s.observe_batch(-1, 0.0)
+        with pytest.raises(ValueError):
+            s.observe_batch(1, -0.1)
+        with pytest.raises(ValueError):
+            s.count_request(-2)
+
+    def test_merge_from(self):
+        a, b = ServingStats(), ServingStats()
+        a.observe_batch(5, 0.1)
+        b.observe_batch(15, 0.3)
+        b.count_request(2)
+        a.merge_from(b)
+        snap = a.snapshot()
+        assert snap["records"] == 20
+        assert snap["requests"] == 2
+        assert snap["min_batch"] == 5 and snap["max_batch"] == 15
+
+
+class TestModelRegistry:
+    def test_register_is_idempotent(self):
+        reg = ModelRegistry()
+        t = random_tree(depth=4, seed=0)
+        key = reg.register(t)
+        assert reg.register(t) == key
+        assert len(reg) == 1
+        assert key in reg
+        assert reg.fingerprints() == [key]
+
+    def test_round_tripped_tree_maps_to_same_model(self):
+        from repro.core.serialize import tree_from_json, tree_to_json
+
+        reg = ModelRegistry()
+        t = random_tree(depth=4, seed=1)
+        key = reg.register(t)
+        assert reg.register(tree_from_json(tree_to_json(t))) == key
+
+    def test_distinct_trees_distinct_keys(self):
+        reg = ModelRegistry()
+        k1 = reg.register(random_tree(depth=3, seed=2))
+        k2 = reg.register(random_tree(depth=3, seed=3))
+        assert k1 != k2 and len(reg) == 2
+
+    def test_unknown_fingerprint_raises(self):
+        reg = ModelRegistry()
+        with pytest.raises(KeyError, match="no model registered"):
+            reg.get("deadbeef")
+        with pytest.raises(KeyError, match="no model registered"):
+            reg.stats("deadbeef")
+
+
+class TestServingEngine:
+    def test_matches_tree_predictions(self):
+        t = random_tree(depth=6, seed=4)
+        X = random_batch(t.schema, 3000, seed=5, unseen_frac=0.05)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        np.testing.assert_array_equal(engine.predict(key, X), t.predict(X))
+        np.testing.assert_array_equal(engine.predict_proba(key, X), t.predict_proba(X))
+        np.testing.assert_array_equal(engine.apply(key, X), t.apply(X))
+
+    def test_sharded_output_identical_to_serial(self):
+        t = random_tree(depth=6, seed=6)
+        X = random_batch(t.schema, 5000, seed=7)
+        serial = ServingEngine()
+        sharded = ServingEngine(workers=4, min_shard_rows=100)
+        k1 = serial.registry.register(t)
+        k2 = sharded.registry.register(t)
+        assert k1 == k2
+        with serial, sharded:
+            np.testing.assert_array_equal(
+                sharded.predict(k2, X), serial.predict(k1, X)
+            )
+            np.testing.assert_array_equal(
+                sharded.predict_proba(k2, X), serial.predict_proba(k1, X)
+            )
+
+    def test_stats_accumulate(self):
+        t = random_tree(depth=4, seed=8)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        X = random_batch(t.schema, 100, seed=9)
+        engine.predict(key, X)
+        engine.predict(key, X[:40])
+        snap = engine.registry.stats(key).snapshot()
+        assert snap["batches"] == 2
+        assert snap["records"] == 140
+        assert snap["min_batch"] == 40 and snap["max_batch"] == 100
+        assert snap["busy_seconds"] > 0
+
+    def test_empty_batch(self):
+        t = random_tree(depth=4, seed=10)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        p = t.schema.n_attributes
+        assert engine.predict(key, np.empty((0, p))).shape == (0,)
+        proba = engine.predict_proba(key, np.empty((0, p)))
+        assert proba.shape == (0, t.schema.n_classes)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ServingEngine(workers=0)
+        with pytest.raises(ValueError):
+            ServingEngine(min_shard_rows=0)
+
+
+class TestMicroBatcher:
+    def test_single_requests_get_batched_answers(self):
+        t = random_tree(depth=5, seed=11)
+        X = random_batch(t.schema, 64, seed=12)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        expected = t.predict(X)
+        with MicroBatcher(engine, key, max_batch=16, max_delay_s=0.01) as mb:
+            futures = [mb.submit(row) for row in X]
+            got = np.array([f.result(timeout=10) for f in futures])
+        np.testing.assert_array_equal(got, expected)
+        snap = engine.registry.stats(key).snapshot()
+        assert snap["requests"] == 64
+        # Coalescing must have produced fewer engine calls than requests.
+        assert snap["batches"] < 64
+
+    def test_predict_proba_mode(self):
+        t = random_tree(depth=4, seed=13)
+        X = random_batch(t.schema, 8, seed=14)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        with MicroBatcher(engine, key, method="predict_proba", max_batch=4) as mb:
+            rows = [mb.submit(row).result(timeout=10) for row in X]
+        np.testing.assert_array_equal(np.vstack(rows), t.predict_proba(X))
+
+    def test_close_flushes_pending(self):
+        t = random_tree(depth=3, seed=15)
+        X = random_batch(t.schema, 3, seed=16)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        mb = MicroBatcher(engine, key, max_batch=1000, max_delay_s=30.0)
+        futures = [mb.submit(row) for row in X]
+        mb.close()  # must not leave futures pending despite the huge window
+        got = np.array([f.result(timeout=1) for f in futures])
+        np.testing.assert_array_equal(got, t.predict(X))
+
+    def test_submit_after_close_raises(self):
+        t = random_tree(depth=3, seed=17)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        mb = MicroBatcher(engine, key)
+        mb.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            mb.submit(np.zeros(t.schema.n_attributes))
+
+    def test_engine_failure_propagates_to_futures(self):
+        t = random_tree(depth=3, seed=18)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        with MicroBatcher(engine, key, max_batch=2, max_delay_s=1.0) as mb:
+            # Mismatched row widths cannot be stacked into one batch; the
+            # failure must resolve both futures, not kill the flush thread.
+            f1 = mb.submit(np.zeros(t.schema.n_attributes))
+            f2 = mb.submit(np.zeros(t.schema.n_attributes + 3))
+            with pytest.raises(ValueError):
+                f1.result(timeout=10)
+            with pytest.raises(ValueError):
+                f2.result(timeout=10)
+            # The batcher still serves follow-up requests afterwards.
+            f3 = mb.submit(np.zeros(t.schema.n_attributes))
+            f4 = mb.submit(np.zeros(t.schema.n_attributes))
+            assert f3.result(timeout=10) == f4.result(timeout=10)
+
+    def test_rejects_bad_config(self):
+        t = random_tree(depth=3, seed=19)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        with pytest.raises(ValueError, match="unknown engine method"):
+            MicroBatcher(engine, key, method="nope")
+        with pytest.raises(KeyError):
+            MicroBatcher(engine, "missing")
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, key, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, key, max_delay_s=0.0)
+
+
+class TestServeBenchCLI:
+    def test_smoke(self, capsys):
+        rc = cli_main(
+            [
+                "serve-bench",
+                "--records", "2000",
+                "--depth", "5",
+                "--batch", "500",
+                "--serve-workers", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bit_identical" in out
+        assert "True" in out

@@ -6,9 +6,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.core.splits import NumericSplit
+from repro.core.splits import CategoricalSplit, NumericSplit
 from repro.core.tree import DecisionTree, Node, TreeAccount
-from repro.data.schema import Schema, continuous
+from repro.data.schema import Schema, categorical, continuous
 
 
 def small_tree() -> DecisionTree:
@@ -184,3 +184,56 @@ class TestPredictProba:
         proba = t.predict_proba(np.array([[-1.0], [1.0]]))
         np.testing.assert_allclose(proba[0], [0.5, 0.5])
         np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+
+class TestEmptyBatchShapes:
+    def test_empty_predict_proba(self):
+        t = small_tree()
+        proba = t.predict_proba(np.empty((0, 2)))
+        assert proba.shape == (0, 2)
+        assert proba.dtype == np.float64
+
+    def test_empty_one_dimensional_input(self):
+        t = small_tree()
+        assert t.predict(np.empty(0)).shape == (0,)
+        assert t.apply(np.empty(0)).shape == (0,)
+
+
+class TestUnseenCategoryRouting:
+    """Regression: a category code outside the training vocabulary raised
+    IndexError out of CategoricalSplit.goes_left; it now follows the child
+    that absorbed more training records (ties go left)."""
+
+    def make_tree(self, left_heavy: bool) -> DecisionTree:
+        schema = Schema(
+            (categorical("c", ("p", "q")), continuous("x0")), ("a", "b")
+        )
+        account = TreeAccount()
+        root = account.new_node(0, np.array([50.0, 50.0]))
+        left = account.new_node(
+            1, np.array([60.0, 10.0]) if left_heavy else np.array([10.0, 10.0])
+        )
+        right = account.new_node(
+            1, np.array([10.0, 20.0]) if left_heavy else np.array([40.0, 40.0])
+        )
+        root.split = CategoricalSplit(0, (True, False))
+        root.left, root.right = left, right
+        return DecisionTree(root, schema)
+
+    def test_unseen_code_no_longer_raises(self):
+        t = self.make_tree(left_heavy=True)
+        X = np.array([[2.0, 0.0], [-1.0, 0.0]])  # codes 2 and -1 unseen
+        np.testing.assert_array_equal(t.walk_apply(X), [1, 1])
+        np.testing.assert_array_equal(t.apply(X), [1, 1])
+
+    def test_unseen_code_follows_heavier_right_child(self):
+        t = self.make_tree(left_heavy=False)
+        X = np.array([[5.0, 0.0]])
+        assert t.walk_apply(X)[0] == 2
+        assert t.apply(X)[0] == 2
+
+    def test_seen_codes_unaffected(self):
+        t = self.make_tree(left_heavy=False)
+        X = np.array([[0.0, 0.0], [1.0, 0.0]])
+        np.testing.assert_array_equal(t.walk_apply(X), [1, 2])
+        np.testing.assert_array_equal(t.apply(X), [1, 2])
