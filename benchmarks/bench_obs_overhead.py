@@ -1,0 +1,159 @@
+"""Benchmark: tracing overhead on the build path.
+
+Standalone script (not a pytest benchmark): builds each CMP-family
+classifier with tracing disabled (``NULL_TRACER``) and enabled (a real
+:class:`~repro.obs.trace.Tracer` plus a populated
+:class:`~repro.obs.metrics.MetricsRegistry`), verifies the trees are
+bit-identical, and emits ``BENCH_obs.json`` with best-of-``--repeats``
+wall-clock timings and the measured overhead percentage.  CI runs it as
+a smoke step and uploads the JSON plus a sample trace artifact::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --records 20000 --repeats 3 --out BENCH_obs.json \
+        --trace-out trace_sample.jsonl
+
+The acceptance bar is ``--max-overhead`` percent (default 5.0) on the
+best-of-repeats wall clock: span recording is a handful of dict appends
+per level/scan, so it must stay in the noise next to the NumPy-heavy
+split search.  Bit-identity is the hard guarantee: tracing observes the
+build, it never steers it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.config import BuilderConfig
+from repro.core.cmp_b import CMPBBuilder
+from repro.core.cmp_full import CMPBuilder
+from repro.core.cmp_s import CMPSBuilder
+from repro.core.serialize import tree_to_json
+from repro.data.synthetic import generate_agrawal
+from repro.obs import MetricsRegistry, Tracer, record_build_stats
+
+BUILDERS = (CMPSBuilder, CMPBBuilder, CMPBuilder)
+
+
+def _interleaved_best(builder_cls, dataset, config, repeats):
+    """Best wall-clock for tracing off and on, measured in alternation.
+
+    Alternating off/on builds inside one loop keeps both measurements
+    under the same cache/thermal conditions, so machine drift between
+    two separate timing loops does not masquerade as tracing overhead.
+    Returns ``(off_s, off_result, on_s, on_result, on_tracer)``.
+    """
+    off_s = on_s = float("inf")
+    off_result = on_result = on_tracer = None
+    for _ in range(repeats):
+        result = builder_cls(config).build(dataset)
+        if result.stats.wall_seconds < off_s:
+            off_s, off_result = result.stats.wall_seconds, result
+        tracer = Tracer()
+        result = builder_cls(config, tracer=tracer).build(dataset)
+        if result.stats.wall_seconds < on_s:
+            on_s, on_result, on_tracer = result.stats.wall_seconds, result, tracer
+    return off_s, off_result, on_s, on_result, on_tracer
+
+
+def run(
+    records: int,
+    repeats: int,
+    function: str,
+    seed: int,
+    max_overhead_pct: float,
+    trace_out: str | None,
+) -> dict[str, object]:
+    dataset = generate_agrawal(function, records, seed=seed)
+    config = BuilderConfig(max_depth=8)
+    registry = MetricsRegistry()
+    report: dict[str, object] = {
+        "benchmark": "obs_overhead",
+        "function": function,
+        "records": records,
+        "repeats": repeats,
+        "seed": seed,
+        "max_overhead_pct": max_overhead_pct,
+        "python": platform.python_version(),
+        "builders": {},
+    }
+    ok = True
+    for builder_cls in BUILDERS:
+        off_s, off_result, on_s, on_result, tracer = _interleaved_best(
+            builder_cls, dataset, config, repeats
+        )
+        record_build_stats(
+            registry, on_result.stats, {"builder": builder_cls.name}
+        )
+        identical = tree_to_json(off_result.tree) == tree_to_json(on_result.tree)
+        overhead_pct = (on_s / max(off_s, 1e-9) - 1.0) * 100.0
+        within = overhead_pct <= max_overhead_pct
+        ok &= identical and within
+        report["builders"][builder_cls.name] = {
+            "bit_identical": identical,
+            "off_wall_seconds": round(off_s, 4),
+            "on_wall_seconds": round(on_s, 4),
+            "overhead_pct": round(overhead_pct, 2),
+            "within_budget": within,
+            "spans": len(tracer.spans()),
+            "scans": on_result.stats.io.scans,
+        }
+        print(
+            f"{builder_cls.name:6s} identical={identical} "
+            f"off={off_s:.3f}s on={on_s:.3f}s "
+            f"overhead={overhead_pct:+.2f}% "
+            f"({len(tracer.spans())} spans)"
+        )
+        if trace_out and builder_cls is BUILDERS[-1]:
+            n = tracer.write_jsonl(trace_out)
+            print(f"wrote {n} spans to {trace_out}")
+    report["all_ok"] = ok
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=20_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--function", default="F2")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="fail if tracing costs more than this percent of wall clock",
+    )
+    parser.add_argument("--out", default="BENCH_obs.json", metavar="PATH")
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also write the full CMP build trace here as JSONL",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(
+        args.records,
+        args.repeats,
+        args.function,
+        args.seed,
+        args.max_overhead,
+        args.trace_out,
+    )
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not report["all_ok"]:
+        print(
+            "ERROR: tracing changed the tree or exceeded the overhead budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ Usage (installed as ``cmp-repro`` or via ``python -m repro``)::
     cmp-repro fig19
     cmp-repro prediction
     cmp-repro demo --function Ff --records 50000
+    cmp-repro demo --records 20000 --trace trace.jsonl --metrics out.prom
+    cmp-repro inspect-trace trace.jsonl
 """
 
 from __future__ import annotations
@@ -23,6 +25,18 @@ from repro.core.cmp_full import CMPBuilder
 from repro.data.synthetic import generate_agrawal
 from repro.eval import experiments
 from repro.eval.harness import format_table, run_builder
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    format_summary,
+    load_trace_jsonl,
+    record_build_stats,
+    record_serving_stats,
+    render_tree,
+    summarize_trace,
+    write_metrics,
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -37,6 +51,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="chunk-routing worker threads per scan (trees are bit-identical "
         "for any worker count; default 1 = serial)",
     )
+    _add_obs(parser)
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record spans (builds, levels, scans, retries, serve batches) "
+        "and write them to FILE as JSONL; inspect with `cmp-repro "
+        "inspect-trace FILE`",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="export counters and latency histograms to FILE — Prometheus "
+        "text exposition, or a JSON snapshot when FILE ends in .json",
+    )
 
 
 def _config(args: argparse.Namespace) -> BuilderConfig:
@@ -45,6 +78,23 @@ def _config(args: argparse.Namespace) -> BuilderConfig:
         max_depth=args.max_depth,
         scan_workers=args.workers,
     )
+
+
+def _obs_objects(args: argparse.Namespace):
+    """(tracer, registry) for this invocation — real only when asked for."""
+    tracer = Tracer() if getattr(args, "trace", None) else NULL_TRACER
+    registry = MetricsRegistry() if getattr(args, "metrics", None) else None
+    return tracer, registry
+
+
+def _write_obs(args: argparse.Namespace, tracer, registry) -> None:
+    """Flush --trace / --metrics outputs (status lines go to stderr)."""
+    if getattr(args, "trace", None):
+        n = tracer.write_jsonl(args.trace)
+        print(f"wrote {n} spans to {args.trace}", file=sys.stderr)
+    if registry is not None and getattr(args, "metrics", None):
+        write_metrics(registry, args.metrics)
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -105,6 +155,22 @@ def main(argv: list[str] | None = None) -> int:
         help="row-sharding threads inside the serving engine",
     )
     p.add_argument("--seed", type=int, default=0)
+    _add_obs(p)
+
+    p = sub.add_parser(
+        "inspect-trace",
+        help="Summarize a --trace JSONL file: slowest spans, per-phase "
+        "rollup, and a scan-count cross-check against IOStats.scans",
+    )
+    p.add_argument("file", metavar="FILE", help="trace JSONL written by --trace")
+    p.add_argument(
+        "--top", type=int, default=10, metavar="N", help="slowest spans to show"
+    )
+    p.add_argument(
+        "--render",
+        action="store_true",
+        help="also print the full indented span tree",
+    )
 
     p = sub.add_parser("demo", help="Train CMP on a synthetic function, print the tree")
     p.add_argument("--function", default="Ff")
@@ -130,24 +196,46 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command in ("fig14", "fig15"):
         function = args.function or ("F2" if args.command == "fig14" else "F7")
-        records = experiments.scalability(function, args.sizes, _config(args), args.seed)
+        tracer, registry = _obs_objects(args)
+        records = experiments.scalability(
+            function, args.sizes, _config(args), args.seed, tracer, registry
+        )
         print(format_table(experiments.records_as_rows(records)))
+        _write_obs(args, tracer, registry)
         return 0
     if args.command in ("fig16", "fig17"):
         function = args.function or ("F2" if args.command == "fig16" else "F7")
-        records = experiments.comparison(function, args.sizes, _config(args), args.seed)
+        tracer, registry = _obs_objects(args)
+        records = experiments.comparison(
+            function, args.sizes, _config(args), args.seed, tracer, registry
+        )
         print(format_table(experiments.records_as_rows(records)))
+        _write_obs(args, tracer, registry)
         return 0
     if args.command == "fig18":
-        records = experiments.comparison_f(args.sizes, _config(args), args.seed)
+        tracer, registry = _obs_objects(args)
+        records = experiments.comparison_f(
+            args.sizes, _config(args), args.seed, tracer, registry
+        )
         print(format_table(experiments.records_as_rows(records)))
+        _write_obs(args, tracer, registry)
         return 0
     if args.command == "fig19":
-        records = experiments.memory_usage(args.function, args.sizes, _config(args), args.seed)
+        tracer, registry = _obs_objects(args)
+        records = experiments.memory_usage(
+            args.function, args.sizes, _config(args), args.seed, tracer, registry
+        )
         print(format_table(experiments.records_as_rows(records)))
+        _write_obs(args, tracer, registry)
         return 0
     if args.command == "prediction":
-        print(experiments.prediction_accuracy(args.records, _config(args), args.seed))
+        tracer, registry = _obs_objects(args)
+        print(
+            experiments.prediction_accuracy(
+                args.records, _config(args), args.seed, tracer, registry
+            )
+        )
+        _write_obs(args, tracer, registry)
         return 0
     if args.command == "serve-bench":
         import time
@@ -155,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.eval.treegen import random_batch, random_tree
         from repro.serve import ModelRegistry, ServingEngine
 
+        tracer, metrics_registry = _obs_objects(args)
         tree = random_tree(depth=args.depth, seed=args.seed)
         registry = ModelRegistry()
         key = registry.register(tree)
@@ -164,12 +253,16 @@ def main(argv: list[str] | None = None) -> int:
         walked = tree.walk_predict(X)
         walk_s = time.perf_counter() - start
 
-        with ServingEngine(registry, workers=args.serve_workers) as engine:
+        with ServingEngine(
+            registry, workers=args.serve_workers, tracer=tracer
+        ) as engine:
             parts = []
             for lo in range(0, args.records, args.batch):
                 parts.append(engine.predict(key, X[lo : lo + args.batch]))
             served = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
         snap = registry.stats(key).snapshot()
+        if metrics_registry is not None:
+            record_serving_stats(metrics_registry, registry.stats(key), {"model": key})
 
         identical = bool(np.array_equal(served, walked))
         rows = [
@@ -180,6 +273,9 @@ def main(argv: list[str] | None = None) -> int:
                 "batches": int(snap["batches"]),
                 "mean_batch": round(snap["mean_batch"], 1),
                 "mean_latency_ms": round(snap["mean_latency_ms"], 3),
+                "p50_latency_ms": round(snap["p50_latency_ms"], 3),
+                "p90_latency_ms": round(snap["p90_latency_ms"], 3),
+                "p99_latency_ms": round(snap["p99_latency_ms"], 3),
                 "records_per_s": round(snap["records_per_s"], 1),
                 "walker_records_per_s": round(args.records / max(walk_s, 1e-9), 1),
                 "speedup": round(
@@ -190,7 +286,20 @@ def main(argv: list[str] | None = None) -> int:
             }
         ]
         print(format_table(rows))
+        _write_obs(args, tracer, metrics_registry)
         return 0 if identical else 1
+    if args.command == "inspect-trace":
+        try:
+            spans = load_trace_jsonl(args.file)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trace: {exc}", file=sys.stderr)
+            return 2
+        summary = summarize_trace(spans, top=args.top)
+        print(format_summary(summary))
+        if args.render:
+            print()
+            print(render_tree(spans))
+        return 0 if summary.consistent else 1
     if args.command == "demo":
         if args.resume and not args.checkpoint:
             parser.error("--resume requires --checkpoint")
@@ -199,11 +308,19 @@ def main(argv: list[str] | None = None) -> int:
             config = config.with_(
                 checkpoint_path=args.checkpoint, resume=args.resume
             )
+        tracer, registry = _obs_objects(args)
         dataset = generate_agrawal(args.function, args.records, seed=args.seed)
-        record, result = run_builder(CMPBuilder(config), dataset)
+        record, result = run_builder(CMPBuilder(config, tracer=tracer), dataset)
+        if registry is not None:
+            record_build_stats(
+                registry,
+                result.stats,
+                {"builder": record.builder, "records": str(args.records)},
+            )
         print(format_table([record.as_dict()]))
         print()
         print(result.tree.render())
+        _write_obs(args, tracer, registry)
         return 0
     parser.error(f"unknown command {args.command!r}")
     return 2

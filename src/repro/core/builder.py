@@ -30,6 +30,7 @@ from repro.data.dataset import Dataset
 from repro.data.schema import Schema
 from repro.io.metrics import BuildStats, Stopwatch
 from repro.io.retry import RetryingTable
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 
 @dataclass
@@ -63,8 +64,16 @@ class TreeBuilder(ABC):
     #: agree; only the construction work differs (which is PUBLIC's point).
     supports_integrated_pruning: bool = False
 
-    def __init__(self, config: BuilderConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: BuilderConfig | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
+    ) -> None:
         self.config = config if config is not None else BuilderConfig()
+        #: Span recorder threaded through the build's table, scan engine
+        #: and phase timers.  ``NULL_TRACER`` (the default) records
+        #: nothing; tracing never changes the built tree.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def build(self, dataset: Dataset) -> BuildResult:
         """Train a decision tree on ``dataset``."""
@@ -72,18 +81,32 @@ class TreeBuilder(ABC):
             raise ValueError("cannot build a tree on an empty dataset")
         stats = BuildStats()
         stats.scan_workers = self.config.scan_workers
+        stats.tracer = self.tracer
         with Stopwatch(stats):
-            tree = self._build(dataset, stats)
-            prune = self.config.prune
-            if prune == "mdl" or (
-                prune == "public" and not self.supports_integrated_pruning
-            ):
-                from repro.pruning.mdl import mdl_prune
+            with self.tracer.span(
+                "build", builder=self.name, records=dataset.n_records
+            ) as build_span:
+                tree = self._build(dataset, stats)
+                prune = self.config.prune
+                if prune == "mdl" or (
+                    prune == "public" and not self.supports_integrated_pruning
+                ):
+                    from repro.pruning.mdl import mdl_prune
 
-                mdl_prune(tree)
+                    with stats.phase("prune"):
+                        mdl_prune(tree)
         stats.nodes_created = tree.n_nodes
         stats.leaves = tree.n_leaves
         stats.levels_built = tree.depth
+        # Stamp the final accounting onto the (already closed) root span
+        # so `inspect-trace` can cross-check scan spans against it.
+        build_span.annotate(
+            scans=stats.io.scans,
+            pages_read=stats.io.pages_read,
+            levels=stats.levels_built,
+            nodes=stats.nodes_created,
+            wall_seconds=round(stats.wall_seconds, 6),
+        )
         return BuildResult(tree=tree, stats=stats)
 
     @abstractmethod
@@ -100,12 +123,15 @@ class TreeBuilder(ABC):
         """
         table = dataset.as_paged(stats.io, self.config.page_records)
         return RetryingTable(
-            table, self.config.scan_retries, self.config.retry_backoff_ms
+            table,
+            self.config.scan_retries,
+            self.config.retry_backoff_ms,
+            tracer=self.tracer,
         )
 
     def _scan_engine(self) -> ScanEngine:
         """A scan engine sized to ``config.scan_workers`` (close after use)."""
-        return ScanEngine(self.config.scan_workers)
+        return ScanEngine(self.config.scan_workers, tracer=self.tracer)
 
     def _checkpointer(self, dataset: Dataset) -> CheckpointManager | None:
         """The build's checkpoint manager, or ``None`` when not configured."""

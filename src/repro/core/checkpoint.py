@@ -173,7 +173,7 @@ class CheckpointManager:
         mem = data["memory"]
         for name, nbytes in mem["live"].items():
             stats.memory.allocate(name, nbytes)
-        stats.memory.peak = max(stats.memory.peak, mem["peak"])
+        stats.memory.restore_peak(mem["peak"])
         for name, value in data["counters"].items():
             setattr(stats, name, value)
         stats.resumed_from_level = data["level"]

@@ -332,55 +332,56 @@ class CMPBBuilder(TreeBuilder):
 
         # --- One scan per one-or-two levels (Figure 10). -------------------
         while pendings:
-            live = pendings
-            with stats.phase("scan"):
-                engine.scan(
-                    table,
-                    route=lambda chunk, tgt: self._route_chunk(chunk, nid, tgt),
-                    live=live,
-                    make_delta=lambda: {
-                        slot: p.scan_delta() for slot, p in live.items()
-                    },
-                    merge_delta=lambda delta: [
-                        live[slot].merge_scan_delta(d) for slot, d in delta.items()
-                    ],
-                    memory=stats.memory,
-                    delta_nbytes=sum(p.delta_nbytes() for p in live.values()),
-                )
-            self._charge_nid(stats, n)
-            for p in pendings.values():
-                stats.memory.allocate(
-                    f"buf/{p.node.node_id}",
-                    p.buffer.nbytes()
-                    + sum(
-                        s.second.buffer.nbytes()
-                        for s in p.sides
-                        if s.second is not None
-                    ),
-                )
-
-            with stats.phase("resolve"):
-                new_pendings: dict[int, BPending] = {}
-                remap: dict[int, int] = {}
+            with stats.tracer.span("level", level=level + 1, pendings=len(pendings)):
+                live = pendings
+                with stats.phase("scan"):
+                    engine.scan(
+                        table,
+                        route=lambda chunk, tgt: self._route_chunk(chunk, nid, tgt),
+                        live=live,
+                        make_delta=lambda: {
+                            slot: p.scan_delta() for slot, p in live.items()
+                        },
+                        merge_delta=lambda delta: [
+                            live[slot].merge_scan_delta(d) for slot, d in delta.items()
+                        ],
+                        memory=stats.memory,
+                        delta_nbytes=sum(p.delta_nbytes() for p in live.values()),
+                    )
+                self._charge_nid(stats, n)
                 for p in pendings.values():
-                    items = self._resolve(p, nid, remap, next_slot, account, schema, stats)
-                    stats.memory.release(f"parts/{p.node.node_id}")
-                    stats.memory.release(f"buf/{p.node.node_id}")
-                    for child, slot, mset, predicted in items:
-                        stats.memory.allocate(f"mset/{child.node_id}", mset.nbytes())
-                        q = self._decide(child, slot, mset, predicted, next_slot, schema, stats)
-                        stats.memory.release(f"mset/{child.node_id}")
-                        if q is not None:
-                            new_pendings[slot] = q
-                if remap:
-                    self._apply_remap(nid, remap)
-            pendings = new_pendings
-            if cfg.prune == "public":
-                pendings = self._public_pass(root, pendings)
-            level += 1
-            if ckpt is not None:
-                with stats.phase("checkpoint"):
-                    ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
+                    stats.memory.allocate(
+                        f"buf/{p.node.node_id}",
+                        p.buffer.nbytes()
+                        + sum(
+                            s.second.buffer.nbytes()
+                            for s in p.sides
+                            if s.second is not None
+                        ),
+                    )
+
+                with stats.phase("resolve"):
+                    new_pendings: dict[int, BPending] = {}
+                    remap: dict[int, int] = {}
+                    for p in pendings.values():
+                        items = self._resolve(p, nid, remap, next_slot, account, schema, stats)
+                        stats.memory.release(f"parts/{p.node.node_id}")
+                        stats.memory.release(f"buf/{p.node.node_id}")
+                        for child, slot, mset, predicted in items:
+                            stats.memory.allocate(f"mset/{child.node_id}", mset.nbytes())
+                            q = self._decide(child, slot, mset, predicted, next_slot, schema, stats)
+                            stats.memory.release(f"mset/{child.node_id}")
+                            if q is not None:
+                                new_pendings[slot] = q
+                    if remap:
+                        self._apply_remap(nid, remap)
+                pendings = new_pendings
+                if cfg.prune == "public":
+                    pendings = self._public_pass(root, pendings)
+                level += 1
+                if ckpt is not None:
+                    with stats.phase("checkpoint"):
+                        ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
 
         if ckpt is not None:
             ckpt.clear()

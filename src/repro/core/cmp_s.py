@@ -223,53 +223,54 @@ class CMPSBuilder(TreeBuilder):
 
         # --- One scan per level (Figure 4, lines 01-21). ------------------
         while pendings:
-            live = pendings
-            with stats.phase("scan"):
-                engine.scan(
-                    table,
-                    route=lambda chunk, tgt: self._route_chunk(chunk, nid, tgt),
-                    live=live,
-                    make_delta=lambda: {
-                        slot: p.scan_delta() for slot, p in live.items()
-                    },
-                    merge_delta=lambda delta: [
-                        live[slot].merge_scan_delta(d) for slot, d in delta.items()
-                    ],
-                    memory=stats.memory,
-                    delta_nbytes=sum(p.delta_nbytes() for p in live.values()),
-                )
-            self._charge_nid(stats, n)
-            overflowed = [
-                p for p in pendings.values() if p.is_estimated and p.buffer.overflowed
-            ]
-            if overflowed:
+            with stats.tracer.span("level", level=level + 1, pendings=len(pendings)):
+                live = pendings
                 with stats.phase("scan"):
-                    self._refill_overflowed(table, nid, overflowed, stats, n, engine)
-            for p in pendings.values():
-                stats.memory.allocate(f"buf/{p.node.node_id}", p.buffer.nbytes())
-
-            with stats.phase("resolve"):
-                new_pendings: dict[int, PendingSplit] = {}
-                remap: dict[int, int] = {}
+                    engine.scan(
+                        table,
+                        route=lambda chunk, tgt: self._route_chunk(chunk, nid, tgt),
+                        live=live,
+                        make_delta=lambda: {
+                            slot: p.scan_delta() for slot, p in live.items()
+                        },
+                        merge_delta=lambda delta: [
+                            live[slot].merge_scan_delta(d) for slot, d in delta.items()
+                        ],
+                        memory=stats.memory,
+                        delta_nbytes=sum(p.delta_nbytes() for p in live.values()),
+                    )
+                self._charge_nid(stats, n)
+                overflowed = [
+                    p for p in pendings.values() if p.is_estimated and p.buffer.overflowed
+                ]
+                if overflowed:
+                    with stats.phase("scan"):
+                        self._refill_overflowed(table, nid, overflowed, stats, n, engine)
                 for p in pendings.values():
-                    children = self._resolve(p, nid, remap, next_slot, account, schema, stats)
-                    stats.memory.release(f"parts/{p.node.node_id}")
-                    stats.memory.release(f"buf/{p.node.node_id}")
-                    for child, slot, hists in children:
-                        stats.memory.allocate(f"hist/{child.node_id}", _hists_nbytes(hists))
-                        q = self._decide(child, slot, hists, next_slot, schema, stats)
-                        stats.memory.release(f"hist/{child.node_id}")
-                        if q is not None:
-                            new_pendings[slot] = q
-                if remap:
-                    self._apply_remap(nid, remap, stats)
-            pendings = new_pendings
-            if cfg.prune == "public":
-                pendings = self._public_pass(root, pendings)
-            level += 1
-            if ckpt is not None:
-                with stats.phase("checkpoint"):
-                    ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
+                    stats.memory.allocate(f"buf/{p.node.node_id}", p.buffer.nbytes())
+
+                with stats.phase("resolve"):
+                    new_pendings: dict[int, PendingSplit] = {}
+                    remap: dict[int, int] = {}
+                    for p in pendings.values():
+                        children = self._resolve(p, nid, remap, next_slot, account, schema, stats)
+                        stats.memory.release(f"parts/{p.node.node_id}")
+                        stats.memory.release(f"buf/{p.node.node_id}")
+                        for child, slot, hists in children:
+                            stats.memory.allocate(f"hist/{child.node_id}", _hists_nbytes(hists))
+                            q = self._decide(child, slot, hists, next_slot, schema, stats)
+                            stats.memory.release(f"hist/{child.node_id}")
+                            if q is not None:
+                                new_pendings[slot] = q
+                    if remap:
+                        self._apply_remap(nid, remap, stats)
+                pendings = new_pendings
+                if cfg.prune == "public":
+                    pendings = self._public_pass(root, pendings)
+                level += 1
+                if ckpt is not None:
+                    with stats.phase("checkpoint"):
+                        ckpt.save(level, _loop_state(account, root, nid, pendings, next_slot), stats)
 
         if ckpt is not None:
             ckpt.clear()

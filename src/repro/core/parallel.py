@@ -47,6 +47,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
 from repro.io.metrics import MemoryTracker
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 #: Memory-tracker tag under which worker-delta bytes are charged.
 DELTA_ALLOCATION = "scan/worker-deltas"
@@ -82,12 +83,21 @@ class ScanEngine:
     workers:
         Routing threads per scan.  ``1`` keeps the exact serial path; a
         pool is created lazily only for ``workers > 1``.
+    tracer:
+        Optional span recorder.  A parallel pass records one ``scan``
+        span with a ``chunk_batch`` child per worker slice (explicitly
+        parent-linked across the thread boundary); the serial path
+        leaves tracing to the table's own ``scan()``.  Tracing never
+        changes routing, merging, or accounting.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(
+        self, workers: int = 1, tracer: "Tracer | NullTracer | None" = None
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._pool: ThreadPoolExecutor | None = None
         #: Parallel chunk batches dispatched over the engine's lifetime.
         self.batches_dispatched = 0
@@ -148,20 +158,30 @@ class ScanEngine:
         if memory is not None and delta_nbytes:
             memory.allocate(DELTA_ALLOCATION, len(slices) * delta_nbytes)
         try:
-            pool = self._ensure_pool()
+            with self.tracer.span(
+                "scan", parallel=True, workers=len(slices)
+            ) as scan_span:
+                pool = self._ensure_pool()
 
-            def job(chunk_starts: list[int]) -> Any:
-                delta = make_delta()
-                for start in chunk_starts:
-                    route(table.read_chunk(start), delta)
-                return delta
+                def job(index: int, chunk_starts: list[int]) -> Any:
+                    with self.tracer.span(
+                        "chunk_batch",
+                        parent=scan_span,
+                        worker=index,
+                        chunks=len(chunk_starts),
+                    ):
+                        delta = make_delta()
+                        for start in chunk_starts:
+                            route(table.read_chunk(start), delta)
+                        return delta
 
-            futures = [pool.submit(job, s) for s in slices]
-            self.batches_dispatched += len(slices)
-            # Collect in submission order == chunk order.  result() re-raises
-            # worker failures (e.g. ScanFailedError after exhausted retries).
-            for future in futures:
-                merge_delta(future.result())
+                futures = [pool.submit(job, i, s) for i, s in enumerate(slices)]
+                self.batches_dispatched += len(slices)
+                # Collect in submission order == chunk order.  result()
+                # re-raises worker failures (e.g. ScanFailedError after
+                # exhausted retries).
+                for future in futures:
+                    merge_delta(future.result())
         finally:
             if memory is not None and delta_nbytes:
                 memory.release(DELTA_ALLOCATION)

@@ -31,6 +31,9 @@ from repro.data.discretize import equal_depth_edges
 from repro.data.statlog import STATLOG_SPECS, generate_statlog
 from repro.data.synthetic import generate_agrawal, generate_function_f
 from repro.eval.harness import RunRecord, run_builder
+from repro.obs.export import record_build_stats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullTracer, Tracer
 
 #: Builders compared in Figures 16-18.
 COMPARISON_BUILDERS = (CMPBuilder, SprintBuilder, RainForestBuilder, CloudsBuilder)
@@ -222,12 +225,27 @@ def _sweep(
     sizes: Sequence[int],
     config: BuilderConfig,
     seed: int,
+    tracer: "Tracer | NullTracer | None" = None,
+    registry: MetricsRegistry | None = None,
+    dataset_factory=generate_agrawal,
 ) -> list[RunRecord]:
+    """Run every builder at every size; optionally trace + export metrics.
+
+    ``tracer`` is shared by every build (one ``build`` root span each);
+    ``registry`` accumulates each build's counters labeled by builder
+    name and training-set size.
+    """
     records: list[RunRecord] = []
     for n in sizes:
-        dataset = generate_agrawal(function, n, seed=seed)
+        dataset = dataset_factory(function, n, seed=seed)
         for builder_cls in builders:
-            record, __ = run_builder(builder_cls(config), dataset)
+            record, result = run_builder(builder_cls(config, tracer=tracer), dataset)
+            if registry is not None:
+                record_build_stats(
+                    registry,
+                    result.stats,
+                    {"builder": record.builder, "records": str(n)},
+                )
             records.append(record)
     return records
 
@@ -237,9 +255,14 @@ def scalability(
     sizes: Sequence[int] = (20_000, 50_000, 100_000),
     config: BuilderConfig | None = None,
     seed: int = 0,
+    tracer: "Tracer | NullTracer | None" = None,
+    registry: MetricsRegistry | None = None,
 ) -> list[RunRecord]:
     """Figures 14-15: CMP-S vs CMP-B vs CMP as the training set grows."""
-    return _sweep(FAMILY_BUILDERS, function, sizes, config or default_config(), seed)
+    return _sweep(
+        FAMILY_BUILDERS, function, sizes, config or default_config(), seed,
+        tracer, registry,
+    )
 
 
 def comparison(
@@ -247,29 +270,33 @@ def comparison(
     sizes: Sequence[int] = (20_000, 50_000, 100_000),
     config: BuilderConfig | None = None,
     seed: int = 0,
+    tracer: "Tracer | NullTracer | None" = None,
+    registry: MetricsRegistry | None = None,
 ) -> list[RunRecord]:
     """Figures 16-17: CMP vs SPRINT, RainForest and CLOUDS."""
-    return _sweep(COMPARISON_BUILDERS, function, sizes, config or default_config(), seed)
+    return _sweep(
+        COMPARISON_BUILDERS, function, sizes, config or default_config(), seed,
+        tracer, registry,
+    )
 
 
 def comparison_f(
     sizes: Sequence[int] = (20_000, 50_000),
     config: BuilderConfig | None = None,
     seed: int = 0,
+    tracer: "Tracer | NullTracer | None" = None,
+    registry: MetricsRegistry | None = None,
 ) -> list[RunRecord]:
     """Figure 18: the linearly-correlated Function f workload.
 
     CMP detects the ``salary + commission`` correlation and builds a far
     smaller tree in fewer scans than univariate algorithms.
     """
-    cfg = config or default_config()
-    records: list[RunRecord] = []
-    for n in sizes:
-        dataset = generate_function_f(n, seed=seed)
-        for builder_cls in COMPARISON_BUILDERS:
-            record, __ = run_builder(builder_cls(cfg), dataset)
-            records.append(record)
-    return records
+    return _sweep(
+        COMPARISON_BUILDERS, "f", sizes, config or default_config(), seed,
+        tracer, registry,
+        dataset_factory=lambda __, n, seed: generate_function_f(n, seed=seed),
+    )
 
 
 def memory_usage(
@@ -277,21 +304,36 @@ def memory_usage(
     sizes: Sequence[int] = (20_000, 50_000, 100_000),
     config: BuilderConfig | None = None,
     seed: int = 0,
+    tracer: "Tracer | NullTracer | None" = None,
+    registry: MetricsRegistry | None = None,
 ) -> list[RunRecord]:
     """Figure 19: peak tracked memory of CMP vs RainForest vs SPRINT."""
     builders = (CMPBuilder, RainForestBuilder, SprintBuilder)
-    return _sweep(builders, function, sizes, config or default_config(), seed)
+    return _sweep(
+        builders, function, sizes, config or default_config(), seed,
+        tracer, registry,
+    )
 
 
 def prediction_accuracy(
     n_records: int = 100_000,
     config: BuilderConfig | None = None,
     seed: int = 0,
+    tracer: "Tracer | NullTracer | None" = None,
+    registry: MetricsRegistry | None = None,
 ) -> dict[str, float]:
     """§2.2: fraction of predictSplit predictions that come true on
     Function 2 (the paper reports about 80%)."""
     dataset = generate_agrawal("F2", n_records, seed=seed)
-    record, result = run_builder(CMPBBuilder(config or default_config()), dataset)
+    record, result = run_builder(
+        CMPBBuilder(config or default_config(), tracer=tracer), dataset
+    )
+    if registry is not None:
+        record_build_stats(
+            registry,
+            result.stats,
+            {"builder": record.builder, "records": str(n_records)},
+        )
     return {
         "predictions_made": float(result.stats.predictions_made),
         "predictions_correct": float(result.stats.predictions_correct),

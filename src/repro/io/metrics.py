@@ -25,6 +25,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.obs.metrics import Histogram
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
 #: The counter fields of :class:`IOStats`, in snapshot order.
 _IO_COUNTERS = (
     "scans",
@@ -121,41 +124,66 @@ class MemoryTracker:
     Algorithms call :meth:`allocate`/:meth:`release` around the data
     structures the paper charges to memory (histogram matrices, alive
     buffers, AVC-groups, attribute lists, hash tables).  Sizes are in bytes.
+
+    All mutators take an internal lock (the same contract as
+    :class:`IOStats`): the parallel scan engine charges and releases its
+    worker-delta allocation from whatever thread drives the scan while
+    builders account structures concurrently, and the read-modify-write
+    on the running total is not atomic.
     """
 
     def __init__(self) -> None:
         self._live: dict[str, int] = {}
         self._current = 0
-        self.peak = 0
+        self._peak = 0
+        self._lock = threading.Lock()
 
     def allocate(self, name: str, nbytes: int) -> None:
         """Register ``nbytes`` under ``name`` (replacing a previous size)."""
         if nbytes < 0:
             raise ValueError("allocation size must be non-negative")
-        self._current -= self._live.get(name, 0)
-        self._live[name] = nbytes
-        self._current += nbytes
-        if self._current > self.peak:
-            self.peak = self._current
+        with self._lock:
+            self._current -= self._live.get(name, 0)
+            self._live[name] = nbytes
+            self._current += nbytes
+            if self._current > self._peak:
+                self._peak = self._current
 
     def release(self, name: str) -> None:
         """Drop the allocation registered under ``name`` (idempotent)."""
-        nbytes = self._live.pop(name, 0)
-        self._current -= nbytes
+        with self._lock:
+            self._current -= self._live.pop(name, 0)
 
     def release_prefix(self, prefix: str) -> None:
         """Drop every allocation whose name starts with ``prefix``."""
-        for name in [n for n in self._live if n.startswith(prefix)]:
-            self.release(name)
+        with self._lock:
+            for name in [n for n in self._live if n.startswith(prefix)]:
+                self._current -= self._live.pop(name)
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of the registered total."""
+        with self._lock:
+            return self._peak
+
+    def restore_peak(self, peak: int) -> None:
+        """Raise the high-water mark to at least ``peak`` (checkpoint resume)."""
+        if peak < 0:
+            raise ValueError("peak must be non-negative")
+        with self._lock:
+            if peak > self._peak:
+                self._peak = peak
 
     @property
     def current(self) -> int:
         """Total bytes currently registered."""
-        return self._current
+        with self._lock:
+            return self._current
 
     def live_allocations(self) -> dict[str, int]:
         """Return a copy of the live allocation table."""
-        return dict(self._live)
+        with self._lock:
+            return dict(self._live)
 
 
 @dataclass(frozen=True)
@@ -216,17 +244,32 @@ class BuildStats:
     parallel_batches: int = 0
     #: Wall-clock seconds per build phase ("scan", "resolve", "checkpoint").
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Span recorder threaded through the build (``NULL_TRACER`` = off).
+    tracer: "Tracer | NullTracer" = field(default=NULL_TRACER, repr=False)
+    _phase_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Accumulate the wall-clock time of one named build phase."""
+        """Accumulate the wall-clock time of one named build phase.
+
+        Safe under concurrent use: each entry accumulates its elapsed
+        time in a thread-local variable and folds it into
+        ``phase_seconds`` under a lock on exit, so overlapping phases on
+        worker threads never lose each other's read-modify-write.  Each
+        entry also records a ``phase:<name>`` span on :attr:`tracer`.
+        """
         start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.phase_seconds[name] = (
-                self.phase_seconds.get(name, 0.0) + time.perf_counter() - start
-            )
+        with self.tracer.span(f"phase:{name}"):
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                with self._phase_lock:
+                    self.phase_seconds[name] = (
+                        self.phase_seconds.get(name, 0.0) + elapsed
+                    )
 
     @property
     def simulated_ms(self) -> float:
@@ -266,13 +309,21 @@ class BuildStats:
 
 
 class ServingStats:
-    """Thread-safe latency/throughput/batch-size counters for one served model.
+    """Thread-safe latency/throughput/batch-size stats for one served model.
 
     The serving engine (:mod:`repro.serve`) records one observation per
     executed batch; requests may be finer-grained than batches when the
     micro-batcher coalesces them.  All mutators take the internal lock —
     observations arrive from pool worker threads and the batcher's
     flush thread concurrently.
+
+    Latencies feed a log-bucketed :class:`~repro.obs.metrics.Histogram`
+    (100 µs … ~100 s, ×2 steps), so :meth:`snapshot` reports
+    interpolated p50/p90/p99 alongside the legacy extrema, and worker-
+    local blocks merge exactly (the histogram-delta idiom).  ``min_batch``
+    tracks the smallest *observed* batch — a genuine zero-record batch
+    reports 0, distinguished from "never observed" by an explicit flag
+    rather than the old ``min_batch == 0`` sentinel.
     """
 
     def __init__(self) -> None:
@@ -283,6 +334,8 @@ class ServingStats:
         self.max_latency_s = 0.0
         self.min_batch = 0
         self.max_batch = 0
+        self.batch_observed = False
+        self.latency = Histogram()
         self._lock = threading.Lock()
 
     def count_request(self, n: int = 1) -> None:
@@ -302,34 +355,50 @@ class ServingStats:
             self.busy_seconds += latency_s
             if latency_s > self.max_latency_s:
                 self.max_latency_s = latency_s
-            if self.min_batch == 0 or batch_size < self.min_batch:
+            if not self.batch_observed or batch_size < self.min_batch:
                 self.min_batch = batch_size
             if batch_size > self.max_batch:
                 self.max_batch = batch_size
+            self.batch_observed = True
+            self.latency.observe(latency_s)
 
     def merge_from(self, other: "ServingStats") -> None:
         """Fold ``other``'s counters into this block (for worker-local stats)."""
-        snap = other.snapshot()
+        # Copy other's state first, then take our own lock: never holding
+        # both at once makes concurrent a<->b merges deadlock-free.
+        with other._lock:
+            requests = other.requests
+            batches = other.batches
+            records = other.records
+            busy = other.busy_seconds
+            max_latency = other.max_latency_s
+            min_batch = other.min_batch
+            max_batch = other.max_batch
+            observed = other.batch_observed
         with self._lock:
-            self.requests += snap["requests"]
-            self.batches += snap["batches"]
-            self.records += snap["records"]
-            self.busy_seconds += snap["busy_seconds"]
-            self.max_latency_s = max(self.max_latency_s, snap["max_latency_s"])
-            if snap["min_batch"]:
+            self.requests += requests
+            self.batches += batches
+            self.records += records
+            self.busy_seconds += busy
+            self.max_latency_s = max(self.max_latency_s, max_latency)
+            if observed:
                 self.min_batch = (
-                    snap["min_batch"]
-                    if self.min_batch == 0
-                    else min(self.min_batch, snap["min_batch"])
+                    min(self.min_batch, min_batch)
+                    if self.batch_observed
+                    else min_batch
                 )
-            self.max_batch = max(self.max_batch, snap["max_batch"])
+                self.batch_observed = True
+            self.max_batch = max(self.max_batch, max_batch)
+        self.latency.merge_from(other.latency)
 
     def snapshot(self) -> dict[str, float]:
-        """Copy of the raw counters plus derived rates.
+        """Copy of the raw counters plus derived rates and quantiles.
 
         ``records_per_s`` is records over summed batch latency (device
         throughput while busy), ``mean_batch`` and ``mean_latency_ms``
-        are per-batch averages.
+        are per-batch averages, and ``p50/p90/p99_latency_ms`` are
+        interpolated from the log-bucketed latency histogram (0.0 when
+        no batch has been observed).
         """
         with self._lock:
             out: dict[str, float] = {
@@ -348,6 +417,9 @@ class ServingStats:
         out["records_per_s"] = (
             out["records"] / out["busy_seconds"] if out["busy_seconds"] > 0 else 0.0
         )
+        for p in (50, 90, 99):
+            q = self.latency.quantile(p / 100.0) if out["batches"] else 0.0
+            out[f"p{p}_latency_ms"] = 1000.0 * q
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,64 @@
+"""Observability: span tracing, metrics with histograms, export surfaces.
+
+* :mod:`repro.obs.trace` — parent-linked spans, JSONL export, text trees.
+* :mod:`repro.obs.metrics` — counters, gauges, log-bucketed histograms
+  (mergeable, with interpolated quantiles) behind a
+  :class:`MetricsRegistry`.
+* :mod:`repro.obs.export` — Prometheus text exposition, JSON snapshots,
+  and adapters projecting the existing ``BuildStats``/``IOStats``/
+  ``ServingStats`` blocks into a registry.
+* :mod:`repro.obs.inspect` — trace summaries and the scan-count
+  cross-check behind ``cmp-repro inspect-trace``.
+
+Tracing is strictly observational: a traced build or serve produces
+bit-identical trees and predictions, at low single-digit-percent
+overhead (``benchmarks/bench_obs_overhead.py`` enforces the bound).
+"""
+
+from repro.obs.export import (
+    record_build_stats,
+    record_io_stats,
+    record_serving_stats,
+    to_prometheus,
+    write_metrics,
+)
+from repro.obs.inspect import TraceSummary, format_summary, summarize_trace
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    load_trace_jsonl,
+    render_tree,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "load_trace_jsonl",
+    "render_tree",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "log_buckets",
+    "LATENCY_BUCKETS_S",
+    "to_prometheus",
+    "write_metrics",
+    "record_io_stats",
+    "record_build_stats",
+    "record_serving_stats",
+    "TraceSummary",
+    "summarize_trace",
+    "format_summary",
+]

@@ -1,0 +1,218 @@
+"""Export surfaces: Prometheus text exposition, JSON metrics, stats adapters.
+
+Two halves:
+
+* **Rendering** — :func:`to_prometheus` emits the Prometheus text
+  exposition format (version 0.0.4: ``# HELP`` / ``# TYPE`` headers,
+  ``_bucket{le=…}`` / ``_sum`` / ``_count`` for histograms, escaped
+  label values).  The exact output is golden-file-tested.
+  :func:`write_metrics` routes a registry to a path: ``*.json`` gets the
+  JSON snapshot, anything else the Prometheus text.
+
+* **Adapters** — the repository's pre-existing counter blocks
+  (:class:`~repro.io.metrics.BuildStats`, ``IOStats``, ``ServingStats``)
+  keep their ``summary()``/``snapshot()`` dict APIs untouched; the
+  functions here *project* them into a :class:`MetricsRegistry` after
+  the fact.  Nothing in the training or serving hot path writes to a
+  registry directly, so the export surface costs nothing until asked
+  for.  (Adapters duck-type their inputs; this module deliberately does
+  not import :mod:`repro.io` at runtime, keeping ``repro.obs``
+  import-cycle-free.)
+
+Metric names follow Prometheus conventions: ``cmp_`` prefix, base
+units, ``_total`` on counters.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, TYPE_CHECKING, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.io.metrics import BuildStats, IOStats, ServingStats
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render ``registry`` in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, kind, help_text, members in registry.collect():
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for m in members:
+            if kind == "histogram":
+                for le, cum in m.cumulative_buckets():
+                    labels = _format_labels(m.labels, f'le="{_format_le(le)}"')
+                    lines.append(f"{name}_bucket{labels} {cum}")
+                labels = _format_labels(m.labels)
+                lines.append(f"{name}_sum{labels} {_format_value(m.sum)}")
+                lines.append(f"{name}_count{labels} {m.count}")
+            else:
+                labels = _format_labels(m.labels)
+                lines.append(f"{name}{labels} {_format_value(m.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_metrics(registry: MetricsRegistry, path_or_file: "str | IO[str]") -> None:
+    """Write ``registry`` to a path: ``*.json`` → JSON, else Prometheus text."""
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(to_prometheus(registry))  # type: ignore[union-attr]
+        return
+    path = str(path_or_file)
+    with open(path, "w", encoding="utf-8") as fh:
+        if path.endswith(".json"):
+            json.dump(registry.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        else:
+            fh.write(to_prometheus(registry))
+
+
+# ---------------------------------------------------------------------------
+# Adapters: existing stats blocks -> registry
+# ---------------------------------------------------------------------------
+
+
+def record_io_stats(
+    registry: MetricsRegistry,
+    io: "IOStats",
+    labels: Mapping[str, str] | None = None,
+) -> None:
+    """Project an :class:`~repro.io.metrics.IOStats` block into counters."""
+    snap = io.snapshot()
+    help_by_name = {
+        "cmp_io_scans_total": "Sequential passes over the training table.",
+        "cmp_io_pages_read_total": "Sequential page reads.",
+        "cmp_io_records_read_total": "Records delivered by table scans.",
+        "cmp_io_aux_records_read_total": "Auxiliary-structure records read.",
+        "cmp_io_aux_records_written_total": "Auxiliary-structure records written.",
+        "cmp_io_random_seeks_total": "Random seeks charged by the cost model.",
+        "cmp_io_read_retries_total": "Chunk reads that were retried.",
+        "cmp_io_backoff_ms_total": "Simulated retry backoff, milliseconds.",
+    }
+    for field, value in snap.items():
+        name = f"cmp_io_{field}_total"
+        registry.counter(name, help_by_name.get(name, ""), labels).inc(float(value))
+
+
+def record_build_stats(
+    registry: MetricsRegistry,
+    stats: "BuildStats",
+    labels: Mapping[str, str] | None = None,
+) -> None:
+    """Project one finished build's :class:`BuildStats` into the registry.
+
+    Counters/gauges only — the flat ``summary()`` dict remains the
+    in-process reporting surface; this adapter is its machine-readable
+    twin.  Call once per build (counters accumulate across calls, which
+    is exactly right for a sweep of several builds sharing a registry).
+    """
+    record_io_stats(registry, stats.io, labels)
+    registry.counter(
+        "cmp_build_total", "Tree builds recorded into this registry.", labels
+    ).inc()
+    registry.counter(
+        "cmp_build_wall_seconds_total", "Wall-clock build time, seconds.", labels
+    ).inc(stats.wall_seconds)
+    registry.counter(
+        "cmp_build_simulated_ms_total", "Cost-model simulated build time.", labels
+    ).inc(stats.simulated_ms)
+    registry.counter(
+        "cmp_build_parallel_batches_total",
+        "Parallel chunk batches dispatched by the scan engine.",
+        labels,
+    ).inc(float(stats.parallel_batches))
+    registry.counter(
+        "cmp_build_buffer_overflow_rescans_total",
+        "Extra scans forced by alive-buffer overflow.",
+        labels,
+    ).inc(float(stats.buffer_overflow_rescans))
+    for phase, seconds in sorted(stats.phase_seconds.items()):
+        phase_labels = dict(labels or {})
+        phase_labels["phase"] = phase
+        registry.counter(
+            "cmp_build_phase_seconds_total",
+            "Wall-clock seconds per build phase.",
+            phase_labels,
+        ).inc(seconds)
+    registry.gauge(
+        "cmp_build_peak_memory_bytes", "Peak tracked memory of the last build.", labels
+    ).set(float(stats.memory.peak))
+    registry.gauge(
+        "cmp_build_nodes", "Nodes in the last built tree.", labels
+    ).set(float(stats.nodes_created))
+    registry.gauge(
+        "cmp_build_levels", "Depth of the last built tree.", labels
+    ).set(float(stats.levels_built))
+    registry.gauge(
+        "cmp_build_scan_workers", "Configured chunk-routing workers.", labels
+    ).set(float(stats.scan_workers))
+
+
+def record_serving_stats(
+    registry: MetricsRegistry,
+    stats: "ServingStats",
+    labels: Mapping[str, str] | None = None,
+) -> None:
+    """Project one model's :class:`ServingStats` into the registry.
+
+    The latency histogram is merged bucket-for-bucket into the
+    registry's, so Prometheus quantiles computed downstream agree with
+    ``snapshot()``'s p50/p90/p99.
+    """
+    snap = stats.snapshot()
+    registry.counter(
+        "cmp_serve_requests_total", "Prediction requests received.", labels
+    ).inc(snap["requests"])
+    registry.counter(
+        "cmp_serve_batches_total", "Batches executed by the serving engine.", labels
+    ).inc(snap["batches"])
+    registry.counter(
+        "cmp_serve_records_total", "Records predicted.", labels
+    ).inc(snap["records"])
+    registry.counter(
+        "cmp_serve_busy_seconds_total", "Summed batch execution time.", labels
+    ).inc(snap["busy_seconds"])
+    hist = registry.histogram(
+        "cmp_serve_batch_latency_seconds",
+        "Per-batch execution latency.",
+        labels,
+        bounds=stats.latency.bounds,
+    )
+    hist.merge_from(stats.latency)
+
+
+__all__ = [
+    "to_prometheus",
+    "write_metrics",
+    "record_io_stats",
+    "record_build_stats",
+    "record_serving_stats",
+]

@@ -1,0 +1,162 @@
+"""Summarize exported traces: slowest spans, phase rollups, scan cross-checks.
+
+This is the analysis half of the ``cmp-repro inspect-trace`` subcommand.
+It consumes the span list written by :meth:`repro.obs.trace.Tracer.write_jsonl`
+(or loaded back via :func:`repro.obs.trace.load_trace_jsonl`) and
+produces plain data a CLI can print:
+
+* **per-phase rollup** — total duration and span count per ``phase:*``
+  span name;
+* **slowest spans** — the top-N spans by duration, excluding the
+  all-enclosing ``build`` roots;
+* **scan cross-check** — for every ``build`` root span, the number of
+  ``scan`` spans beneath it (grouped per tree level) compared against
+  the ``scans`` attribute the builder stamped on the root from
+  ``IOStats.scans``.  Agreement is the structural invariant the paper's
+  accounting rests on: every sequential pass, and only those, traces
+  exactly one ``scan`` span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.trace import Span
+
+
+@dataclass
+class BuildCheck:
+    """Scan accounting for one ``build`` root span."""
+
+    builder: str
+    span: Span
+    recorded_scans: int | None
+    counted_scans: int
+    #: scan-span count per level; key -1 collects pre-level scans
+    #: (quantiling pass, root histogram pass) and overflow rescans that
+    #: fire outside a ``level`` span.
+    scans_per_level: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def matches(self) -> bool:
+        """True when the trace and ``IOStats.scans`` agree (or no attr)."""
+        return self.recorded_scans is None or self.recorded_scans == self.counted_scans
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``inspect-trace`` prints."""
+
+    n_spans: int
+    wall_s: float
+    phase_rollup: dict[str, tuple[float, int]]
+    slowest: list[Span]
+    builds: list[BuildCheck]
+
+    @property
+    def consistent(self) -> bool:
+        """True when every build's scan cross-check agrees."""
+        return all(b.matches for b in self.builds)
+
+
+def summarize_trace(spans: list[Span], top: int = 10) -> TraceSummary:
+    """Analyze a span list (see module docstring for the pieces)."""
+    by_id = {sp.span_id: sp for sp in spans}
+
+    def ancestors(sp: Span):
+        seen = set()
+        cur = sp
+        while cur.parent_id is not None and cur.parent_id in by_id:
+            if cur.parent_id in seen:  # defensive: corrupt parent loop
+                break
+            seen.add(cur.parent_id)
+            cur = by_id[cur.parent_id]
+            yield cur
+
+    phase_rollup: dict[str, tuple[float, int]] = {}
+    for sp in spans:
+        if sp.name.startswith("phase:"):
+            total, count = phase_rollup.get(sp.name, (0.0, 0))
+            phase_rollup[sp.name] = (total + sp.duration_s, count + 1)
+
+    builds: dict[int, BuildCheck] = {}
+    for sp in spans:
+        if sp.name == "build":
+            recorded = sp.attrs.get("scans")
+            builds[sp.span_id] = BuildCheck(
+                builder=str(sp.attrs.get("builder", "?")),
+                span=sp,
+                recorded_scans=int(recorded) if recorded is not None else None,
+                counted_scans=0,
+            )
+    for sp in spans:
+        if sp.name != "scan":
+            continue
+        level = -1
+        build: BuildCheck | None = None
+        for anc in ancestors(sp):
+            if anc.name == "level" and level == -1 and "level" in anc.attrs:
+                level = int(anc.attrs["level"])
+            if anc.span_id in builds:
+                build = builds[anc.span_id]
+                break
+        if build is not None:
+            build.counted_scans += 1
+            build.scans_per_level[level] = build.scans_per_level.get(level, 0) + 1
+
+    candidates = [sp for sp in spans if sp.name != "build"] or list(spans)
+    slowest = sorted(candidates, key=lambda s: s.duration_s, reverse=True)[:top]
+
+    if spans:
+        start = min(sp.start_s for sp in spans)
+        end = max(sp.start_s + sp.duration_s for sp in spans)
+        wall = end - start
+    else:
+        wall = 0.0
+    return TraceSummary(
+        n_spans=len(spans),
+        wall_s=wall,
+        phase_rollup=phase_rollup,
+        slowest=slowest,
+        builds=list(builds.values()),
+    )
+
+
+def format_summary(summary: TraceSummary) -> str:
+    """Human-readable rendering of a :class:`TraceSummary`."""
+    lines = [f"{summary.n_spans} spans over {summary.wall_s * 1000.0:.1f} ms"]
+    if summary.phase_rollup:
+        lines.append("")
+        lines.append("Per-phase rollup:")
+        for name, (total, count) in sorted(
+            summary.phase_rollup.items(), key=lambda kv: -kv[1][0]
+        ):
+            lines.append(f"  {name:<20} {total * 1000.0:>10.2f} ms  ({count} spans)")
+    if summary.slowest:
+        lines.append("")
+        lines.append("Slowest spans:")
+        for sp in summary.slowest:
+            attrs = " ".join(f"{k}={v}" for k, v in sp.attrs.items())
+            lines.append(
+                f"  {sp.name:<20} {sp.duration_s * 1000.0:>10.2f} ms"
+                + (f"  [{attrs}]" if attrs else "")
+            )
+    for b in summary.builds:
+        lines.append("")
+        lines.append(f"Build {b.builder}: {b.counted_scans} scan spans")
+        for level in sorted(b.scans_per_level):
+            label = "prelude" if level == -1 else f"level {level}"
+            lines.append(f"  {label:<10} {b.scans_per_level[level]} scans")
+        if b.recorded_scans is None:
+            lines.append("  cross-check: build span carries no scans attribute")
+        elif b.matches:
+            lines.append(f"  cross-check: OK (IOStats.scans == {b.recorded_scans})")
+        else:
+            lines.append(
+                f"  cross-check: MISMATCH (trace {b.counted_scans} != "
+                f"IOStats.scans {b.recorded_scans})"
+            )
+    return "\n".join(lines)
+
+
+__all__ = ["BuildCheck", "TraceSummary", "summarize_trace", "format_summary"]

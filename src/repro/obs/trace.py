@@ -1,0 +1,338 @@
+"""Lightweight span tracing for builds, scans and serving.
+
+A :class:`Tracer` records **spans**: named intervals with monotonic
+timestamps, explicit parent links and free-form attributes.  There is no
+module-level global tracer — every component that traces receives a
+tracer object (builders through ``TreeBuilder(config, tracer=...)``,
+the scan engine and retrying table from the builder, the serving engine
+at construction).  Code that does not care receives :data:`NULL_TRACER`,
+whose ``span()`` is a reusable no-op, so the traced hot paths cost one
+attribute access and a method call when tracing is off.
+
+Parenting is explicit-first: ``tracer.span(name, parent=some_span)``
+links wherever the caller says.  When no parent is given, the span
+attaches to the innermost open span *of the current thread* (a
+per-tracer ``threading.local`` stack — still no process-global state),
+which makes ``with`` nesting do the right thing in single-threaded code
+while worker threads pass their parent across the thread boundary by
+hand (see :meth:`repro.core.parallel.ScanEngine.scan`).
+
+Span timestamps come from :func:`time.perf_counter` relative to the
+tracer's construction, so exported traces start near zero and are
+immune to wall-clock adjustments.  Tracing is observational only: no
+code path may branch on a span, so a traced build is bit-identical to
+an untraced one (property-tested in ``tests/test_obs_integration.py``).
+
+Export surfaces: :meth:`Tracer.write_jsonl` (one span per line, the
+format read back by :func:`load_trace_jsonl` and the ``cmp-repro
+inspect-trace`` subcommand) and :func:`render_tree` (indented text).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, Iterator
+
+#: Attribute value types that survive a JSONL round-trip unchanged.
+AttrValue = "str | int | float | bool | None"
+
+
+class Span:
+    """One named, timed interval in a trace.
+
+    ``end_s`` is ``None`` while the span is open.  Attributes may be
+    added at any time — including after exit, which is how a build span
+    picks up its final counter totals (the span object stays reachable
+    through the tracer until export).
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "start_s", "end_s", "thread", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        start_s: float,
+        thread: str,
+        attrs: dict[str, object],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.thread = thread
+        self.attrs = attrs
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def annotate(self, **attrs: object) -> "Span":
+        """Attach attributes to the span; returns the span for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (one JSONL line)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": round(self.start_s, 9),
+            "dur_s": round(self.duration_s, 9),
+            "thread": self.thread,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, dur={self.duration_s:.6f}s)"
+
+
+class _SpanContext:
+    """Context manager that opens ``span`` on enter and closes it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._finish(self._span)
+
+
+class Tracer:
+    """Collects spans; thread-safe; no global state.
+
+    Spans are appended to the record at *start* (under the lock), so the
+    export order is start order regardless of which thread finished
+    first.  Open spans export with ``dur_s == 0``.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._stack = threading.local()
+
+    # -- recording -----------------------------------------------------------
+
+    def span(
+        self, name: str, parent: Span | None | type[Ellipsis] = ..., **attrs: object
+    ) -> _SpanContext:
+        """Open a span as a context manager.
+
+        ``parent=...`` (the default) attaches to the current thread's
+        innermost open span; ``parent=None`` forces a root span;
+        ``parent=<span>`` links explicitly (the only option that works
+        across threads).
+        """
+        if parent is ...:
+            stack = getattr(self._stack, "spans", None)
+            resolved = stack[-1] if stack else None
+        else:
+            resolved = parent  # type: ignore[assignment]
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            sp = Span(
+                name,
+                span_id,
+                resolved.span_id if resolved is not None else None,
+                time.perf_counter() - self._epoch,
+                threading.current_thread().name,
+                dict(attrs),
+            )
+            self._spans.append(sp)
+        return _SpanContext(self, sp)
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._stack, "spans", None)
+        if stack is None:
+            stack = []
+            self._stack.spans = stack
+        stack.append(span)
+
+    def _finish(self, span: Span) -> None:
+        span.end_s = time.perf_counter() - self._epoch
+        stack = getattr(self._stack, "spans", None)
+        if stack is not None:
+            # Remove by identity from the end: robust even if a generator
+            # holding an open span was finalized on a different thread.
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] is span:
+                    del stack[i]
+                    break
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True — this tracer records spans (cf. :class:`NullTracer`)."""
+        return True
+
+    def spans(self) -> list[Span]:
+        """Snapshot of all recorded spans, in start order."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # -- export --------------------------------------------------------------
+
+    def write_jsonl(self, path_or_file: "str | IO[str]") -> int:
+        """Write one JSON object per span; returns the span count."""
+        spans = self.spans()
+        if hasattr(path_or_file, "write"):
+            for sp in spans:
+                path_or_file.write(json.dumps(sp.to_dict()) + "\n")  # type: ignore[union-attr]
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as fh:  # type: ignore[arg-type]
+                for sp in spans:
+                    fh.write(json.dumps(sp.to_dict()) + "\n")
+        return len(spans)
+
+    def render(self) -> str:
+        """Indented text tree of the recorded spans."""
+        return render_tree(self.spans())
+
+
+class _NoopSpan:
+    """Shared inert span yielded by :class:`NullTracer`."""
+
+    __slots__ = ()
+    name = "noop"
+    span_id = -1
+    parent_id = None
+    start_s = 0.0
+    end_s = 0.0
+    thread = ""
+    attrs: dict[str, object] = {}
+    duration_s = 0.0
+
+    def annotate(self, **attrs: object) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NullTracer:
+    """Drop-in tracer that records nothing and allocates nothing per span."""
+
+    enabled = False
+
+    def span(self, name: str, parent: object = ..., **attrs: object) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def spans(self) -> list[Span]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def write_jsonl(self, path_or_file: object) -> int:
+        raise RuntimeError("NullTracer records no spans; nothing to export")
+
+    def render(self) -> str:
+        return "(tracing disabled)"
+
+
+#: Shared inert tracer — the default wherever tracing is optional.
+NULL_TRACER = NullTracer()
+
+
+def load_trace_jsonl(path_or_file: "str | IO[str]") -> list[Span]:
+    """Read spans back from a :meth:`Tracer.write_jsonl` file.
+
+    Malformed lines raise ``ValueError`` naming the line number — a
+    truncated trace should fail loudly, not summarize silently.
+    """
+
+    def _parse(lines: Iterator[str]) -> list[Span]:
+        spans: list[Span] = []
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                sp = Span(
+                    str(obj["name"]),
+                    int(obj["span_id"]),
+                    None if obj["parent_id"] is None else int(obj["parent_id"]),
+                    float(obj["start_s"]),
+                    str(obj.get("thread", "")),
+                    dict(obj.get("attrs", {})),
+                )
+                sp.end_s = sp.start_s + float(obj["dur_s"])
+            except (KeyError, TypeError, json.JSONDecodeError) as exc:
+                raise ValueError(f"bad trace line {lineno}: {exc}") from exc
+            spans.append(sp)
+        return spans
+
+    if hasattr(path_or_file, "read"):
+        return _parse(iter(path_or_file))  # type: ignore[arg-type]
+    with open(path_or_file, "r", encoding="utf-8") as fh:  # type: ignore[arg-type]
+        return _parse(iter(fh))
+
+
+def render_tree(spans: list[Span]) -> str:
+    """Indented text rendering: one line per span, children under parents.
+
+    Spans whose parent is missing from ``spans`` (e.g. a filtered
+    export) are promoted to roots rather than dropped.
+    """
+    by_id = {sp.span_id: sp for sp in spans}
+    children: dict[int | None, list[Span]] = {}
+    for sp in spans:
+        key = sp.parent_id if sp.parent_id in by_id else None
+        children.setdefault(key, []).append(sp)
+    for kids in children.values():
+        kids.sort(key=lambda s: (s.start_s, s.span_id))
+
+    lines: list[str] = []
+
+    def walk(sp: Span, depth: int) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in sp.attrs.items())
+        lines.append(
+            "  " * depth
+            + f"{sp.name}  {sp.duration_s * 1000.0:.3f} ms"
+            + (f"  [{attrs}]" if attrs else "")
+        )
+        for kid in children.get(sp.span_id, []):
+            walk(kid, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines) if lines else "(empty trace)"
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "load_trace_jsonl",
+    "render_tree",
+]

@@ -137,15 +137,20 @@ class MicroBatcher:
                 return
 
     def _execute(self, rows: list[np.ndarray], futures: list[Future]) -> None:
-        try:
-            X = np.vstack(rows)
-            out = getattr(self.engine, self.method)(self.fingerprint, X)
-        except BaseException as exc:  # propagate, don't kill the thread
-            for f in futures:
-                f.set_exception(exc)
-            return
-        for i, f in enumerate(futures):
-            f.set_result(out[i])
+        # The flush span wraps coalescing plus the engine call (which
+        # records its own child serve_batch span on the same tracer).
+        with self.engine.tracer.span(
+            "flush", rows=len(rows), method=self.method
+        ):
+            try:
+                X = np.vstack(rows)
+                out = getattr(self.engine, self.method)(self.fingerprint, X)
+            except BaseException as exc:  # propagate, don't kill the thread
+                for f in futures:
+                    f.set_exception(exc)
+                return
+            for i, f in enumerate(futures):
+                f.set_result(out[i])
 
 
 __all__ = ["MicroBatcher"]

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.compiled import CompiledTree, compile_tree
 from repro.core.tree import DecisionTree, _as_batch
 from repro.io.metrics import ServingStats
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 
 class ModelRegistry:
@@ -94,6 +95,10 @@ class ServingEngine:
         single-threaded regardless, so tiny requests skip pool overhead.
     min_shard_rows:
         Minimum rows per shard before a batch is split.
+    tracer:
+        Optional span recorder: each executed batch records one
+        ``serve_batch`` span (model, method, rows, shard count).
+        Tracing never changes predictions.
     """
 
     def __init__(
@@ -101,6 +106,7 @@ class ServingEngine:
         registry: ModelRegistry | None = None,
         workers: int = 1,
         min_shard_rows: int = 8192,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -109,6 +115,7 @@ class ServingEngine:
         self.registry = registry if registry is not None else ModelRegistry()
         self.workers = workers
         self.min_shard_rows = min_shard_rows
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._pool: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -138,25 +145,29 @@ class ServingEngine:
         X = _as_batch(X)
         n = len(X)
         fn = getattr(model, method)
-        start = time.perf_counter()
-        if self.workers == 1 or n < 2 * self.min_shard_rows:
-            out = fn(X)
-        else:
-            # Contiguous, balanced row ranges — the partition_chunks rule,
-            # computed as bounds so a million-row batch is not listed out.
-            shards = max(2, min(self.workers, n // self.min_shard_rows))
-            base, extra = divmod(n, shards)
-            bounds = []
-            lo = 0
-            for i in range(shards):
-                hi = lo + base + (1 if i < extra else 0)
-                bounds.append((lo, hi))
-                lo = hi
-            pool = self._ensure_pool()
-            futures = [pool.submit(fn, X[a:b]) for a, b in bounds]
-            parts = [f.result() for f in futures]
-            out = np.concatenate(parts, axis=0)
-        stats.observe_batch(n, time.perf_counter() - start)
+        with self.tracer.span(
+            "serve_batch", model=fingerprint[:12], method=method, rows=n
+        ) as span:
+            start = time.perf_counter()
+            if self.workers == 1 or n < 2 * self.min_shard_rows:
+                out = fn(X)
+            else:
+                # Contiguous, balanced row ranges — the partition_chunks rule,
+                # computed as bounds so a million-row batch is not listed out.
+                shards = max(2, min(self.workers, n // self.min_shard_rows))
+                base, extra = divmod(n, shards)
+                bounds = []
+                lo = 0
+                for i in range(shards):
+                    hi = lo + base + (1 if i < extra else 0)
+                    bounds.append((lo, hi))
+                    lo = hi
+                span.annotate(shards=shards)
+                pool = self._ensure_pool()
+                futures = [pool.submit(fn, X[a:b]) for a, b in bounds]
+                parts = [f.result() for f in futures]
+                out = np.concatenate(parts, axis=0)
+            stats.observe_batch(n, time.perf_counter() - start)
         return out
 
     def predict(self, fingerprint: str, X: np.ndarray) -> np.ndarray:

@@ -161,3 +161,121 @@ class TestBuildStats:
         with Stopwatch(stats):
             sum(range(1000))
         assert stats.wall_seconds > 0
+
+
+class TestCostModelAccounting:
+    def test_backoff_added_verbatim(self):
+        s = IOStats()
+        s.count_pages(10, 1000)
+        base = CostModel().simulated_ms(s)
+        s.count_retry(25.0)
+        s.count_retry(50.0)
+        assert CostModel().simulated_ms(s) == pytest.approx(base + 75.0)
+
+    def test_workers_divide_cpu_only(self):
+        s = IOStats()
+        s.count_pages(10, 10_000)
+        s.count_seek(3)
+        s.count_aux_read(2_000)
+        s.count_retry(40.0)
+        model = CostModel(
+            seq_page_ms=5.0, seek_ms=10.0, cpu_record_us=15.0, aux_record_us=8.0
+        )
+        serial = model.simulated_ms(s, scan_workers=1)
+        quad = model.simulated_ms(s, scan_workers=4)
+        cpu_serial = 10_000 * 15.0 / 1000.0
+        # Only the CPU charge shrinks; I/O, aux and backoff stay serial.
+        assert serial - quad == pytest.approx(cpu_serial * (1 - 1 / 4))
+        fixed = 10 * 5.0 + 3 * 10.0 + 2_000 * 8.0 / 1000.0 + 40.0
+        assert quad == pytest.approx(fixed + cpu_serial / 4)
+
+    def test_workers_floor_at_one(self):
+        s = IOStats()
+        s.count_pages(1, 100)
+        assert CostModel().simulated_ms(s, scan_workers=0) == pytest.approx(
+            CostModel().simulated_ms(s, scan_workers=1)
+        )
+
+
+class TestMemoryTrackerThreadSafety:
+    def test_concurrent_allocate_release_conserves_total(self):
+        import threading
+
+        tracker = MemoryTracker()
+
+        def churn(worker: int):
+            for i in range(500):
+                tracker.allocate(f"w{worker}/a{i}", 64)
+                tracker.release(f"w{worker}/a{i}")
+            tracker.allocate(f"w{worker}/kept", 1000)
+
+        threads = [threading.Thread(target=churn, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Lost updates under a racy += would leave current != sum(live).
+        assert tracker.current == 4 * 1000
+        assert tracker.current == sum(tracker.live_allocations().values())
+        assert tracker.peak >= tracker.current
+
+    def test_concurrent_release_prefix(self):
+        import threading
+
+        tracker = MemoryTracker()
+        for w in range(4):
+            for i in range(100):
+                tracker.allocate(f"w{w}/a{i}", 8)
+
+        threads = [
+            threading.Thread(target=tracker.release_prefix, args=(f"w{w}/",))
+            for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tracker.current == 0
+        assert tracker.live_allocations() == {}
+
+
+class TestBuildStatsPhase:
+    def test_phase_accumulates(self):
+        stats = BuildStats()
+        with stats.phase("scan"):
+            pass
+        with stats.phase("scan"):
+            pass
+        with stats.phase("resolve"):
+            pass
+        assert set(stats.phase_seconds) == {"scan", "resolve"}
+        assert stats.phase_seconds["scan"] >= 0.0
+
+    def test_phase_records_elapsed_on_error(self):
+        stats = BuildStats()
+        with pytest.raises(RuntimeError):
+            with stats.phase("scan"):
+                raise RuntimeError("boom")
+        assert "scan" in stats.phase_seconds
+
+    def test_phase_concurrent_entries_all_counted(self):
+        import threading
+        import time
+
+        stats = BuildStats()
+        start = threading.Barrier(4)
+
+        def work():
+            start.wait()
+            for __ in range(5):
+                with stats.phase("scan"):
+                    time.sleep(0.002)
+
+        threads = [threading.Thread(target=work) for __ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # 4 threads x 5 entries x ~2ms each: a racy read-modify-write on
+        # the dict would drop whole entries and land far below the floor.
+        assert stats.phase_seconds["scan"] >= 4 * 5 * 0.002 * 0.5

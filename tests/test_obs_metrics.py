@@ -1,0 +1,231 @@
+"""Tests for repro.obs.metrics: counters, gauges, histograms, registry."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+
+
+class TestLogBuckets:
+    def test_geometric_progression(self):
+        assert log_buckets(1.0, 8.0) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_covers_hi(self):
+        bounds = log_buckets(1e-4, 100.0)
+        assert bounds[-1] >= 100.0
+        assert bounds == LATENCY_BUCKETS_S
+
+    def test_custom_factor(self):
+        bounds = log_buckets(1.0, 100.0, factor=10.0)
+        assert bounds == (1.0, 10.0, 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(2.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 2.0, factor=1.0)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("c_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        c = Counter("c_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_thread_safe(self):
+        c = Counter("c_total")
+
+        def bump():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_observe_lands_in_le_bucket(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 4.0, 9.0):
+            h.observe(v)
+        # le semantics: 1.0 -> first bucket, 4.0 -> third, 9.0 -> +Inf.
+        assert h.bucket_counts() == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(16.0)
+
+    def test_cumulative_buckets(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        for v in (0.5, 1.5, 5.0):
+            h.observe(v)
+        assert h.cumulative_buckets() == [(1.0, 1), (2.0, 2), (math.inf, 3)]
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram(bounds=(10.0, 20.0))
+        for _ in range(10):
+            h.observe(15.0)  # all in (10, 20]
+        # Median rank 5/10 -> halfway through the second bucket.
+        assert h.quantile(0.5) == pytest.approx(15.0)
+        assert h.quantile(1.0) == pytest.approx(20.0)
+
+    def test_quantile_first_bucket_interpolates_from_zero(self):
+        h = Histogram(bounds=(8.0, 16.0))
+        for _ in range(4):
+            h.observe(1.0)
+        assert h.quantile(0.5) == pytest.approx(4.0)
+
+    def test_quantile_overflow_returns_largest_bound(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_quantile_empty_is_nan(self):
+        assert math.isnan(Histogram().quantile(0.5))
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_percentiles_shorthand(self):
+        h = Histogram(bounds=(10.0,))
+        h.observe(5.0)
+        p = h.percentiles(50, 90, 99)
+        assert set(p) == {"p50", "p90", "p99"}
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, math.inf))
+
+    def test_merge_matches_direct_observation(self):
+        # The histogram-delta idiom: worker-private copies folded together
+        # must equal one histogram that saw every observation.
+        bounds = log_buckets(1e-3, 10.0)
+        direct = Histogram(bounds=bounds)
+        parts = [Histogram(bounds=bounds) for _ in range(3)]
+        values = [0.001 * (i + 1) ** 2 for i in range(60)]
+        for i, v in enumerate(values):
+            direct.observe(v)
+            parts[i % 3].observe(v)
+        merged = Histogram(bounds=bounds)
+        for p in parts:
+            merged.merge_from(p)
+        assert merged.bucket_counts() == direct.bucket_counts()
+        assert merged.sum == pytest.approx(direct.sum)
+        assert merged.quantile(0.9) == pytest.approx(direct.quantile(0.9))
+
+    def test_merge_rejects_different_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0,)).merge_from(Histogram(bounds=(2.0,)))
+
+    def test_concurrent_observe(self):
+        h = Histogram(bounds=(0.5,))
+
+        def observe():
+            for _ in range(5_000):
+                h.observe(0.25)
+
+        threads = [threading.Thread(target=observe) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 20_000
+        assert h.bucket_counts()[0] == 20_000
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help", {"k": "v"})
+        b = reg.counter("x_total", labels={"k": "v"})
+        assert a is b
+        assert len(reg) == 1
+
+    def test_distinct_labels_distinct_members(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labels={"k": "1"})
+        b = reg.counter("x_total", labels={"k": "2"})
+        assert a is not b
+        assert len(reg) == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x_total")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            reg.histogram("h", bounds=(1.0, 4.0))
+
+    def test_invalid_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("")
+        with pytest.raises(ValueError):
+            reg.counter("1bad")
+
+    def test_help_from_first_registration(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "first help", {"k": "1"})
+        reg.counter("x_total", "second help", {"k": "2"})
+        families = {name: help for name, _, help, _ in reg.collect()}
+        assert families["x_total"] == "first help"
+
+    def test_collect_groups_by_family(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels={"k": "1"})
+        reg.counter("x_total", labels={"k": "2"})
+        reg.gauge("g")
+        fams = {name: (kind, len(members)) for name, kind, _, members in reg.collect()}
+        assert fams == {"x_total": ("counter", 2), "g": ("gauge", 1)}
+
+    def test_to_dict_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "c help").inc(2)
+        h = reg.histogram("h_seconds", bounds=(1.0,))
+        h.observe(0.5)
+        d = reg.to_dict()
+        assert d["c_total"]["type"] == "counter"
+        assert d["c_total"]["values"][0]["value"] == 2.0
+        entry = d["h_seconds"]["values"][0]
+        assert entry["count"] == 1
+        assert entry["buckets"][-1]["le"] == "+Inf"
+        assert "p50" in entry and "p99" in entry

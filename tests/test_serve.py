@@ -50,6 +50,56 @@ class TestServingStats:
         assert snap["requests"] == 2
         assert snap["min_batch"] == 5 and snap["max_batch"] == 15
 
+    def test_zero_record_batch_is_a_real_minimum(self):
+        # Regression: the old ``min_batch == 0`` sentinel meant a genuine
+        # empty batch was indistinguishable from "never observed" and a
+        # later nonzero batch would overwrite it.
+        s = ServingStats()
+        s.observe_batch(0, 0.001)
+        s.observe_batch(25, 0.002)
+        snap = s.snapshot()
+        assert snap["min_batch"] == 0
+        assert snap["max_batch"] == 25
+        assert s.batch_observed
+
+    def test_merge_honors_observed_flag(self):
+        # Merging an empty block must not drag min_batch down to 0...
+        a, b = ServingStats(), ServingStats()
+        a.observe_batch(5, 0.1)
+        a.merge_from(b)
+        assert a.snapshot()["min_batch"] == 5
+        # ...while merging a block whose true minimum IS 0 must.
+        c = ServingStats()
+        c.observe_batch(0, 0.1)
+        a.merge_from(c)
+        assert a.snapshot()["min_batch"] == 0
+        # And merging into a never-observed block adopts the other side.
+        d = ServingStats()
+        d.merge_from(a)
+        assert d.snapshot()["min_batch"] == 0
+        assert d.batch_observed
+
+    def test_snapshot_reports_latency_percentiles(self):
+        s = ServingStats()
+        empty = s.snapshot()
+        assert empty["p50_latency_ms"] == 0.0
+        for ms in (1.0, 2.0, 4.0, 8.0, 100.0):
+            s.observe_batch(1, ms / 1000.0)
+        snap = s.snapshot()
+        assert 0.0 < snap["p50_latency_ms"] <= snap["p90_latency_ms"]
+        assert snap["p90_latency_ms"] <= snap["p99_latency_ms"]
+        assert snap["p99_latency_ms"] <= 1000.0 * snap["max_latency_s"] * 2
+
+    def test_merge_folds_latency_histograms(self):
+        a, b = ServingStats(), ServingStats()
+        for __ in range(10):
+            a.observe_batch(1, 0.001)
+            b.observe_batch(1, 0.1)
+        a.merge_from(b)
+        assert a.latency.count == 20
+        # Median sits between the two clusters after the merge.
+        assert 0.001 < a.latency.quantile(0.5) < 0.1
+
 
 class TestModelRegistry:
     def test_register_is_idempotent(self):
