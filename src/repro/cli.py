@@ -11,6 +11,8 @@ Usage (installed as ``cmp-repro`` or via ``python -m repro``)::
     cmp-repro demo --function Ff --records 50000
     cmp-repro demo --records 20000 --trace trace.jsonl --metrics out.prom
     cmp-repro inspect-trace trace.jsonl
+    cmp-repro verify --seeds 25
+    cmp-repro verify --fuzz --seeds 10 --corpus-dir tests/data/corpus
 """
 
 from __future__ import annotations
@@ -172,6 +174,66 @@ def main(argv: list[str] | None = None) -> int:
         help="also print the full indented span tree",
     )
 
+    p = sub.add_parser(
+        "verify",
+        help="Differential + metamorphic correctness harness: every builder "
+        "against the exact split oracle on adversarial datasets",
+    )
+    p.add_argument(
+        "--seeds",
+        type=int,
+        default=25,
+        metavar="N",
+        help="seeded datasets to check (profiles rotate across seeds)",
+    )
+    p.add_argument("--records", type=int, default=300, metavar="N")
+    p.add_argument(
+        "--profiles",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="adversarial profiles to draw from (default: all)",
+    )
+    p.add_argument(
+        "--builders",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="builders to verify (default: CMP-S CMP-B CMP CLOUDS SLIQ)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[4],
+        metavar="N",
+        help="scan worker counts whose trees must be bit-identical to serial",
+    )
+    p.add_argument(
+        "--checks",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="metamorphic checks to run (default: the full battery)",
+    )
+    p.add_argument(
+        "--safety",
+        type=float,
+        default=2.0,
+        help="multiplier on the footnote-1 estimator bound (grid drift margin)",
+    )
+    p.add_argument(
+        "--fuzz",
+        action="store_true",
+        help="fuzz instead of the fixed sweep: shrink any failing dataset "
+        "and write it as a replayable JSON case under --corpus-dir",
+    )
+    p.add_argument("--corpus-dir", default="tests/data/corpus", metavar="DIR")
+    p.add_argument("--intervals", type=int, default=16)
+    p.add_argument("--max-depth", type=int, default=6)
+    p.add_argument("--min-records", type=int, default=25)
+    _add_obs(p)
+
     p = sub.add_parser("demo", help="Train CMP on a synthetic function, print the tree")
     p.add_argument("--function", default="Ff")
     p.add_argument("--records", type=int, default=50_000)
@@ -300,6 +362,79 @@ def main(argv: list[str] | None = None) -> int:
             print()
             print(render_tree(spans))
         return 0 if summary.consistent else 1
+    if args.command == "verify":
+        import os
+
+        from repro.eval.treegen import ADVERSARIAL_PROFILES
+        from repro.verify import run_fuzz, run_verify, save_case
+        from repro.verify.runner import DEFAULT_BUILDERS
+
+        config = BuilderConfig(
+            n_intervals=args.intervals,
+            max_depth=args.max_depth,
+            min_records=args.min_records,
+            reservoir_capacity=5000,
+        )
+        profiles = tuple(args.profiles or ADVERSARIAL_PROFILES)
+        unknown = [p_ for p_ in profiles if p_ not in ADVERSARIAL_PROFILES]
+        if unknown:
+            parser.error(
+                f"unknown profile(s) {unknown}; "
+                f"choose from {sorted(ADVERSARIAL_PROFILES)}"
+            )
+        builders = tuple(args.builders or DEFAULT_BUILDERS)
+        tracer, registry = _obs_objects(args)
+
+        def log(line: str) -> None:
+            print(line, file=sys.stderr)
+
+        if args.fuzz:
+            cases, runs = run_fuzz(
+                config,
+                profiles=profiles,
+                seeds=range(args.seeds),
+                n=args.records,
+                builders=builders,
+                workers=tuple(args.workers),
+                safety=args.safety,
+                log=log,
+            )
+            for case in cases:
+                os.makedirs(args.corpus_dir, exist_ok=True)
+                path = os.path.join(args.corpus_dir, f"{case.name}.json")
+                save_case(case, path)
+                print(f"wrote {path}")
+            print(
+                f"fuzz: {runs} dataset(s), {len(cases)} failure(s)"
+                + (f" shrunk into {args.corpus_dir}" if cases else "")
+            )
+            _write_obs(args, tracer, registry)
+            return 0 if not cases else 1
+
+        summary = run_verify(
+            config,
+            seeds=args.seeds,
+            profiles=profiles,
+            builders=builders,
+            workers=tuple(args.workers),
+            n=args.records,
+            metamorphic_checks=tuple(args.checks) if args.checks else None,
+            safety=args.safety,
+            tracer=tracer,
+            registry=registry,
+            log=log,
+        )
+        print(format_table(summary.builder_rows()))
+        errors = [f for f in summary.findings if f.severity == "error"]
+        warnings = [f for f in summary.findings if f.severity != "error"]
+        for f in errors + warnings:
+            print(f)
+        print(
+            f"verify: {summary.datasets_run} dataset(s), "
+            f"{len(errors)} error(s), {len(warnings)} warning(s)"
+        )
+        _write_obs(args, tracer, registry)
+        return 0 if summary.ok else 1
     if args.command == "demo":
         if args.resume and not args.checkpoint:
             parser.error("--resume requires --checkpoint")

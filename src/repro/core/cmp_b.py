@@ -1119,6 +1119,7 @@ class CMPBBuilder(TreeBuilder):
             lpart.mset.class_counts + rpart.mset.class_counts,
         )
         child.split = split
+        stats.second_level_node_ids.append(child.node_id)
         gl = account.new_node(parent_depth + 2, lpart.mset.class_counts.copy())
         gr = account.new_node(parent_depth + 2, rpart.mset.class_counts.copy())
         child.left, child.right = gl, gr

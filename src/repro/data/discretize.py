@@ -91,10 +91,15 @@ def edges_from_histogram(
         Optional per-interval value extrema (as tracked by
         :class:`repro.core.histogram.ClassHistogram`).  When given, each
         interval's mass is spread over ``[vmin_i, vmax_i]`` instead of the
-        whole interval — crucially, a heavy *atom* (``vmin == vmax``)
-        becomes a CDF jump, so one child edge lands exactly on the atom
-        value and the atom stays isolated in its own child interval
-        (preserving atomic-interval detection down the tree).
+        whole interval — crucially, an interval holding a single heavy
+        *atom* (``vmin_i == vmax_i``) becomes a CDF jump, so a child edge
+        can land exactly on the atom value and the atom stays isolated in
+        its own child interval (preserving atomic-interval detection down
+        the tree).  An atom *sharing* its interval with other values gets
+        no such jump: the interval's mass is spread uniformly over
+        ``[vmin_i, vmax_i]``, so child edges can miss the atom entirely
+        (the footnote-1 estimator slack, resolved exactly from buffered
+        alive-interval records).
 
     Returns
     -------

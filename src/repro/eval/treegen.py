@@ -1,4 +1,4 @@
-"""Randomized decision-tree and record-batch generators.
+"""Randomized decision-tree, record-batch and adversarial-dataset generators.
 
 The compiled inference engine must agree with the object walker on *any*
 tree the builders can produce, including shapes the synthetic datasets
@@ -9,6 +9,16 @@ controllable proportions — and :func:`random_batch` draws record batches
 over the matching schema, optionally including category codes never seen
 at training time.  Used by ``tests/test_compiled.py``, the prediction
 benchmark and the ``serve-bench`` CLI command.
+
+:func:`adversarial_dataset` generates *training sets* designed to stress
+the split finders where approximate methods historically go wrong —
+heavy ties across interval boundaries, values separated by a few ULPs,
+extreme class skew, single-record classes, and constant attributes.  The
+verification harness (:mod:`repro.verify`) fuzzes over these profiles.
+
+Every ``seed`` parameter accepts either an integer or a ready-made
+``numpy.random.Generator`` so callers (notably the ``rng`` pytest
+fixture) can centralize seeding.
 """
 
 from __future__ import annotations
@@ -17,7 +27,15 @@ import numpy as np
 
 from repro.core.splits import CategoricalSplit, LinearSplit, NumericSplit
 from repro.core.tree import DecisionTree, Node
+from repro.data.dataset import Dataset
 from repro.data.schema import Attribute, AttributeKind, Schema
+
+
+def coerce_rng(seed: "int | np.random.Generator") -> np.random.Generator:
+    """An ``np.random.Generator`` from a seed or pass an existing one through."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
 
 
 def _make_schema(n_continuous: int, cardinalities: list[int], n_classes: int) -> Schema:
@@ -42,7 +60,7 @@ def random_tree(
     n_continuous: int = 4,
     n_categorical: int = 2,
     n_classes: int = 3,
-    seed: int = 0,
+    seed: "int | np.random.Generator" = 0,
     p_numeric: float = 0.5,
     p_categorical: float = 0.25,
     p_linear: float = 0.25,
@@ -64,7 +82,7 @@ def random_tree(
         raise ValueError("depth must be non-negative")
     if n_continuous + n_categorical < 1:
         raise ValueError("need at least one attribute")
-    rng = np.random.default_rng(seed)
+    rng = coerce_rng(seed)
     cards = [int(rng.integers(2, 7)) for _ in range(n_categorical)]
     schema = _make_schema(n_continuous, cards, n_classes)
 
@@ -131,7 +149,7 @@ def random_tree(
 def random_batch(
     schema: Schema,
     n: int,
-    seed: int = 0,
+    seed: "int | np.random.Generator" = 0,
     unseen_frac: float = 0.0,
 ) -> np.ndarray:
     """Record batch over ``schema``: continuous in ``[-0.5, 1.5)``, codes in range.
@@ -139,7 +157,7 @@ def random_batch(
     ``unseen_frac`` of each categorical column is replaced by codes one
     past the training vocabulary, exercising the heavier-child fallback.
     """
-    rng = np.random.default_rng(seed)
+    rng = coerce_rng(seed)
     X = np.empty((n, schema.n_attributes), dtype=np.float64)
     for j, attr in enumerate(schema.attributes):
         if attr.is_continuous:
@@ -152,4 +170,169 @@ def random_batch(
     return X
 
 
-__all__ = ["random_tree", "random_batch"]
+# ---------------------------------------------------------------------------
+# Adversarial training-set generators (verification fuzzing profiles)
+# ---------------------------------------------------------------------------
+
+
+def _assemble(
+    cont_cols: list[np.ndarray],
+    cat_cols: list[tuple[np.ndarray, int]],
+    y: np.ndarray,
+    n_classes: int,
+) -> Dataset:
+    """Dataset from continuous columns + (codes, cardinality) pairs."""
+    attrs = [Attribute(f"a{i}", AttributeKind.CONTINUOUS) for i in range(len(cont_cols))]
+    cols = [np.asarray(c, dtype=np.float64) for c in cont_cols]
+    for i, (codes, card) in enumerate(cat_cols):
+        attrs.append(
+            Attribute(
+                f"cat{i}",
+                AttributeKind.CATEGORICAL,
+                tuple(f"cat{i}_v{j}" for j in range(card)),
+            )
+        )
+        cols.append(np.asarray(codes, dtype=np.float64))
+    schema = Schema(tuple(attrs), tuple(f"class{i}" for i in range(n_classes)))
+    return Dataset(np.column_stack(cols), np.asarray(y, dtype=np.int64), schema)
+
+
+def _noisy_labels(
+    y: np.ndarray, rng: np.random.Generator, n_classes: int, flip: float = 0.08
+) -> np.ndarray:
+    """Flip a fraction of labels so trees stay non-trivial but imperfect."""
+    y = np.asarray(y, dtype=np.int64) % n_classes
+    hit = rng.random(len(y)) < flip
+    y[hit] = rng.integers(0, n_classes, size=int(hit.sum()))
+    return y
+
+
+def _gen_ties(n: int, rng: np.random.Generator, n_classes: int) -> Dataset:
+    """Heavy duplicate values: a handful of atoms carrying most records.
+
+    Equal-depth edges land *on* data values here, so nearly every record
+    sits exactly at an interval boundary — the regime where off-by-one
+    tie handling (``<=`` vs ``<`` at an edge) visibly corrupts splits.
+    """
+    pool0 = np.sort(rng.choice(np.arange(1.0, 21.0), size=5, replace=False))
+    a0 = rng.choice(pool0, size=n, p=np.array([0.35, 0.3, 0.2, 0.1, 0.05]))
+    pool1 = np.array([0.0, 0.25, 0.5, 0.75, 1.0])
+    a1 = rng.choice(pool1, size=n)
+    codes = rng.integers(0, 4, size=n)
+    y = (a0 > pool0[2]).astype(np.int64) + (a1 >= 0.5).astype(np.int64)
+    return _assemble(
+        [a0, a1], [(codes, 4)], _noisy_labels(y, rng, n_classes), n_classes
+    )
+
+
+def _gen_near_boundary(n: int, rng: np.random.Generator, n_classes: int) -> Dataset:
+    """Values a few billionths apart around shared centers.
+
+    The class flips on the *strict* side of each center, so a resolved
+    threshold placed one representable value off misroutes a cluster.
+    """
+    centers = np.array([0.25, 0.5, 0.75])
+    which = rng.integers(0, len(centers), size=n)
+    offsets = rng.integers(-3, 4, size=n).astype(np.float64) * 1e-9
+    a0 = centers[which] + offsets
+    a1 = rng.uniform(0.0, 1.0, size=n)
+    y = (offsets > 0).astype(np.int64) + (a1 > 0.6).astype(np.int64)
+    return _assemble([a0, a1], [], _noisy_labels(y, rng, n_classes, 0.04), n_classes)
+
+
+def _gen_skew(n: int, rng: np.random.Generator, n_classes: int) -> Dataset:
+    """Extreme class skew: one class holds ~96% of the records."""
+    p = np.full(n_classes, 0.04 / max(n_classes - 1, 1))
+    p[0] = 1.0 - p[1:].sum()
+    y = rng.choice(n_classes, size=n, p=p)
+    a0 = y.astype(np.float64) + rng.normal(0.0, 0.35, size=n)
+    a1 = rng.uniform(0.0, 1.0, size=n)
+    codes = np.minimum(y, 2) if n_classes > 2 else y.copy()
+    return _assemble([a0, a1], [(codes, 3)], y, n_classes)
+
+
+def _gen_singleton_class(n: int, rng: np.random.Generator, n_classes: int) -> Dataset:
+    """All classes beyond the first two get exactly one record each.
+
+    With two configured classes, one of them is reduced to a single
+    record instead.
+    """
+    a0 = rng.uniform(0.0, 1.0, size=n)
+    a1 = rng.uniform(0.0, 1.0, size=n)
+    y = (a0 > 0.5).astype(np.int64)
+    if n_classes > 2:
+        for cls in range(2, n_classes):
+            y[int(rng.integers(0, n))] = cls
+    else:
+        y[:] = 0
+        y[int(rng.integers(0, n))] = 1
+    return _assemble([a0, a1], [], y, n_classes)
+
+
+def _gen_constant(n: int, rng: np.random.Generator, n_classes: int) -> Dataset:
+    """All-identical attributes riding along one informative attribute."""
+    a0 = np.full(n, 7.5)
+    a1 = rng.uniform(0.0, 1.0, size=n)
+    codes = np.zeros(n, dtype=np.int64)
+    y = (a1 > 0.45).astype(np.int64)
+    return _assemble(
+        [a0, a1], [(codes, 2)], _noisy_labels(y, rng, n_classes), n_classes
+    )
+
+
+def _gen_mixed(n: int, rng: np.random.Generator, n_classes: int) -> Dataset:
+    """Ties + near-boundary + constant column + skewed labels at once."""
+    a0 = rng.choice(np.array([1.0, 2.0, 3.0]), size=n, p=np.array([0.6, 0.3, 0.1]))
+    a1 = 0.5 + rng.integers(-2, 3, size=n).astype(np.float64) * 1e-9
+    a2 = np.full(n, -3.0)
+    codes = rng.integers(0, 3, size=n)
+    y = np.where(
+        rng.random(n) < 0.9,
+        (a0 > 1.0).astype(np.int64),
+        rng.integers(0, n_classes, size=n),
+    )
+    return _assemble([a0, a1, a2], [(codes, 3)], y % n_classes, n_classes)
+
+
+#: Profile name -> generator ``(n, rng, n_classes) -> Dataset``.
+ADVERSARIAL_PROFILES = {
+    "ties": _gen_ties,
+    "near_boundary": _gen_near_boundary,
+    "skew": _gen_skew,
+    "singleton_class": _gen_singleton_class,
+    "constant": _gen_constant,
+    "mixed": _gen_mixed,
+}
+
+
+def adversarial_dataset(
+    profile: str,
+    n: int = 400,
+    seed: "int | np.random.Generator" = 0,
+    n_classes: int = 3,
+) -> Dataset:
+    """A training set from one adversarial profile (see
+    :data:`ADVERSARIAL_PROFILES`).
+
+    Every profile keeps at least two continuous attributes so CMP-B and
+    full CMP can run, and is deterministic given the seed.
+    """
+    try:
+        gen = ADVERSARIAL_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {profile!r}; choose from "
+            f"{sorted(ADVERSARIAL_PROFILES)}"
+        ) from None
+    if n < 1:
+        raise ValueError("n must be positive")
+    return gen(n, coerce_rng(seed), n_classes)
+
+
+__all__ = [
+    "ADVERSARIAL_PROFILES",
+    "adversarial_dataset",
+    "coerce_rng",
+    "random_batch",
+    "random_tree",
+]

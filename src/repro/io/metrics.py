@@ -234,6 +234,12 @@ class BuildStats:
     splits_resolved_exactly: int = 0
     linear_splits: int = 0
     two_level_splits: int = 0
+    #: Node ids whose split was committed at the second level of a
+    #: two-level pending (CMP-B/CMP).  Those splits compete among the
+    #: side sub-matrices' continuous attributes only — categorical
+    #: attributes have no per-side histograms — which the verification
+    #: harness must know to hold them to the right oracle reference.
+    second_level_node_ids: list[int] = field(default_factory=list)
     predictions_made: int = 0
     predictions_correct: int = 0
     buffer_overflow_rescans: int = 0

@@ -1,0 +1,587 @@
+"""Metamorphic invariance checks for the tree builders.
+
+Each check transforms a training set in a way with a *known* effect on
+the built tree and asserts exactly that effect.  The expected invariant
+is stated per check (and in ``docs/TESTING.md``):
+
+``shuffle``
+    Permuting record order → **bit-identical tree** for every builder.
+    Histograms accumulate integer-valued float64 counts (order-invariant
+    addition), reservoirs sized to the dataset never subsample, and the
+    parallel merge is chunk-order deterministic.
+``duplicate``
+    Tiling every record ``k`` times (with ``min_records`` and
+    ``linear_min_records`` scaled by ``k`` and a pinned interval count so
+    the adaptive grid cannot change) → **identical structure and splits
+    with class counts scaled by k**: gini is scale-invariant and every
+    split-point candidate set is unchanged.
+``relabel``
+    Permuting class labels → **relabeled tree** for the exhaustive
+    builders (SLIQ, SPRINT): gini is class-permutation invariant, so the
+    tree must match with permuted counts — except on *exact* gini ties,
+    where tie-breaking may legitimately pick a different, equally good
+    split (the comparison accepts equal-gini divergence and stops
+    descending).  The CMP family's interval estimator breaks climb-step
+    ties by class index, so a permutation can legitimately steer it to a
+    different (equally bounded) split; its stated invariant is **equal
+    training accuracy** within ``accuracy_tol``.
+``scale_pow2``
+    Multiplying every continuous value by ``2**k`` (exact in binary
+    floating point) → **bit-identical structure with thresholds scaled
+    by 2**k** (linear splits keep ``b`` and scale ``c``).
+``constant_categorical``
+    Appending a single-category column → **bit-identical tree** for
+    every builder: a one-category attribute admits no subset split.
+``constant_continuous``
+    Appending an all-identical continuous column → **bit-identical
+    tree** for the univariate builders (CMP-S, CLOUDS, SLIQ, SPRINT):
+    every boundary on it is degenerate so it can never win.  CMP-B/CMP
+    are excluded — their root X axis is drawn from the continuous index
+    list, so changing that list's *length* legitimately changes the draw
+    (the constant column still never wins a split; the categorical
+    variant above covers those builders).
+``id_column``
+    Appending a unique-per-record ID column → **no accuracy loss**
+    beyond ``accuracy_tol`` (the extra column can only add candidate
+    splits; training accuracy must not degrade).
+``rank_oracle``
+    Replacing continuous values by their dense ranks (a strictly
+    monotone map) → the **oracle's predictions are invariant**
+    record-for-record, because exact split search depends only on value
+    order; the exhaustive builders (SLIQ, SPRINT) inherit the same exact
+    prediction invariance.  CMP's interpolated child grids are *not*
+    rank-equivariant — ranking legitimately changes which splits the
+    estimator commits — so the estimator builders are instead held to
+    the **differential estimator bound on the ranked dataset** (the
+    ranked set is just another training set, and the per-node bound of
+    :func:`repro.verify.differential.check_tree_against_oracle` must
+    hold there too).  The training-accuracy delta is reported as a
+    warning-severity finding, never an error: a fixed tolerance is
+    unsound for a transform that legitimately rebuilds the tree.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import BuilderConfig
+from repro.core.splits import CategoricalSplit, LinearSplit, NumericSplit
+from repro.core.tree import Node
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, AttributeKind, Schema
+from repro.verify.differential import (
+    BUILDER_FACTORIES,
+    EXACT_BUILDERS,
+    Finding,
+    check_tree_against_oracle,
+    tree_signature,
+)
+from repro.verify.oracle import OracleBuilder
+
+EPS = 1e-9
+
+
+def _prepared(config: BuilderConfig, n: int) -> BuilderConfig:
+    """Verification config: no pruning, reservoirs that never subsample."""
+    return config.with_(
+        prune="none",
+        reservoir_capacity=max(config.reservoir_capacity, n),
+    )
+
+
+def _build_tree(builder: str, dataset: Dataset, config: BuilderConfig):
+    return BUILDER_FACTORIES[builder](config).build(dataset).tree
+
+
+def _train_accuracy(tree, dataset: Dataset) -> float:
+    return float(np.mean(tree.predict(dataset.X) == dataset.y))
+
+
+def _with_column(
+    dataset: Dataset, column: np.ndarray, attribute: Attribute
+) -> Dataset:
+    """Dataset with one extra attribute appended."""
+    schema = Schema(
+        dataset.schema.attributes + (attribute,), dataset.schema.class_labels
+    )
+    X = np.column_stack([dataset.X, np.asarray(column, dtype=np.float64)])
+    return Dataset(X, dataset.y, schema)
+
+
+def _achieved_gini(node: Node) -> float:
+    """Weighted gini the node's split actually achieves (from child counts)."""
+    from repro.core.gini import gini_partition
+
+    return float(gini_partition(node.left.class_counts, node.right.class_counts))
+
+
+# ---------------------------------------------------------------------------
+# Individual checks — each returns a list of findings (empty = pass)
+# ---------------------------------------------------------------------------
+
+
+def check_shuffle(
+    dataset: Dataset,
+    config: BuilderConfig,
+    builder: str,
+    rng: np.random.Generator,
+    accuracy_tol: float,
+) -> list[Finding]:
+    cfg = _prepared(config, dataset.n_records)
+    base = _build_tree(builder, dataset, cfg)
+    perm = rng.permutation(dataset.n_records)
+    shuffled = Dataset(dataset.X[perm], dataset.y[perm], dataset.schema)
+    other = _build_tree(builder, shuffled, cfg)
+    if tree_signature(base) != tree_signature(other):
+        return [
+            Finding(
+                builder,
+                "shuffle_divergence",
+                "tree built on row-shuffled data is not bit-identical",
+            )
+        ]
+    return []
+
+
+def check_duplicate(
+    dataset: Dataset,
+    config: BuilderConfig,
+    builder: str,
+    rng: np.random.Generator,
+    accuracy_tol: float,
+    k: int = 2,
+) -> list[Finding]:
+    n = dataset.n_records
+    # Pin the grid at the adaptive floor so node size cannot change it,
+    # and scale every absolute record-count threshold by k.
+    base_cfg = _prepared(config, n).with_(
+        n_intervals=4,
+        min_records=config.min_records,
+        linear_min_records=config.linear_min_records,
+    )
+    dup_cfg = base_cfg.with_(
+        min_records=config.min_records * k,
+        linear_min_records=config.linear_min_records * k,
+        reservoir_capacity=max(base_cfg.reservoir_capacity, k * n),
+    )
+    base = _build_tree(builder, dataset, base_cfg)
+    tiled = Dataset(
+        np.tile(dataset.X, (k, 1)), np.tile(dataset.y, k), dataset.schema
+    )
+    other = _build_tree(builder, tiled, dup_cfg)
+
+    findings: list[Finding] = []
+
+    def walk(a: Node, b: Node) -> None:
+        if not np.array_equal(a.class_counts * k, b.class_counts):
+            findings.append(
+                Finding(
+                    builder,
+                    "duplicate_count_mismatch",
+                    f"expected counts {(a.class_counts * k).tolist()}, "
+                    f"got {b.class_counts.tolist()}",
+                    node_id=a.node_id,
+                )
+            )
+            return
+        if a.is_leaf != b.is_leaf or (not a.is_leaf and a.split != b.split):
+            findings.append(
+                Finding(
+                    builder,
+                    "duplicate_structure_mismatch",
+                    f"node diverges under x{k} duplication: "
+                    f"{a.split!r} vs {b.split!r}",
+                    node_id=a.node_id,
+                )
+            )
+            return
+        if not a.is_leaf:
+            walk(a.left, b.left)
+            walk(a.right, b.right)
+
+    walk(base.root, other.root)
+    return findings
+
+
+def check_relabel(
+    dataset: Dataset,
+    config: BuilderConfig,
+    builder: str,
+    rng: np.random.Generator,
+    accuracy_tol: float,
+) -> list[Finding]:
+    cfg = _prepared(config, dataset.n_records)
+    c = dataset.schema.n_classes
+    perm = rng.permutation(c)
+    relabeled = Dataset(
+        dataset.X, perm[dataset.y].astype(np.int64), dataset.schema
+    )
+    base = _build_tree(builder, dataset, cfg)
+    other = _build_tree(builder, relabeled, cfg)
+
+    if builder not in EXACT_BUILDERS:
+        acc_a = _train_accuracy(base, dataset)
+        acc_b = _train_accuracy(other, relabeled)
+        if abs(acc_a - acc_b) > accuracy_tol:
+            return [
+                Finding(
+                    builder,
+                    "relabel_accuracy_divergence",
+                    f"training accuracy {acc_a:.4f} vs {acc_b:.4f} after "
+                    "label permutation",
+                    value=abs(acc_a - acc_b),
+                    bound=accuracy_tol,
+                )
+            ]
+        return []
+
+    findings: list[Finding] = []
+
+    def walk(a: Node, b: Node) -> None:
+        expected = np.zeros_like(a.class_counts)
+        expected[perm] = a.class_counts
+        if not np.array_equal(expected, b.class_counts):
+            findings.append(
+                Finding(
+                    builder,
+                    "relabel_count_mismatch",
+                    f"expected permuted counts {expected.tolist()}, "
+                    f"got {b.class_counts.tolist()}",
+                    node_id=a.node_id,
+                )
+            )
+            return
+        if a.is_leaf and b.is_leaf:
+            return
+        if not a.is_leaf and not b.is_leaf and a.split == b.split:
+            walk(a.left, b.left)
+            walk(a.right, b.right)
+            return
+        # Divergence: acceptable only as an exact gini tie between two
+        # equally good decisions (then stop descending).
+        ga = a.gini - (_achieved_gini(a) if not a.is_leaf else 0.0)
+        gb = b.gini - (_achieved_gini(b) if not b.is_leaf else 0.0)
+        if abs(ga - gb) > EPS:
+            findings.append(
+                Finding(
+                    builder,
+                    "relabel_structure_mismatch",
+                    "trees diverge under label permutation without an exact "
+                    f"gini tie (gains {ga:.9g} vs {gb:.9g})",
+                    node_id=a.node_id,
+                    value=abs(ga - gb),
+                    bound=EPS,
+                )
+            )
+
+    walk(base.root, other.root)
+    return findings
+
+
+def check_scale_pow2(
+    dataset: Dataset,
+    config: BuilderConfig,
+    builder: str,
+    rng: np.random.Generator,
+    accuracy_tol: float,
+    power: int = 3,
+) -> list[Finding]:
+    cfg = _prepared(config, dataset.n_records)
+    scale = float(2**power)
+    cont = dataset.schema.continuous_indices()
+    X = dataset.X.copy()
+    X[:, cont] *= scale
+    scaled = Dataset(X, dataset.y, dataset.schema)
+    base = _build_tree(builder, dataset, cfg)
+    other = _build_tree(builder, scaled, cfg)
+
+    findings: list[Finding] = []
+
+    def splits_match(a, b) -> bool:
+        if type(a) is not type(b):
+            return False
+        if isinstance(a, NumericSplit):
+            return a.attr == b.attr and a.threshold * scale == b.threshold
+        if isinstance(a, CategoricalSplit):
+            return a == b
+        if isinstance(a, LinearSplit):
+            return (
+                (a.attr_x, a.attr_y, a.a, a.b) == (b.attr_x, b.attr_y, b.a, b.b)
+                and a.c * scale == b.c
+            )
+        return False
+
+    def walk(a: Node, b: Node) -> None:
+        if not np.array_equal(a.class_counts, b.class_counts):
+            findings.append(
+                Finding(
+                    builder,
+                    "scale_count_mismatch",
+                    f"counts {a.class_counts.tolist()} vs "
+                    f"{b.class_counts.tolist()} after x{scale:g} scaling",
+                    node_id=a.node_id,
+                )
+            )
+            return
+        if a.is_leaf != b.is_leaf or (not a.is_leaf and not splits_match(a.split, b.split)):
+            findings.append(
+                Finding(
+                    builder,
+                    "scale_structure_mismatch",
+                    f"node diverges under x{scale:g} scaling: "
+                    f"{a.split!r} vs {b.split!r}",
+                    node_id=a.node_id,
+                )
+            )
+            return
+        if not a.is_leaf:
+            walk(a.left, b.left)
+            walk(a.right, b.right)
+
+    walk(base.root, other.root)
+    return findings
+
+
+def check_constant_categorical(
+    dataset: Dataset,
+    config: BuilderConfig,
+    builder: str,
+    rng: np.random.Generator,
+    accuracy_tol: float,
+) -> list[Finding]:
+    cfg = _prepared(config, dataset.n_records)
+    base = _build_tree(builder, dataset, cfg)
+    extended = _with_column(
+        dataset,
+        np.zeros(dataset.n_records),
+        Attribute("_const_cat", AttributeKind.CATEGORICAL, ("only",)),
+    )
+    other = _build_tree(builder, extended, cfg)
+    if tree_signature(base) != tree_signature(other):
+        return [
+            Finding(
+                builder,
+                "constant_categorical_divergence",
+                "appending a single-category column changed the tree",
+            )
+        ]
+    return []
+
+
+def check_constant_continuous(
+    dataset: Dataset,
+    config: BuilderConfig,
+    builder: str,
+    rng: np.random.Generator,
+    accuracy_tol: float,
+) -> list[Finding]:
+    cfg = _prepared(config, dataset.n_records)
+    base = _build_tree(builder, dataset, cfg)
+    extended = _with_column(
+        dataset,
+        np.full(dataset.n_records, 42.0),
+        Attribute("_const_cont", AttributeKind.CONTINUOUS),
+    )
+    other = _build_tree(builder, extended, cfg)
+    if tree_signature(base) != tree_signature(other):
+        return [
+            Finding(
+                builder,
+                "constant_continuous_divergence",
+                "appending an all-identical continuous column changed the tree",
+            )
+        ]
+    return []
+
+
+def check_id_column(
+    dataset: Dataset,
+    config: BuilderConfig,
+    builder: str,
+    rng: np.random.Generator,
+    accuracy_tol: float,
+) -> list[Finding]:
+    cfg = _prepared(config, dataset.n_records)
+    base = _build_tree(builder, dataset, cfg)
+    extended = _with_column(
+        dataset,
+        np.arange(dataset.n_records, dtype=np.float64),
+        Attribute("_row_id", AttributeKind.CONTINUOUS),
+    )
+    other = _build_tree(builder, extended, cfg)
+    acc_a = _train_accuracy(base, dataset)
+    acc_b = _train_accuracy(other, extended)
+    if acc_b < acc_a - accuracy_tol:
+        return [
+            Finding(
+                builder,
+                "id_column_accuracy_loss",
+                f"training accuracy fell from {acc_a:.4f} to {acc_b:.4f} "
+                "after appending a row-ID column",
+                value=acc_a - acc_b,
+                bound=accuracy_tol,
+            )
+        ]
+    return []
+
+
+def check_rank_oracle(
+    dataset: Dataset,
+    config: BuilderConfig,
+    builder: str,
+    rng: np.random.Generator,
+    accuracy_tol: float,
+) -> list[Finding]:
+    cfg = _prepared(config, dataset.n_records)
+    cont = dataset.schema.continuous_indices()
+    X = dataset.X.copy()
+    for j in cont:
+        _, inverse = np.unique(X[:, j], return_inverse=True)
+        X[:, j] = inverse.astype(np.float64)
+    ranked = Dataset(X, dataset.y, dataset.schema)
+
+    findings: list[Finding] = []
+    oracle_base = OracleBuilder(cfg).build(dataset).tree
+    oracle_ranked = OracleBuilder(cfg).build(ranked).tree
+    pred_a = oracle_base.predict(dataset.X)
+    pred_b = oracle_ranked.predict(ranked.X)
+    if not np.array_equal(pred_a, pred_b):
+        findings.append(
+            Finding(
+                "ORACLE",
+                "rank_invariance_violation",
+                f"{int(np.sum(pred_a != pred_b))} oracle predictions changed "
+                "under a strictly monotone (dense rank) transform",
+            )
+        )
+
+    base = _build_tree(builder, dataset, cfg)
+    ranked_result = BUILDER_FACTORIES[builder](cfg).build(ranked)
+    other = ranked_result.tree
+    if builder in EXACT_BUILDERS:
+        if not np.array_equal(base.predict(dataset.X), other.predict(ranked.X)):
+            findings.append(
+                Finding(
+                    builder,
+                    "rank_invariance_violation",
+                    "exhaustive builder predictions changed under a "
+                    "dense rank transform",
+                )
+            )
+        return findings
+
+    # Estimator builders: ranking legitimately rebuilds the tree (child
+    # grids interpolate in value space), so hold the ranked tree to the
+    # differential per-node bound instead of a fixed accuracy tolerance.
+    second_ids = frozenset(
+        getattr(ranked_result.stats, "second_level_node_ids", ())
+    )
+    tree_findings, _ = check_tree_against_oracle(
+        other, ranked, cfg, builder, second_level_nodes=second_ids
+    )
+    findings.extend(tree_findings)
+    acc_a = _train_accuracy(base, dataset)
+    acc_b = _train_accuracy(other, ranked)
+    if abs(acc_a - acc_b) > accuracy_tol:
+        findings.append(
+            Finding(
+                builder,
+                "rank_accuracy_divergence",
+                f"training accuracy {acc_a:.4f} vs {acc_b:.4f} under a "
+                "dense rank transform",
+                value=abs(acc_a - acc_b),
+                bound=accuracy_tol,
+                severity="warning",
+            )
+        )
+    return findings
+
+
+#: name -> (check function, builders it applies to — None means all).
+METAMORPHIC_CHECKS = {
+    "shuffle": (check_shuffle, None),
+    "duplicate": (check_duplicate, None),
+    "relabel": (check_relabel, None),
+    "scale_pow2": (check_scale_pow2, None),
+    "constant_categorical": (check_constant_categorical, None),
+    "constant_continuous": (
+        check_constant_continuous,
+        frozenset({"CMP-S", "CLOUDS", "SLIQ", "SPRINT"}),
+    ),
+    "id_column": (check_id_column, None),
+    "rank_oracle": (check_rank_oracle, None),
+}
+
+
+@dataclass
+class MetamorphicReport:
+    """Findings plus a per-(check, builder) pass/fail table."""
+
+    findings: list[Finding] = field(default_factory=list)
+    rows: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == "error" for f in self.findings)
+
+
+def run_metamorphic(
+    dataset: Dataset,
+    config: BuilderConfig,
+    builders: tuple[str, ...] = ("CMP-S", "CMP-B", "CMP", "CLOUDS", "SLIQ"),
+    checks: tuple[str, ...] | None = None,
+    seed: int = 0,
+    accuracy_tol: float = 0.05,
+) -> MetamorphicReport:
+    """Run the selected metamorphic checks for every requested builder.
+
+    Each (check, builder) pair gets its own child generator derived from
+    ``seed``, so single checks replay identically in isolation.
+    """
+    report = MetamorphicReport()
+    names = checks if checks is not None else tuple(METAMORPHIC_CHECKS)
+    n_continuous = len(dataset.schema.continuous_indices())
+    for name in names:
+        try:
+            func, applicable = METAMORPHIC_CHECKS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown check {name!r}; choose from {sorted(METAMORPHIC_CHECKS)}"
+            ) from None
+        for builder in builders:
+            if applicable is not None and builder not in applicable:
+                continue
+            if builder in {"CMP-B", "CMP"} and n_continuous < 2:
+                continue
+            rng = np.random.default_rng(
+                [seed, zlib.crc32(name.encode()), zlib.crc32(builder.encode())]
+            )
+            try:
+                findings = func(dataset, config, builder, rng, accuracy_tol)
+            except Exception as exc:  # noqa: BLE001 - crashes become findings
+                findings = [
+                    Finding(
+                        builder, "crash", f"{name}: {type(exc).__name__}: {exc}"
+                    )
+                ]
+            report.findings.extend(findings)
+            if not findings:
+                status = "ok"
+            elif any(f.severity == "error" for f in findings):
+                status = "FAIL"
+            else:
+                status = "warn"
+            report.rows.append(
+                {"check": name, "builder": builder, "status": status}
+            )
+    return report
+
+
+__all__ = [
+    "METAMORPHIC_CHECKS",
+    "MetamorphicReport",
+    "run_metamorphic",
+]

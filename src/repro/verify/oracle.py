@@ -1,0 +1,387 @@
+"""Brute-force exact split oracle: the harness's ground truth.
+
+The oracle evaluates the gini of **every** candidate split on the actual
+records of a node — every cut point between distinct values of every
+continuous attribute, every binary category subset of every categorical
+attribute (exhaustive up to a cardinality limit, Breiman-ordering
+heuristic beyond it), and optionally every two-attribute linear split on
+tiny nodes.  Nothing is estimated, discretized or sampled, so its per-node
+minima are the reference CMP's interval-based estimates are measured
+against.
+
+:class:`OracleBuilder` grows a whole tree with these exact splits under
+the *same* stopping rules as the scan-based builders (``min_records``,
+``min_gini``, ``max_depth``, ``min_gain``), which makes its trees directly
+comparable: any accuracy or structure delta is attributable to split
+quality alone.
+
+Complexity is O(n log n) per attribute per node for numeric splits,
+O(2^k) for exhaustive categorical subsets, and O(n^2) candidate slopes
+for linear splits — fine for verification-sized data, never for training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.builder import TreeBuilder
+from repro.core.gini import exact_best_threshold, gini, gini_partition
+from repro.core.histogram import CategoryHistogram
+from repro.core.splits import CategoricalSplit, LinearSplit, NumericSplit, Split
+from repro.core.tree import DecisionTree, Node, TreeAccount
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.io.metrics import BuildStats
+
+
+@dataclass(frozen=True)
+class OracleSplit:
+    """Exhaustive per-node optimum, broken out by split family.
+
+    ``gini`` / ``split`` describe the overall winner among the families
+    the caller asked for.  The per-family minima stay visible so the
+    differential checks can compare like with like (e.g. CMP's univariate
+    threshold against ``numeric_gini``, not against a linear optimum the
+    builder never searches).  Families without a valid split are ``inf``.
+    """
+
+    split: Split | None
+    gini: float
+    numeric_gini: float = np.inf
+    #: Attribute index of the best numeric split (-1 when none exists).
+    numeric_attr: int = -1
+    #: Best subset split found by the shared Breiman-ordering heuristic —
+    #: the *same* procedure every in-repo builder runs, hence the fair
+    #: reference for their categorical splits.
+    categorical_gini: float = np.inf
+    #: Best subset over all 2^(k-1)-1 bipartitions (equals the heuristic
+    #: for 2 classes; may be lower for 3+).  ``inf`` when not computed.
+    categorical_exhaustive_gini: float = np.inf
+    linear_gini: float = np.inf
+
+    @property
+    def found(self) -> bool:
+        """True when at least one valid split exists."""
+        return self.split is not None
+
+
+def best_numeric_split(
+    X: np.ndarray, y: np.ndarray, schema: Schema
+) -> tuple[NumericSplit | None, float]:
+    """Exact best ``a <= C`` split over all continuous attributes.
+
+    Ties between attributes break to the lowest attribute index, matching
+    the builders' ``(score, attr)`` ordering.
+    """
+    best: NumericSplit | None = None
+    best_gini = np.inf
+    for attr in schema.continuous_indices():
+        try:
+            thr, g = exact_best_threshold(X[:, attr], y, schema.n_classes)
+        except ValueError:
+            continue
+        if g < best_gini - 1e-15:
+            best_gini = g
+            best = NumericSplit(attr, thr)
+    return best, best_gini
+
+
+def best_categorical_split(
+    codes: np.ndarray,
+    y: np.ndarray,
+    n_categories: int,
+    n_classes: int,
+    exhaustive_limit: int = 16,
+) -> tuple[np.ndarray | None, float, np.ndarray | None, float]:
+    """Best subset split of one categorical attribute, two ways.
+
+    Returns ``(heuristic_mask, heuristic_gini, exhaustive_mask,
+    exhaustive_gini)``.  The heuristic pair comes from the shared
+    :meth:`~repro.core.histogram.CategoryHistogram.best_subset_split`;
+    the exhaustive pair enumerates every bipartition of the *populated*
+    categories when there are at most ``exhaustive_limit`` of them
+    (otherwise it mirrors the heuristic).  ``(None, inf, None, inf)``
+    when no valid split exists.
+    """
+    hist = CategoryHistogram(n_categories, n_classes)
+    hist.update(codes.astype(np.int64), y)
+    try:
+        heur_mask, heur_gini = hist.best_subset_split()
+    except ValueError:
+        return None, np.inf, None, np.inf
+
+    counts = hist.counts
+    present = np.nonzero(counts.sum(axis=1) > 0)[0]
+    k = len(present)
+    if k > exhaustive_limit:
+        return heur_mask, heur_gini, heur_mask, heur_gini
+
+    totals = counts.sum(axis=0)
+    # Enumerate bipartitions with the first populated category pinned to
+    # the right side — each unordered partition is visited exactly once.
+    free = present[1:]
+    n_subsets = (1 << len(free)) - 1
+    best_gini = np.inf
+    best_mask: np.ndarray | None = None
+    subset_counts = counts[free]
+    for bits in range(1, n_subsets + 1):
+        sel = (bits >> np.arange(len(free))) & 1
+        left = (sel[:, None] * subset_counts).sum(axis=0)
+        g = float(gini_partition(left, totals - left))
+        if g < best_gini - 1e-15:
+            best_gini = g
+            mask = np.zeros(n_categories, dtype=bool)
+            mask[free[sel.astype(bool)]] = True
+            best_mask = mask
+    if best_mask is None:
+        # Single populated category beyond the pinned one never happens
+        # here (best_subset_split already succeeded), but stay defensive.
+        return heur_mask, heur_gini, heur_mask, heur_gini
+    return heur_mask, heur_gini, best_mask, best_gini
+
+
+def _batch_best_thresholds(
+    P: np.ndarray, labels: np.ndarray, n_classes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact best threshold per row of projections ``P`` (vectorized).
+
+    Returns ``(thresholds, ginis)`` with ``inf`` gini for rows with fewer
+    than two distinct values.
+    """
+    m, n = P.shape
+    order = np.argsort(P, axis=1, kind="stable")
+    V = np.take_along_axis(P, order, axis=1)
+    L = labels[order]
+    onehot = np.zeros((m, n, n_classes), dtype=np.float64)
+    onehot[np.arange(m)[:, None], np.arange(n)[None, :], L] = 1.0
+    cum = np.cumsum(onehot, axis=1)
+    totals = cum[:, -1, :]
+    left = cum[:, :-1, :]
+    right = totals[:, None, :] - left
+    nl = left.sum(axis=-1)
+    g = (nl * gini(left) + (n - nl) * gini(right)) / n
+    g = np.where(V[:, :-1] < V[:, 1:], g, np.inf)
+    k = np.argmin(g, axis=1)
+    rows = np.arange(m)
+    return V[rows, k], g[rows, k]
+
+
+def best_linear_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    schema: Schema,
+    max_slopes: int = 4096,
+    batch: int = 256,
+) -> tuple[LinearSplit | None, float]:
+    """Exhaustive best ``x + b*y <= c`` split over continuous pairs.
+
+    Every halfplane partition of ``n`` points in a pair's plane is
+    realized by some slope in the O(n^2) set where two points project
+    equally, evaluated on both sides; vertical lines are univariate
+    splits and deliberately excluded (``numeric_gini`` covers them).
+    When the slope set exceeds ``max_slopes`` it is thinned to an evenly
+    spaced (deterministic) subset and the result is a lower-effort bound
+    rather than a guaranteed optimum — callers gate on tiny ``n`` to
+    avoid that.
+    """
+    cont = schema.continuous_indices()
+    n = len(y)
+    best: LinearSplit | None = None
+    best_gini = np.inf
+    if n < 2:
+        return None, np.inf
+    i_idx, j_idx = np.triu_indices(n, k=1)
+    for ax, ay in combinations(cont, 2):
+        xv = X[:, ax].astype(np.float64)
+        yv = X[:, ay].astype(np.float64)
+        dy = yv[i_idx] - yv[j_idx]
+        ok = dy != 0.0
+        slopes = np.unique(-(xv[i_idx[ok]] - xv[j_idx[ok]]) / dy[ok])
+        if len(slopes) > max_slopes:
+            keep = np.linspace(0, len(slopes) - 1, max_slopes).astype(np.intp)
+            slopes = slopes[np.unique(keep)]
+        # Critical slopes merge point pairs; the midpoints between
+        # consecutive critical slopes (plus outriggers and 0) realize
+        # every strict ordering of the projections.
+        if len(slopes) == 0:
+            candidates = np.array([0.0])
+        else:
+            mids = (slopes[:-1] + slopes[1:]) / 2.0
+            candidates = np.unique(
+                np.concatenate(
+                    [slopes, mids, [slopes[0] - 1.0, slopes[-1] + 1.0, 0.0]]
+                )
+            )
+        for lo in range(0, len(candidates), batch):
+            bs = candidates[lo : lo + batch]
+            P = xv[None, :] + bs[:, None] * yv[None, :]
+            thr, g = _batch_best_thresholds(P, y, schema.n_classes)
+            t = int(np.argmin(g))
+            if g[t] < best_gini - 1e-15:
+                best_gini = float(g[t])
+                best = LinearSplit(ax, ay, float(bs[t]), float(thr[t]))
+    return best, best_gini
+
+
+def oracle_best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    schema: Schema,
+    exhaustive_categorical_limit: int = 16,
+    linear: bool = False,
+    max_slopes: int = 4096,
+) -> OracleSplit:
+    """The exhaustive best split of a record set, across split families.
+
+    The overall winner prefers, on exact gini ties, numeric over
+    categorical over linear, and lower attribute indices first — the same
+    deterministic ordering the builders use, so comparisons stay stable.
+    Categorical winners use the *exhaustive* subset when computed.
+    """
+    y = np.asarray(y)
+    num_split, num_gini = best_numeric_split(X, y, schema)
+
+    cat_gini = np.inf
+    cat_ex_gini = np.inf
+    cat_split: CategoricalSplit | None = None
+    for attr in schema.categorical_indices():
+        card = schema.attributes[attr].cardinality
+        _, hg, ex_mask, eg = best_categorical_split(
+            X[:, attr].astype(np.int64),
+            y,
+            card,
+            schema.n_classes,
+            exhaustive_limit=exhaustive_categorical_limit,
+        )
+        if hg < cat_gini - 1e-15:
+            cat_gini = hg
+        if ex_mask is not None and eg < cat_ex_gini - 1e-15:
+            cat_ex_gini = eg
+            cat_split = CategoricalSplit(attr, tuple(bool(b) for b in ex_mask))
+
+    lin_split: LinearSplit | None = None
+    lin_gini = np.inf
+    if linear:
+        lin_split, lin_gini = best_linear_split(X, y, schema, max_slopes=max_slopes)
+
+    ranked: list[tuple[float, Split | None]] = [
+        (num_gini, num_split),
+        (cat_ex_gini, cat_split),
+        (lin_gini, lin_split),
+    ]
+    best_gini = np.inf
+    best_split: Split | None = None
+    for g, s in ranked:
+        if s is not None and g < best_gini - 1e-15:
+            best_gini = g
+            best_split = s
+    return OracleSplit(
+        split=best_split,
+        gini=best_gini,
+        numeric_gini=num_gini,
+        numeric_attr=num_split.attr if num_split is not None else -1,
+        categorical_gini=cat_gini,
+        categorical_exhaustive_gini=cat_ex_gini,
+        linear_gini=lin_gini,
+    )
+
+
+class OracleBuilder(TreeBuilder):
+    """Exhaustive in-memory tree builder used as differential ground truth.
+
+    Stopping rules mirror the scan-based builders exactly — a node is a
+    leaf when it is too small (``min_records``), pure enough
+    (``min_gini``), too deep (``max_depth``), or when the exhaustive best
+    split improves the node's gini by less than ``min_gain``.  Splits are
+    the exhaustive optima of :func:`oracle_best_split`; degenerate splits
+    (an empty side) cannot be produced because only genuine partitions
+    are enumerated.
+
+    ``linear=True`` additionally searches two-attribute linear splits on
+    nodes of at most ``max_linear_records`` records (the O(n^2) slope
+    enumeration forbids more) — mirroring full CMP's restriction of
+    linear splits to small, nearly-done regions of the space.
+    """
+
+    name = "ORACLE"
+
+    def __init__(
+        self,
+        config=None,
+        tracer=None,
+        *,
+        linear: bool = False,
+        exhaustive_categorical_limit: int = 16,
+        max_linear_records: int = 300,
+    ) -> None:
+        super().__init__(config, tracer)
+        self.linear = linear
+        self.exhaustive_categorical_limit = exhaustive_categorical_limit
+        self.max_linear_records = max_linear_records
+
+    def _build(self, dataset: Dataset, stats: BuildStats) -> DecisionTree:
+        # One full scan to materialize the records, so stats stay honest
+        # about touching the data (the oracle's point is exactness, not
+        # I/O realism).
+        table = self._open_table(dataset, stats)
+        X_parts: list[np.ndarray] = []
+        y_parts: list[np.ndarray] = []
+        with stats.phase("scan"):
+            for chunk in table.scan():
+                X_parts.append(np.array(chunk.X, copy=True))
+                y_parts.append(np.array(chunk.y, copy=True))
+        X = np.concatenate(X_parts)
+        y = np.concatenate(y_parts)
+
+        account = TreeAccount()
+        schema = dataset.schema
+        cfg = self.config
+        root = account.new_node(0, np.bincount(y, minlength=schema.n_classes))
+
+        with stats.phase("split"):
+            stack: list[tuple[Node, np.ndarray]] = [(root, np.arange(len(y)))]
+            while stack:
+                node, idx = stack.pop()
+                n = len(idx)
+                if (
+                    n < cfg.min_records
+                    or node.gini <= cfg.min_gini
+                    or node.depth >= cfg.max_depth
+                ):
+                    continue
+                use_linear = self.linear and n <= self.max_linear_records
+                best = oracle_best_split(
+                    X[idx],
+                    y[idx],
+                    schema,
+                    exhaustive_categorical_limit=self.exhaustive_categorical_limit,
+                    linear=use_linear,
+                )
+                if best.split is None or best.gini >= node.gini - cfg.min_gain:
+                    continue
+                goes_left = best.split.goes_left(X[idx])
+                li, ri = idx[goes_left], idx[~goes_left]
+                node.split = best.split
+                node.left = account.new_node(
+                    node.depth + 1, np.bincount(y[li], minlength=schema.n_classes)
+                )
+                node.right = account.new_node(
+                    node.depth + 1, np.bincount(y[ri], minlength=schema.n_classes)
+                )
+                stack.append((node.right, ri))
+                stack.append((node.left, li))
+
+        return DecisionTree(root, schema)
+
+
+__all__ = [
+    "OracleBuilder",
+    "OracleSplit",
+    "best_categorical_split",
+    "best_linear_split",
+    "best_numeric_split",
+    "oracle_best_split",
+]

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import zlib
+
 import numpy as np
 import pytest
 
@@ -9,6 +12,43 @@ from repro.config import BuilderConfig
 from repro.data.dataset import Dataset
 from repro.data.schema import Schema, categorical, continuous
 from repro.data.synthetic import generate_agrawal, generate_function_f
+
+
+#: Base seed for the ``rng`` fixture.  Override with ``PYTEST_SEED=N``
+#: to rerun the whole suite on a different deterministic stream; the
+#: active value is printed alongside any failing test that used ``rng``.
+PYTEST_SEED = int(os.environ.get("PYTEST_SEED", "0"))
+
+
+@pytest.fixture()
+def rng(request: pytest.FixtureRequest) -> np.random.Generator:
+    """Per-test deterministic generator.
+
+    Seeded from ``PYTEST_SEED`` plus a CRC of the test's node id, so each
+    test gets an independent stream, reruns of a single test reproduce
+    the full-suite behaviour exactly, and ``PYTEST_SEED=N pytest ...``
+    re-seeds everything at once.
+    """
+    return np.random.default_rng(
+        [PYTEST_SEED, zlib.crc32(request.node.nodeid.encode())]
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Print the active seed next to failures of ``rng``-using tests."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        if "rng" in getattr(item, "fixturenames", ()):
+            report.sections.append(
+                (
+                    "rng seed",
+                    f"PYTEST_SEED={PYTEST_SEED} — rerun with "
+                    f"`PYTEST_SEED={PYTEST_SEED} pytest {item.nodeid}` "
+                    "to reproduce this stream",
+                )
+            )
 
 
 @pytest.fixture(scope="session")

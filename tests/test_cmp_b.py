@@ -60,8 +60,7 @@ class TestCMPBEndToEnd:
         b = CMPBBuilder(fast_config).build(f2_small)
         assert a.tree.render() == b.tree.render()
 
-    def test_requires_two_continuous_attributes(self, fast_config):
-        rng = np.random.default_rng(0)
+    def test_requires_two_continuous_attributes(self, fast_config, rng):
         ds = Dataset(
             rng.normal(size=(100, 1)),
             rng.integers(0, 2, 100),

@@ -65,11 +65,10 @@ class TestCMPSEndToEnd:
         tree = CMPSBuilder(cfg).build(f2_small).tree
         assert tree.depth <= 3
 
-    def test_pure_node_becomes_leaf(self, fast_config):
+    def test_pure_node_becomes_leaf(self, fast_config, rng):
         from repro.data.dataset import Dataset
         from repro.data.schema import Schema, continuous
 
-        rng = np.random.default_rng(0)
         X = rng.normal(size=(500, 2))
         y = np.zeros(500, dtype=np.int64)
         y[X[:, 0] > 0] = 1

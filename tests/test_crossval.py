@@ -9,8 +9,7 @@ from repro.eval.crossval import CrossValResult, cross_validate, kfold_indices
 
 
 class TestKfoldIndices:
-    def test_partition_properties(self):
-        rng = np.random.default_rng(0)
+    def test_partition_properties(self, rng):
         folds = kfold_indices(103, 5, rng)
         assert len(folds) == 5
         all_test = np.concatenate([test for __, test in folds])
@@ -20,8 +19,7 @@ class TestKfoldIndices:
             assert len(train) + len(test) == 103
             assert not set(train) & set(test)
 
-    def test_validation(self):
-        rng = np.random.default_rng(0)
+    def test_validation(self, rng):
         with pytest.raises(ValueError, match="at least 2"):
             kfold_indices(10, 1, rng)
         with pytest.raises(ValueError, match="per fold"):

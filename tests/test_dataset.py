@@ -56,25 +56,25 @@ class TestAccess:
 
 
 class TestHoldout:
-    def test_split_sizes(self):
+    def test_split_sizes(self, rng):
         ds = make(200)
-        train, test = ds.split_holdout(0.25, np.random.default_rng(1))
+        train, test = ds.split_holdout(0.25, rng)
         assert test.n_records == 50
         assert train.n_records == 150
 
-    def test_split_disjoint_and_complete(self):
+    def test_split_disjoint_and_complete(self, rng):
         ds = make(100)
         # Tag each record with a unique value to track identity.
         X = ds.X.copy()
         X[:, 0] = np.arange(100)
         ds = Dataset(X, ds.y, ds.schema)
-        train, test = ds.split_holdout(0.3, np.random.default_rng(2))
+        train, test = ds.split_holdout(0.3, rng)
         ids = np.concatenate([train.column(0), test.column(0)])
         assert sorted(ids.astype(int)) == list(range(100))
 
-    def test_bad_fraction(self):
+    def test_bad_fraction(self, rng):
         with pytest.raises(ValueError, match="in \\(0, 1\\)"):
-            make().split_holdout(1.5, np.random.default_rng(0))
+            make().split_holdout(1.5, rng)
 
 
 class TestPaged:

@@ -84,8 +84,7 @@ class TestLinearDecimation:
 
 
 class TestDegenerateDatasets:
-    def test_all_one_class(self, fast_config):
-        rng = np.random.default_rng(0)
+    def test_all_one_class(self, fast_config, rng):
         ds = Dataset(
             rng.normal(size=(200, 2)),
             np.zeros(200, dtype=np.int64),
@@ -116,8 +115,7 @@ class TestDegenerateDatasets:
         assert_tree_consistent(result.tree, ds)
         assert result.tree.depth <= 1
 
-    def test_categorical_only_schema(self, fast_config):
-        rng = np.random.default_rng(1)
+    def test_categorical_only_schema(self, fast_config, rng):
         codes = rng.integers(0, 4, 300)
         ds = Dataset(
             codes[:, None].astype(float),

@@ -23,7 +23,6 @@ hist_arrays = hnp.arrays(
 class TestGradient:
     def test_matches_finite_differences(self):
         # Equation 4 against a numeric derivative of gini^D.
-        rng = np.random.default_rng(0)
         totals = np.array([400.0, 300.0, 300.0])
         x = np.array([120.0, 80.0, 40.0])
 

@@ -49,8 +49,8 @@ class TestMetrics:
 
 
 class TestHarness:
-    def test_run_builder_record(self, f2_small, fast_config):
-        train, test = f2_small.split_holdout(0.25, np.random.default_rng(0))
+    def test_run_builder_record(self, f2_small, fast_config, rng):
+        train, test = f2_small.split_holdout(0.25, rng)
         record, result = run_builder(SprintBuilder(fast_config), train, test)
         assert record.builder == "SPRINT"
         assert record.n_records == train.n_records

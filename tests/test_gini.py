@@ -77,8 +77,7 @@ class TestGiniPartition:
 
 
 class TestBoundaryGinis:
-    def test_matches_scalar(self):
-        rng = np.random.default_rng(0)
+    def test_matches_scalar(self, rng):
         hist = rng.integers(0, 50, size=(8, 3)).astype(float)
         cum = np.cumsum(hist, axis=0)[:-1]
         totals = hist.sum(axis=0)
@@ -110,9 +109,8 @@ class TestExactBestThreshold:
         assert thr == 3.0
         assert g == pytest.approx(0.0)
 
-    def test_threshold_is_left_maximum(self):
+    def test_threshold_is_left_maximum(self, rng):
         # The split is value <= threshold and the threshold is a data value.
-        rng = np.random.default_rng(5)
         values = rng.normal(size=200)
         labels = (values > 0.3).astype(np.int64)
         thr, g = exact_best_threshold(values, labels, 2)
@@ -120,8 +118,7 @@ class TestExactBestThreshold:
         assert g == pytest.approx(0.0)
         assert thr == values[values <= 0.3].max()
 
-    def test_sorted_variant_matches(self):
-        rng = np.random.default_rng(6)
+    def test_sorted_variant_matches(self, rng):
         values = rng.normal(size=300)
         labels = rng.integers(0, 3, 300)
         order = np.argsort(values, kind="stable")

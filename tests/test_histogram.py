@@ -86,9 +86,8 @@ class TestCategoryHistogram:
         hist.update(np.array([0, 1, 1, 2]), np.array([0, 1, 1, 0]))
         np.testing.assert_array_equal(hist.counts, [[1, 0], [0, 2], [1, 0]])
 
-    def test_two_class_subset_split_optimal(self):
+    def test_two_class_subset_split_optimal(self, rng):
         # For two classes the split must match exhaustive subset search.
-        rng = np.random.default_rng(4)
         k = 5
         codes = rng.integers(0, k, 400)
         labels = rng.integers(0, 2, 400)

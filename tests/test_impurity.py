@@ -69,8 +69,7 @@ class TestCriteria:
 
 
 class TestBestThreshold:
-    def test_gini_matches_reference(self):
-        rng = np.random.default_rng(0)
+    def test_gini_matches_reference(self, rng):
         v = np.sort(rng.normal(size=300))
         lab = rng.integers(0, 2, 300)
         assert best_threshold_sorted(v, lab, 2) == exact_best_threshold_sorted(

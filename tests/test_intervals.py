@@ -55,10 +55,9 @@ class TestAnalyzeAttribute:
         a = analyze_attribute(0, hist)
         assert np.isinf(a.est[1])  # middle interval empty
 
-    def test_footnote_clamp_limits_undershoot(self):
+    def test_footnote_clamp_limits_undershoot(self, rng):
         # The estimate can undershoot the adjacent boundaries by at most
         # 2*N_i/N (footnote 1 of the paper).
-        rng = np.random.default_rng(0)
         values = rng.uniform(0, 10, 2000)
         labels = (values > 5.01).astype(int)
         edges = np.quantile(values, np.linspace(0.1, 0.9, 9))
@@ -83,19 +82,17 @@ class TestSelectAlive:
         a = self.analysis(values, labels, [1.0])
         assert select_alive_intervals(a, 2) == []
 
-    def test_alive_when_interior_is_better(self):
+    def test_alive_when_interior_is_better(self, rng):
         # The optimum (value 5) is strictly inside interval (2, 8].
-        rng = np.random.default_rng(1)
         values = rng.uniform(0, 10, 1000)
         labels = (values > 5.0).astype(int)
         a = self.analysis(values, labels, [2.0, 8.0])
         alive = select_alive_intervals(a, 2)
         assert 1 in alive
 
-    def test_forced_adjacent_interval(self):
+    def test_forced_adjacent_interval(self, rng):
         # Whenever anything is alive, an interval adjacent to the best
         # boundary must be included (zone-edge invariant).
-        rng = np.random.default_rng(2)
         values = rng.uniform(0, 10, 3000)
         labels = ((values > 3.3) & (values < 7.7)).astype(int)
         edges = np.quantile(values, np.linspace(0.05, 0.95, 19))
@@ -104,8 +101,7 @@ class TestSelectAlive:
         if alive:
             assert a.best_boundary in alive or a.best_boundary + 1 in alive
 
-    def test_cap_respected(self):
-        rng = np.random.default_rng(3)
+    def test_cap_respected(self, rng):
         values = rng.uniform(0, 10, 2000)
         labels = (np.sin(values) > 0).astype(int)
         edges = np.quantile(values, np.linspace(0.1, 0.9, 9))
@@ -120,8 +116,7 @@ class TestSelectAlive:
 
 
 class TestChooseSplitAttribute:
-    def test_picks_lowest_score(self):
-        rng = np.random.default_rng(4)
+    def test_picks_lowest_score(self, rng):
         n = 2000
         good = rng.uniform(0, 1, n)
         labels = (good > 0.5).astype(int)
@@ -143,11 +138,88 @@ class TestChooseSplitAttribute:
     def test_returns_none_for_empty_analysis_list(self):
         assert choose_split_attribute([], 2) is None
 
-    def test_winner_gets_alive_populated(self):
-        rng = np.random.default_rng(5)
+    def test_winner_gets_alive_populated(self, rng):
         values = rng.uniform(0, 10, 2000)
         labels = (values > 5.0).astype(int)
         a = analyze_attribute(0, hist_from_values(values, labels, [2.0, 8.0]))
         winner = choose_split_attribute([a], 2)
         assert winner is not None
         assert winner.alive  # optimum is interior, so something is alive
+
+
+class TestAliveZoneBoundaries:
+    """Tie handling at alive-interval boundaries (verify-harness audit).
+
+    Zones follow the same ``(lo, hi]`` convention as interval binning: a
+    record exactly on an alive interval's lower bound belongs to the
+    region *below* (it is not buffered), one exactly on the upper bound
+    is buffered.
+    """
+
+    def test_value_on_lower_bound_is_region(self):
+        from repro.core.builder import classify_zones, zone_boundaries
+
+        bounds = zone_boundaries([(1.0, 2.0)])
+        zones = classify_zones(np.array([1.0, 1.5, 2.0, 2.5]), bounds)
+        # zone 0 = region below, 1 = alive, 2 = region above
+        assert list(zones) == [0, 1, 1, 2]
+
+    def test_ulp_separated_bounds(self):
+        from repro.core.builder import classify_zones, zone_boundaries
+
+        lo, hi = 0.5, np.nextafter(0.5, 1.0)
+        bounds = zone_boundaries([(lo, hi)])
+        zones = classify_zones(np.array([lo, hi, np.nextafter(hi, 1.0)]), bounds)
+        assert list(zones) == [0, 1, 2]
+
+    def test_degenerate_alive_interval_rejected(self):
+        from repro.core.builder import zone_boundaries
+
+        with pytest.raises(ValueError):
+            zone_boundaries([(1.0, 1.0)])
+
+    def test_resolver_finds_exact_cut_between_duplicated_atoms(self):
+        # Two ULP-separated atoms inside one alive interval: the resolved
+        # threshold must be the lower atom exactly, with the exact gini.
+        from repro.core.builder import resolve_exact_threshold
+
+        lo_v = 0.500000001
+        hi_v = 0.500000002
+        buf_values = np.array([lo_v] * 15 + [hi_v] * 27)
+        buf_labels = np.array([0] * 15 + [1] * 27)
+        totals = np.array([15.0, 27.0])
+        resolved = resolve_exact_threshold(
+            totals,
+            best_boundary_value=None,
+            best_boundary_gini=np.inf,
+            alive_bounds=[(0.0, 1.0)],
+            alive_cum_below=[np.zeros(2)],
+            buf_values=buf_values,
+            buf_labels=buf_labels,
+        )
+        assert resolved is not None
+        assert resolved.threshold == lo_v
+        assert resolved.gini == 0.0
+        assert resolved.from_buffer
+
+    def test_resolver_excludes_records_on_lower_bound(self):
+        # A buffered array may hold records outside the alive interval;
+        # one exactly on the open lower bound must not become a candidate.
+        from repro.core.builder import resolve_exact_threshold
+
+        buf_values = np.array([1.0, 1.5, 2.0])
+        buf_labels = np.array([0, 0, 1])
+        resolved = resolve_exact_threshold(
+            np.array([2.0, 1.0]),
+            best_boundary_value=None,
+            best_boundary_gini=np.inf,
+            alive_bounds=[(1.0, 2.0)],
+            alive_cum_below=[np.array([1.0, 0.0])],
+            buf_values=buf_values,
+            buf_labels=buf_labels,
+        )
+        assert resolved is not None
+        # 1.0 sits on the open lower bound: the only in-interval distinct
+        # cut is after 1.5, which separates the classes exactly.
+        assert resolved.threshold == 1.5
+        assert resolved.gini == 0.0

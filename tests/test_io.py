@@ -47,8 +47,7 @@ class TestPagedTable:
         table, __, __ = make_table(n=1001, page_records=100)
         assert table.n_pages == 11
 
-    def test_validation(self):
-        rng = np.random.default_rng(0)
+    def test_validation(self, rng):
         with pytest.raises(ValueError, match="2-D"):
             PagedTable(rng.normal(size=10), rng.integers(0, 2, 10))
         with pytest.raises(ValueError, match="same number"):

@@ -77,8 +77,7 @@ class TestSlopeWalk:
         # The line should be near the anti-diagonal of the grid.
         assert 0.6 < line.x / line.y < 1.6
 
-    def test_terminates_on_uniform_noise(self):
-        rng = np.random.default_rng(1)
+    def test_terminates_on_uniform_noise(self, rng):
         counts = rng.integers(0, 10, (16, 16, 2)).astype(float)
         g, line = gini_slope_walk(counts)
         assert np.isfinite(g)
@@ -115,8 +114,7 @@ class TestBestLinearCandidate:
         # (relative to the x coefficient's sign).
         assert cand.a * cand.b < 0
 
-    def test_uncorrelated_data_gives_weak_candidate(self):
-        rng = np.random.default_rng(2)
+    def test_uncorrelated_data_gives_weak_candidate(self, rng):
         X = rng.uniform(0, 1, (5000, 2))
         y = rng.integers(0, 2, 5000)
         schema = Schema((continuous("x"), continuous("y")), ("a", "b"))

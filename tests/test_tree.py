@@ -66,8 +66,7 @@ class TestDecisionTree:
         leaves = {n.node_id for n in t.iter_nodes() if n.is_leaf}
         assert set(ids) <= leaves
 
-    def test_every_record_reaches_exactly_one_leaf(self):
-        rng = np.random.default_rng(0)
+    def test_every_record_reaches_exactly_one_leaf(self, rng):
         t = small_tree()
         X = rng.normal(size=(500, 2))
         ids = t.apply(X)
@@ -151,9 +150,8 @@ class TestDeepTreeRouting:
 
 
 class TestPredictProba:
-    def test_matches_per_leaf_computation(self):
+    def test_matches_per_leaf_computation(self, rng):
         t = small_tree()
-        rng = np.random.default_rng(0)
         X = rng.uniform(-2, 3, size=(200, 2))
         proba = t.predict_proba(X)
         # Reference: the former per-leaf masked loop.
@@ -166,9 +164,9 @@ class TestPredictProba:
             expected[mask] = node.class_counts / node.class_counts.sum()
         np.testing.assert_array_equal(proba, expected)
 
-    def test_rows_sum_to_one(self):
+    def test_rows_sum_to_one(self, rng):
         t = small_tree()
-        X = np.random.default_rng(1).uniform(-2, 3, size=(64, 2))
+        X = rng.uniform(-2, 3, size=(64, 2))
         proba = t.predict_proba(X)
         assert proba.shape == (64, 2)
         np.testing.assert_allclose(proba.sum(axis=1), 1.0)

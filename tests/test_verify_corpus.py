@@ -1,0 +1,39 @@
+"""Replay every committed corpus case under ``tests/data/corpus/``.
+
+Each case records the exact dataset, config, builders and checks of a
+past (or expected-clean tricky) verification run plus the error findings
+observed at capture time.  Replaying must reproduce those findings
+verbatim, twice, so the whole harness stays deterministic end to end —
+a shrunk fuzz failure committed here keeps failing for the same reason
+until the bug is fixed, then its recorded findings are updated to [].
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.verify.fuzz import load_case, replay_case
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "data", "corpus")
+CASE_PATHS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_has_committed_cases():
+    # The two seeded tricky cases are part of the repo; an empty corpus
+    # means the checkout (or a cleanup) lost them.
+    assert len(CASE_PATHS) >= 2
+
+
+@pytest.mark.parametrize(
+    "path", CASE_PATHS, ids=[os.path.basename(p) for p in CASE_PATHS]
+)
+def test_replay_is_deterministic_and_matches_record(path):
+    case = load_case(path)
+    first = [str(f) for f in replay_case(case)]
+    assert first == case.findings, (
+        f"{case.name}: replay diverged from recorded findings; if a fix "
+        "changed the outcome on purpose, update the case's findings list"
+    )
+    second = [str(f) for f in replay_case(case)]
+    assert second == first, f"{case.name}: two replays disagreed"

@@ -1,0 +1,166 @@
+"""The brute-force oracle must itself be trustworthy: these tests pin its
+split optima against hand-computable cases and independent enumerations."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.config import BuilderConfig
+from repro.core.gini import gini_partition
+from repro.core.splits import LinearSplit, NumericSplit
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema, categorical, continuous
+from repro.verify.oracle import (
+    OracleBuilder,
+    best_categorical_split,
+    best_linear_split,
+    best_numeric_split,
+    oracle_best_split,
+)
+
+from conftest import assert_tree_consistent
+
+
+def two_col_schema():
+    return Schema((continuous("a"), continuous("b")), ("neg", "pos"))
+
+
+class TestBestNumericSplit:
+    def test_separable_column_found_exactly(self, rng):
+        X = np.column_stack([rng.normal(size=400), rng.normal(size=400)])
+        y = (X[:, 1] > 0.25).astype(np.int64)
+        split, g = best_numeric_split(X, y, two_col_schema())
+        assert isinstance(split, NumericSplit)
+        assert split.attr == 1
+        assert g == pytest.approx(0.0)
+        # The threshold is the largest data value on the <= side.
+        assert split.threshold == X[X[:, 1] <= 0.25, 1].max()
+
+    def test_tie_breaks_to_lowest_attr(self, rng):
+        col = rng.normal(size=200)
+        X = np.column_stack([col, col])  # identical columns, identical ginis
+        y = (col > 0).astype(np.int64)
+        split, __ = best_numeric_split(X, y, two_col_schema())
+        assert split.attr == 0
+
+    def test_constant_columns_yield_none(self):
+        X = np.ones((50, 2))
+        y = np.arange(50) % 2
+        split, g = best_numeric_split(X, y, two_col_schema())
+        assert split is None
+        assert np.isinf(g)
+
+
+class TestBestCategoricalSplit:
+    def test_two_classes_heuristic_is_exhaustive(self, rng):
+        # With two classes Breiman ordering is provably optimal, so the
+        # two procedures must return the same gini.
+        codes = rng.integers(0, 6, 300)
+        y = rng.integers(0, 2, 300)
+        __, hg, __, eg = best_categorical_split(codes, y, 6, 2)
+        assert hg == pytest.approx(eg)
+
+    def test_exhaustive_never_worse_than_heuristic(self, rng):
+        codes = rng.integers(0, 7, 400)
+        y = rng.integers(0, 3, 400)  # 3 classes: heuristic may be beaten
+        __, hg, __, eg = best_categorical_split(codes, y, 7, 3)
+        assert eg <= hg + 1e-12
+
+    def test_exhaustive_matches_independent_enumeration(self, rng):
+        codes = rng.integers(0, 5, 120)
+        y = rng.integers(0, 3, 120)
+        __, __, mask, eg = best_categorical_split(codes, y, 5, 3)
+        # Re-enumerate bipartitions with plain itertools.
+        counts = np.zeros((5, 3))
+        np.add.at(counts, (codes, y), 1.0)
+        present = [k for k in range(5) if counts[k].sum() > 0]
+        totals = counts.sum(axis=0)
+        best = np.inf
+        for r in range(1, len(present)):
+            for left in combinations(present, r):
+                lc = counts[list(left)].sum(axis=0)
+                best = min(best, float(gini_partition(lc, totals - lc)))
+        assert eg == pytest.approx(best)
+        # The returned mask realizes its reported gini.
+        lc = counts[np.nonzero(mask)[0]].sum(axis=0)
+        assert float(gini_partition(lc, totals - lc)) == pytest.approx(eg)
+
+    def test_single_category_yields_none(self):
+        codes = np.zeros(40, dtype=np.int64)
+        y = np.arange(40) % 2
+        mask, hg, ex_mask, eg = best_categorical_split(codes, y, 4, 2)
+        assert mask is None and ex_mask is None
+        assert np.isinf(hg) and np.isinf(eg)
+
+
+class TestBestLinearSplit:
+    def test_diagonal_needs_linear(self, rng):
+        X = rng.uniform(0, 1, (80, 2))
+        y = (X[:, 0] + X[:, 1] >= 1.0).astype(np.int64)
+        schema = Schema((continuous("x"), continuous("y")), ("u", "o"))
+        lin, lg = best_linear_split(X, y, schema)
+        __, ng = best_numeric_split(X, y, schema)
+        assert isinstance(lin, LinearSplit)
+        assert lg == pytest.approx(0.0, abs=1e-12)
+        assert lg < ng  # no axis-parallel cut separates the diagonal
+        # The split it claims must actually realize the partition.
+        left = lin.goes_left(X)
+        lc = np.bincount(y[left], minlength=2)
+        rc = np.bincount(y[~left], minlength=2)
+        assert gini_partition(lc.astype(float), rc.astype(float)) == pytest.approx(lg)
+
+    def test_too_few_records(self):
+        schema = Schema((continuous("x"), continuous("y")), ("u", "o"))
+        lin, lg = best_linear_split(np.ones((1, 2)), np.zeros(1, dtype=np.int64), schema)
+        assert lin is None and np.isinf(lg)
+
+
+class TestOracleBestSplit:
+    def test_winner_is_family_minimum(self, rng):
+        n = 200
+        X = np.column_stack(
+            [rng.normal(size=n), rng.integers(0, 4, n).astype(float)]
+        )
+        y = ((X[:, 0] > 0) ^ (X[:, 1] >= 2)).astype(np.int64)
+        schema = Schema(
+            (continuous("a"), categorical("c", tuple("wxyz"))), ("n", "p")
+        )
+        best = oracle_best_split(X, y, schema)
+        assert best.found
+        assert best.gini == pytest.approx(
+            min(best.numeric_gini, best.categorical_exhaustive_gini)
+        )
+
+    def test_linear_family_off_by_default(self, rng):
+        X = rng.uniform(0, 1, (60, 2))
+        y = (X.sum(axis=1) >= 1).astype(np.int64)
+        best = oracle_best_split(X, y, two_col_schema())
+        assert np.isinf(best.linear_gini)
+        with_lin = oracle_best_split(X, y, two_col_schema(), linear=True)
+        assert with_lin.linear_gini <= best.numeric_gini
+
+
+class TestOracleBuilder:
+    def config(self, **kw):
+        base = dict(n_intervals=16, max_depth=6, min_records=10, prune="none")
+        base.update(kw)
+        return BuilderConfig(**base)
+
+    def test_perfect_on_separable(self, rng):
+        X = np.column_stack([rng.normal(size=300), rng.normal(size=300)])
+        y = (X[:, 0] > 0.1).astype(np.int64)
+        ds = Dataset(X, y, two_col_schema())
+        result = OracleBuilder(self.config()).build(ds)
+        assert np.array_equal(result.tree.predict(X), y)
+        assert_tree_consistent(result.tree, ds)
+
+    def test_stopping_rules(self, rng):
+        X = rng.uniform(0, 1, (400, 2))
+        y = rng.integers(0, 2, 400)  # pure noise: deep growth if allowed
+        ds = Dataset(X, y, two_col_schema())
+        result = OracleBuilder(self.config(max_depth=3, min_records=30)).build(ds)
+        assert result.tree.depth <= 3
+        for node in result.tree.iter_nodes():
+            if not node.is_leaf:
+                assert node.n_records >= 30
