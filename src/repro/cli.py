@@ -33,6 +33,8 @@ from repro.obs import (
     Tracer,
     format_summary,
     load_trace_jsonl,
+    record_admission,
+    record_breaker,
     record_build_stats,
     record_serving_stats,
     render_tree,
@@ -157,6 +159,37 @@ def main(argv: list[str] | None = None) -> int:
         help="row-sharding threads inside the serving engine",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission bound on concurrent requests; excess load is "
+        "shed with Overloaded instead of queueing (default: unbounded)",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request latency budget; a request past it fails with "
+        "DeadlineExceeded (default: none)",
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trip the per-model circuit breaker after N consecutive "
+        "failures (default: no breaker)",
+    )
+    p.add_argument(
+        "--fallback",
+        default=None,
+        metavar="FP",
+        help="degraded answer while the breaker is open: a registered "
+        "fingerprint, or 'prior' for the majority-class prior",
+    )
     _add_obs(p)
 
     p = sub.add_parser(
@@ -303,7 +336,7 @@ def main(argv: list[str] | None = None) -> int:
         import time
 
         from repro.eval.treegen import random_batch, random_tree
-        from repro.serve import ModelRegistry, ServingEngine
+        from repro.serve import BreakerPolicy, ModelRegistry, ServingEngine
 
         tracer, metrics_registry = _obs_objects(args)
         tree = random_tree(depth=args.depth, seed=args.seed)
@@ -315,16 +348,36 @@ def main(argv: list[str] | None = None) -> int:
         walked = tree.walk_predict(X)
         walk_s = time.perf_counter() - start
 
+        breaker_policy = (
+            BreakerPolicy(failure_threshold=args.breaker_threshold)
+            if args.breaker_threshold is not None
+            else None
+        )
+        deadline_s = (
+            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+        )
         with ServingEngine(
-            registry, workers=args.serve_workers, tracer=tracer
+            registry,
+            workers=args.serve_workers,
+            tracer=tracer,
+            max_queue_depth=args.max_queue_depth,
+            breaker_policy=breaker_policy,
+            fallback=args.fallback,
         ) as engine:
             parts = []
             for lo in range(0, args.records, args.batch):
-                parts.append(engine.predict(key, X[lo : lo + args.batch]))
+                parts.append(
+                    engine.predict(key, X[lo : lo + args.batch], deadline=deadline_s)
+                )
             served = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
         snap = registry.stats(key).snapshot()
         if metrics_registry is not None:
             record_serving_stats(metrics_registry, registry.stats(key), {"model": key})
+            if engine.admission is not None:
+                record_admission(metrics_registry, engine.admission, {"model": key})
+            breaker = engine.breaker(key)
+            if breaker is not None:
+                record_breaker(metrics_registry, breaker, {"model": key})
 
         identical = bool(np.array_equal(served, walked))
         rows = [
@@ -339,6 +392,8 @@ def main(argv: list[str] | None = None) -> int:
                 "p90_latency_ms": round(snap["p90_latency_ms"], 3),
                 "p99_latency_ms": round(snap["p99_latency_ms"], 3),
                 "records_per_s": round(snap["records_per_s"], 1),
+                "shed": int(snap["shed"]),
+                "timeouts": int(snap["timeouts"]),
                 "walker_records_per_s": round(args.records / max(walk_s, 1e-9), 1),
                 "speedup": round(
                     snap["records_per_s"] / max(args.records / max(walk_s, 1e-9), 1e-9),

@@ -69,6 +69,7 @@ class CompiledTree:
     proba: np.ndarray  #: (n_leaves, n_classes) float64 leaf class distributions
     counts: np.ndarray  #: (n_leaves, n_classes) float64 raw leaf class counts
     n_classes: int
+    n_attributes: int  #: record width the tree was trained on
     depth: int  #: depth of the deepest leaf (root = 0)
     has_linear: bool  #: any linear split present
     has_categorical: bool  #: any categorical split present
@@ -329,6 +330,7 @@ def compile_tree(tree: DecisionTree) -> CompiledTree:
         proba=proba,
         counts=counts,
         n_classes=n_classes,
+        n_attributes=tree.schema.n_attributes,
         depth=depth,
         has_linear=bool((kind == LINEAR).any()),
         has_categorical=bool((kind == CATEGORICAL).any()),

@@ -341,6 +341,11 @@ class ServingStats:
         self.min_batch = 0
         self.max_batch = 0
         self.batch_observed = False
+        self.shed = 0
+        self.timeouts = 0
+        self.breaker_rejections = 0
+        self.fallbacks = 0
+        self.shard_retries = 0
         self.latency = Histogram()
         self._lock = threading.Lock()
 
@@ -350,6 +355,31 @@ class ServingStats:
             raise ValueError("request count must be non-negative")
         with self._lock:
             self.requests += n
+
+    def count_shed(self, n: int = 1) -> None:
+        """Record ``n`` requests rejected by admission control (Overloaded)."""
+        with self._lock:
+            self.shed += n
+
+    def count_timeout(self, n: int = 1) -> None:
+        """Record ``n`` requests whose deadline expired before delivery."""
+        with self._lock:
+            self.timeouts += n
+
+    def count_breaker_rejection(self, n: int = 1) -> None:
+        """Record ``n`` requests refused by an open circuit breaker."""
+        with self._lock:
+            self.breaker_rejections += n
+
+    def count_fallback(self, n: int = 1) -> None:
+        """Record ``n`` requests answered by the degraded fallback path."""
+        with self._lock:
+            self.fallbacks += n
+
+    def count_shard_retry(self, n: int = 1) -> None:
+        """Record ``n`` shard executions that were retried after a failure."""
+        with self._lock:
+            self.shard_retries += n
 
     def observe_batch(self, batch_size: int, latency_s: float) -> None:
         """Record one executed batch of ``batch_size`` records."""
@@ -381,11 +411,21 @@ class ServingStats:
             min_batch = other.min_batch
             max_batch = other.max_batch
             observed = other.batch_observed
+            shed = other.shed
+            timeouts = other.timeouts
+            breaker_rejections = other.breaker_rejections
+            fallbacks = other.fallbacks
+            shard_retries = other.shard_retries
         with self._lock:
             self.requests += requests
             self.batches += batches
             self.records += records
             self.busy_seconds += busy
+            self.shed += shed
+            self.timeouts += timeouts
+            self.breaker_rejections += breaker_rejections
+            self.fallbacks += fallbacks
+            self.shard_retries += shard_retries
             self.max_latency_s = max(self.max_latency_s, max_latency)
             if observed:
                 self.min_batch = (
@@ -415,6 +455,11 @@ class ServingStats:
                 "max_latency_s": self.max_latency_s,
                 "min_batch": self.min_batch,
                 "max_batch": self.max_batch,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "breaker_rejections": self.breaker_rejections,
+                "fallbacks": self.fallbacks,
+                "shard_retries": self.shard_retries,
             }
         out["mean_batch"] = out["records"] / out["batches"] if out["batches"] else 0.0
         out["mean_latency_ms"] = (

@@ -16,6 +16,8 @@ overhead (``benchmarks/bench_obs_overhead.py`` enforces the bound).
 """
 
 from repro.obs.export import (
+    record_admission,
+    record_breaker,
     record_build_stats,
     record_io_stats,
     record_serving_stats,
@@ -58,6 +60,8 @@ __all__ = [
     "record_io_stats",
     "record_build_stats",
     "record_serving_stats",
+    "record_breaker",
+    "record_admission",
     "TraceSummary",
     "summarize_trace",
     "format_summary",

@@ -200,6 +200,27 @@ def record_serving_stats(
     registry.counter(
         "cmp_serve_busy_seconds_total", "Summed batch execution time.", labels
     ).inc(snap["busy_seconds"])
+    registry.counter(
+        "cmp_serve_shed_total", "Requests rejected by admission control.", labels
+    ).inc(snap["shed"])
+    registry.counter(
+        "cmp_serve_timeouts_total", "Requests whose deadline expired.", labels
+    ).inc(snap["timeouts"])
+    registry.counter(
+        "cmp_serve_breaker_rejections_total",
+        "Requests refused by an open circuit breaker.",
+        labels,
+    ).inc(snap["breaker_rejections"])
+    registry.counter(
+        "cmp_serve_fallbacks_total",
+        "Requests answered by the degraded fallback path.",
+        labels,
+    ).inc(snap["fallbacks"])
+    registry.counter(
+        "cmp_serve_shard_retries_total",
+        "Shard executions retried after a failure.",
+        labels,
+    ).inc(snap["shard_retries"])
     hist = registry.histogram(
         "cmp_serve_batch_latency_seconds",
         "Per-batch execution latency.",
@@ -209,10 +230,70 @@ def record_serving_stats(
     hist.merge_from(stats.latency)
 
 
+def record_breaker(
+    registry: MetricsRegistry,
+    breaker,
+    labels: Mapping[str, str] | None = None,
+) -> None:
+    """Project one circuit breaker's state and counters into the registry.
+
+    The state gauge uses the numeric encoding of
+    :data:`repro.serve.breaker.STATE_CODES` (0 closed, 1 half-open,
+    2 open), so dashboards can alert on ``cmp_serve_breaker_state > 0``.
+    Duck-typed on ``snapshot()`` like the other adapters.
+    """
+    snap = breaker.snapshot()
+    registry.gauge(
+        "cmp_serve_breaker_state",
+        "Circuit state: 0 closed, 1 half-open, 2 open.",
+        labels,
+    ).set(float(snap["state_code"]))
+    registry.counter(
+        "cmp_serve_breaker_trips_total", "Closed/half-open to open transitions.",
+        labels,
+    ).inc(float(snap["trips"]))
+    registry.counter(
+        "cmp_serve_breaker_open_rejections_total",
+        "Requests rejected while the circuit was open.",
+        labels,
+    ).inc(float(snap["rejections"]))
+
+
+def record_admission(
+    registry: MetricsRegistry,
+    admission,
+    labels: Mapping[str, str] | None = None,
+) -> None:
+    """Project an admission controller's queue gauges and shed counters."""
+    snap = admission.snapshot()
+    registry.gauge(
+        "cmp_serve_queue_depth", "Requests currently admitted and in flight.",
+        labels,
+    ).set(float(snap["depth"]))
+    registry.gauge(
+        "cmp_serve_queue_depth_limit", "Configured admission bound.", labels
+    ).set(float(snap["max_depth"]))
+    registry.gauge(
+        "cmp_serve_queue_peak_depth", "High-water mark of the serve queue.",
+        labels,
+    ).set(float(snap["peak_depth"]))
+    registry.counter(
+        "cmp_serve_admitted_total", "Requests granted an admission permit.",
+        labels,
+    ).inc(float(snap["admitted"]))
+    registry.counter(
+        "cmp_serve_admission_shed_total",
+        "Requests rejected at the admission gate.",
+        labels,
+    ).inc(float(snap["shed"]))
+
+
 __all__ = [
     "to_prometheus",
     "write_metrics",
     "record_io_stats",
     "record_build_stats",
     "record_serving_stats",
+    "record_breaker",
+    "record_admission",
 ]

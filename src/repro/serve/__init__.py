@@ -1,11 +1,54 @@
 """Model serving on top of the compiled inference engine.
 
-:mod:`repro.serve.engine` holds the model registry (keyed by compiled-tree
-fingerprint) and the batch execution engine; :mod:`repro.serve.batcher`
-coalesces single-record requests into micro-batches for it.
+:mod:`repro.serve.engine` holds the model registry (fingerprint-keyed,
+with named endpoints for canary rollout) and the batch execution engine;
+:mod:`repro.serve.batcher` coalesces single-record requests into
+micro-batches for it.  The robustness layer lives alongside:
+:mod:`repro.serve.admission` (bounded queues, deadlines, load
+shedding), :mod:`repro.serve.breaker` (per-model circuit breaking),
+:mod:`repro.serve.rollout` (weighted stable/canary routing with
+promote/rollback), and :mod:`repro.serve.faults` (deterministic
+serve-path fault injection for tests and benchmarks).
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceeded,
+    NO_DEADLINE,
+    Overloaded,
+    as_deadline,
+)
 from repro.serve.batcher import MicroBatcher
-from repro.serve.engine import ModelRegistry, ServingEngine
+from repro.serve.breaker import BreakerPolicy, CircuitBreaker, CircuitOpen
+from repro.serve.engine import PRIOR_FALLBACK, ModelRegistry, ServingEngine
+from repro.serve.faults import (
+    FlakyModel,
+    ModelExecutionError,
+    SlowModel,
+    StuckModel,
+)
+from repro.serve.rollout import Endpoint, ModelInUseError, RolloutManager
 
-__all__ = ["ModelRegistry", "ServingEngine", "MicroBatcher"]
+__all__ = [
+    "ModelRegistry",
+    "ServingEngine",
+    "MicroBatcher",
+    "PRIOR_FALLBACK",
+    "AdmissionController",
+    "Deadline",
+    "DeadlineExceeded",
+    "NO_DEADLINE",
+    "Overloaded",
+    "as_deadline",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Endpoint",
+    "ModelInUseError",
+    "RolloutManager",
+    "FlakyModel",
+    "ModelExecutionError",
+    "SlowModel",
+    "StuckModel",
+]

@@ -1,0 +1,196 @@
+"""Admission control and deadlines for the serving front-end.
+
+A serving engine without overload protection converts excess load into
+unbounded queueing: every caller eventually waits behind everyone else
+and p99 latency grows without limit.  The production rule is the
+opposite — **bound the queue and shed the excess**:
+
+* :class:`AdmissionController` caps concurrent in-flight requests at an
+  explicit depth.  Admission is non-blocking: a request arriving at a
+  full queue is rejected *immediately* with :class:`Overloaded` instead
+  of waiting, so admitted requests see bounded latency and rejected
+  callers can retry elsewhere (or degrade) without stacking up.
+* :class:`Deadline` carries a request's latency budget end-to-end
+  (submit → batch → predict).  Work whose deadline has already expired
+  is skipped — executing it would waste capacity producing an answer
+  nobody is waiting for — and surfaces as :class:`DeadlineExceeded`.
+
+Both are engine-agnostic and deterministic under an injectable clock,
+so overload behaviour is unit-testable without wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+
+class Overloaded(RuntimeError):
+    """Request rejected by admission control: the serve queue is full.
+
+    Carries the queue state so callers (and tests) can see *why*:
+    ``depth`` in-flight requests against a limit of ``max_depth``.
+    """
+
+    def __init__(self, message: str, depth: int = -1, max_depth: int = -1) -> None:
+        super().__init__(message)
+        self.depth = depth
+        self.max_depth = max_depth
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request's latency budget ran out before its answer was delivered."""
+
+
+class Deadline:
+    """An absolute point on a monotonic clock by which work must finish.
+
+    ``Deadline(None)`` (aliased :data:`NO_DEADLINE`) never expires, so
+    call sites need no ``is None`` branching.  Instances are immutable
+    and safe to share across threads.
+    """
+
+    __slots__ = ("_at", "_clock")
+
+    def __init__(
+        self, at: float | None, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self._at = at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, seconds: float | None, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """Deadline ``seconds`` from now (``None`` → never expires)."""
+        if seconds is None:
+            return cls(None, clock)
+        if seconds < 0:
+            raise ValueError("deadline must be non-negative")
+        return cls(clock() + seconds, clock)
+
+    @property
+    def expired(self) -> bool:
+        """True once the clock has passed the deadline."""
+        return self._at is not None and self._clock() >= self._at
+
+    def remaining(self) -> float | None:
+        """Seconds left (clamped at 0), or ``None`` for no deadline."""
+        if self._at is None:
+            return None
+        return max(0.0, self._at - self._clock())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._at is None:
+            return "Deadline(None)"
+        return f"Deadline(remaining={self.remaining():.4f}s)"
+
+
+#: Shared never-expiring deadline.
+NO_DEADLINE = Deadline(None)
+
+
+def as_deadline(
+    deadline: "Deadline | float | None", clock: Callable[[], float] = time.monotonic
+) -> Deadline:
+    """Coerce an API argument to a :class:`Deadline`.
+
+    Accepts an existing deadline, a relative budget in seconds, or
+    ``None`` (no deadline) — the lenient form every serve entry point
+    takes.
+    """
+    if deadline is None:
+        return NO_DEADLINE
+    if isinstance(deadline, Deadline):
+        return deadline
+    return Deadline.after(float(deadline), clock)
+
+
+class AdmissionController:
+    """Bounded-depth, non-blocking admission gate for in-flight requests.
+
+    ``max_depth`` is the hard cap on concurrently admitted requests
+    (queued *and* executing — the engine holds the permit for the whole
+    request).  :meth:`admit` either grants a permit immediately or
+    raises :class:`Overloaded`; it never blocks, so shedding latency is
+    O(1) no matter how saturated the engine is.
+
+    Counters (``admitted`` / ``shed`` / ``peak_depth``) are cumulative
+    and exported to Prometheus by
+    :func:`repro.obs.export.record_admission`.
+    """
+
+    def __init__(self, max_depth: int) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self._depth = 0
+        self.admitted = 0
+        self.shed = 0
+        self.peak_depth = 0
+        self._lock = threading.Lock()
+
+    @property
+    def depth(self) -> int:
+        """Requests currently holding a permit."""
+        with self._lock:
+            return self._depth
+
+    def try_acquire(self) -> bool:
+        """Take one permit if available; ``False`` (not blocking) if full."""
+        with self._lock:
+            if self._depth >= self.max_depth:
+                self.shed += 1
+                return False
+            self._depth += 1
+            self.admitted += 1
+            if self._depth > self.peak_depth:
+                self.peak_depth = self._depth
+            return True
+
+    def release(self) -> None:
+        """Return one permit (paired with a successful :meth:`try_acquire`)."""
+        with self._lock:
+            if self._depth <= 0:
+                raise RuntimeError("release without a matching acquire")
+            self._depth -= 1
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        """Hold a permit for the duration of one request.
+
+        Raises :class:`Overloaded` immediately when the queue is full.
+        """
+        if not self.try_acquire():
+            raise Overloaded(
+                f"serve queue full: {self.max_depth} requests in flight",
+                depth=self.max_depth,
+                max_depth=self.max_depth,
+            )
+        try:
+            yield
+        finally:
+            self.release()
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of the gate's counters and current depth."""
+        with self._lock:
+            return {
+                "depth": self._depth,
+                "max_depth": self.max_depth,
+                "peak_depth": self.peak_depth,
+                "admitted": self.admitted,
+                "shed": self.shed,
+            }
+
+
+__all__ = [
+    "AdmissionController",
+    "Deadline",
+    "DeadlineExceeded",
+    "NO_DEADLINE",
+    "Overloaded",
+    "as_deadline",
+]

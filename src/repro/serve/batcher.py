@@ -14,6 +14,20 @@ concurrent requests:
 * :meth:`close` flushes whatever is queued and joins the thread, so no
   future is ever left pending.
 
+The batcher also enforces the serve path's robustness contract at
+request granularity:
+
+* **admission** — ``max_pending`` bounds the queue; a request arriving
+  at a full queue is rejected immediately with
+  :class:`~repro.serve.admission.Overloaded` (counted as shed);
+* **deadlines** — each request may carry a latency budget.  The flush
+  thread wakes no later than the earliest deadline, requests that
+  expire before execution fail fast with
+  :class:`~repro.serve.admission.DeadlineExceeded` *without* being sent
+  to the engine (an all-expired batch skips the predict call entirely),
+  and a request whose deadline lapses while its batch is mid-execution
+  is failed at delivery rather than handed a late answer.
+
 An engine-side failure is propagated to every future in the failed
 batch rather than killing the flush thread.
 """
@@ -26,6 +40,7 @@ from concurrent.futures import Future
 
 import numpy as np
 
+from repro.serve.admission import DeadlineExceeded, Overloaded
 from repro.serve.engine import ServingEngine
 
 
@@ -36,8 +51,9 @@ class MicroBatcher:
     ----------
     engine:
         The executing engine.
-    fingerprint:
-        Registry key of the model this batcher serves.
+    target:
+        Registry key — or endpoint name — of the model this batcher
+        serves.
     method:
         Engine method to call per batch: ``"predict"``,
         ``"predict_proba"`` or ``"apply"``.
@@ -45,15 +61,23 @@ class MicroBatcher:
         Flush as soon as this many records are queued.
     max_delay_s:
         Flush when the oldest queued record has waited this long.
+    max_pending:
+        Bound on queued-but-unflushed requests; ``None`` keeps the
+        queue unbounded (the pre-hardening behaviour).
+    default_deadline_s:
+        Latency budget applied to requests submitted without one;
+        ``None`` means no deadline.
     """
 
     def __init__(
         self,
         engine: ServingEngine,
-        fingerprint: str,
+        target: str,
         method: str = "predict",
         max_batch: int = 256,
         max_delay_s: float = 0.005,
+        max_pending: int | None = None,
+        default_deadline_s: float | None = None,
     ) -> None:
         if method not in ("predict", "predict_proba", "apply"):
             raise ValueError(f"unknown engine method {method!r}")
@@ -61,14 +85,21 @@ class MicroBatcher:
             raise ValueError("max_batch must be at least 1")
         if max_delay_s <= 0:
             raise ValueError("max_delay_s must be positive")
-        engine.registry.get(fingerprint)  # fail fast on unknown models
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be positive")
+        engine.registry.stats_for(target)  # fail fast on unknown targets
         self.engine = engine
-        self.fingerprint = fingerprint
+        self.target = target
         self.method = method
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
+        self.max_pending = max_pending
+        self.default_deadline_s = default_deadline_s
         self._rows: list[np.ndarray] = []
         self._futures: list[Future] = []
+        self._expiries: list[float | None] = []
         self._deadline = 0.0
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -78,21 +109,59 @@ class MicroBatcher:
         )
         self._thread.start()
 
+    @property
+    def fingerprint(self) -> str:
+        """Backwards-compatible alias for :attr:`target`."""
+        return self.target
+
+    def _stats(self):
+        # Request-level counters land on the target's stable model; only
+        # actual engine execution routes (and counts) canary traffic.
+        return self.engine.registry.stats_for(self.target)
+
     # -- client side ---------------------------------------------------------
 
-    def submit(self, row: np.ndarray) -> Future:
-        """Enqueue one record; the future resolves to its prediction."""
+    def submit(self, row: np.ndarray, deadline_s: float | None = None) -> Future:
+        """Enqueue one record; the future resolves to its prediction.
+
+        ``deadline_s`` is this request's latency budget (falling back to
+        ``default_deadline_s``): if it expires before the answer is
+        delivered, the future fails with :class:`DeadlineExceeded`.
+        Raises :class:`Overloaded` when ``max_pending`` requests are
+        already queued, and :class:`RuntimeError` after :meth:`close`.
+        """
         x = np.asarray(row, dtype=np.float64).reshape(-1)
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
         future: Future = Future()
         with self._wake:
             if self._closed:
-                raise RuntimeError("batcher is closed")
+                raise RuntimeError(
+                    "batcher is closed; its flush thread has stopped and "
+                    "would never serve this request"
+                )
+            if (
+                self.max_pending is not None
+                and len(self._rows) >= self.max_pending
+            ):
+                self._stats().count_shed()
+                raise Overloaded(
+                    f"micro-batch queue full ({self.max_pending} pending)",
+                    depth=len(self._rows),
+                    max_depth=self.max_pending,
+                )
+            now = time.perf_counter()
             if not self._rows:
                 # The flush window is anchored to the *oldest* request.
-                self._deadline = time.perf_counter() + self.max_delay_s
+                self._deadline = now + self.max_delay_s
             self._rows.append(x)
             self._futures.append(future)
-            self.engine.registry.stats(self.fingerprint).count_request()
+            self._expiries.append(
+                None if deadline_s is None else now + deadline_s
+            )
+            self._stats().count_request()
             self._wake.notify()
         return future
 
@@ -113,30 +182,74 @@ class MicroBatcher:
 
     # -- flush thread --------------------------------------------------------
 
-    def _take_batch(self) -> tuple[list[np.ndarray], list[Future]]:
-        rows, futures = self._rows, self._futures
-        self._rows, self._futures = [], []
-        return rows, futures
+    def _take_batch(
+        self,
+    ) -> tuple[list[np.ndarray], list[Future], list[float | None]]:
+        rows, futures, expiries = self._rows, self._futures, self._expiries
+        self._rows, self._futures, self._expiries = [], [], []
+        return rows, futures, expiries
+
+    def _wake_at(self) -> float:
+        """Earliest moment the flush thread must act (window or deadline)."""
+        wake = self._deadline
+        for expiry in self._expiries:
+            if expiry is not None and expiry < wake:
+                wake = expiry
+        return wake
 
     def _flush_loop(self) -> None:
         while True:
             with self._wake:
                 while not self._closed and len(self._rows) < self.max_batch:
                     if self._rows:
-                        remaining = self._deadline - time.perf_counter()
+                        remaining = self._wake_at() - time.perf_counter()
                         if remaining <= 0:
-                            break  # window expired: flush a partial batch
+                            break  # window or a deadline expired: act now
                         self._wake.wait(timeout=remaining)
                     else:
                         self._wake.wait()
-                rows, futures = self._take_batch()
+                rows, futures, expiries = self._take_batch()
                 done = self._closed
             if rows:
-                self._execute(rows, futures)
+                self._execute(rows, futures, expiries)
             if done:
                 return
 
-    def _execute(self, rows: list[np.ndarray], futures: list[Future]) -> None:
+    def _reject_expired(
+        self,
+        rows: list[np.ndarray],
+        futures: list[Future],
+        expiries: list[float | None],
+    ) -> tuple[list[np.ndarray], list[Future], list[float | None]]:
+        """Fail requests whose budget already ran out; return the survivors."""
+        now = time.perf_counter()
+        live_rows: list[np.ndarray] = []
+        live_futures: list[Future] = []
+        live_expiries: list[float | None] = []
+        expired = 0
+        for row, future, expiry in zip(rows, futures, expiries):
+            if expiry is not None and now >= expiry:
+                expired += 1
+                future.set_exception(
+                    DeadlineExceeded("request deadline expired before execution")
+                )
+            else:
+                live_rows.append(row)
+                live_futures.append(future)
+                live_expiries.append(expiry)
+        if expired:
+            self._stats().count_timeout(expired)
+        return live_rows, live_futures, live_expiries
+
+    def _execute(
+        self,
+        rows: list[np.ndarray],
+        futures: list[Future],
+        expiries: list[float | None],
+    ) -> None:
+        rows, futures, expiries = self._reject_expired(rows, futures, expiries)
+        if not rows:
+            return  # every request expired: skip the predict call entirely
         # The flush span wraps coalescing plus the engine call (which
         # records its own child serve_batch span on the same tracer).
         with self.engine.tracer.span(
@@ -144,13 +257,28 @@ class MicroBatcher:
         ):
             try:
                 X = np.vstack(rows)
-                out = getattr(self.engine, self.method)(self.fingerprint, X)
+                out = getattr(self.engine, self.method)(self.target, X)
             except BaseException as exc:  # propagate, don't kill the thread
                 for f in futures:
                     f.set_exception(exc)
                 return
-            for i, f in enumerate(futures):
-                f.set_result(out[i])
+            now = time.perf_counter()
+            late = 0
+            for i, (f, expiry) in enumerate(zip(futures, expiries)):
+                if expiry is not None and now >= expiry:
+                    # The answer exists but arrived past the caller's
+                    # budget: deliver the timeout, not a late result.
+                    late += 1
+                    f.set_exception(
+                        DeadlineExceeded(
+                            "request deadline expired while its batch was "
+                            "executing"
+                        )
+                    )
+                else:
+                    f.set_result(out[i])
+            if late:
+                self._stats().count_timeout(late)
 
 
 __all__ = ["MicroBatcher"]

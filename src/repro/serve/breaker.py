@@ -1,0 +1,185 @@
+"""Per-model circuit breaking for the serving engine.
+
+A model that fails every call (bad deploy, poisoned input distribution,
+broken native kernel on one host) should not be allowed to consume the
+serve queue failing one request at a time.  The classic three-state
+breaker cuts it off:
+
+* **closed** — traffic flows; consecutive failures are counted and any
+  success resets the count.  ``failure_threshold`` consecutive failures
+  *trip* the breaker.
+* **open** — every call is rejected instantly (no model execution at
+  all) until ``reset_timeout_s`` has elapsed on the breaker's clock.
+* **half-open** — after the timeout, up to ``half_open_max_probes``
+  concurrent probe requests are let through.  A probe success closes
+  the breaker (full recovery); a probe failure re-opens it and restarts
+  the timeout.
+
+The clock is injectable, so trip/recovery sequences are exercised
+deterministically in tests — no wall-clock sleeps.  State transitions
+are counted (``trips`` / ``rejections``) and exported to Prometheus by
+:func:`repro.obs.export.record_breaker` with the numeric state encoding
+in :data:`STATE_CODES`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+#: Breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+#: Numeric encoding for the Prometheus state gauge.
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitOpen(RuntimeError):
+    """Request refused because the model's circuit breaker is open."""
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Configuration for the per-model breakers a serving engine creates.
+
+    ``clock`` is the time source used for the open → half-open
+    transition; tests pass a fake to step through recovery
+    deterministically.
+    """
+
+    failure_threshold: int = 5
+    reset_timeout_s: float = 30.0
+    half_open_max_probes: int = 1
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be non-negative")
+        if self.half_open_max_probes < 1:
+            raise ValueError("half_open_max_probes must be at least 1")
+
+    def build(self) -> "CircuitBreaker":
+        """One breaker instance under this policy."""
+        return CircuitBreaker(
+            failure_threshold=self.failure_threshold,
+            reset_timeout_s=self.reset_timeout_s,
+            half_open_max_probes=self.half_open_max_probes,
+            clock=self.clock,
+        )
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure circuit breaker (see module doc)."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        half_open_max_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        BreakerPolicy(failure_threshold, reset_timeout_s, half_open_max_probes)
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_max_probes = half_open_max_probes
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.trips = 0
+        self.rejections = 0
+        self.probes = 0
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        """Current state, refreshing the open → half-open transition."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self.trips += 1
+
+    def allow(self) -> bool:
+        """May one request proceed right now?
+
+        Counts a rejection when the answer is no; in half-open state,
+        grants at most ``half_open_max_probes`` concurrent probes (the
+        caller must report the probe's outcome via
+        :meth:`record_success` / :meth:`record_failure`).
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight < self.half_open_max_probes:
+                    self._probes_in_flight += 1
+                    self.probes += 1
+                    return True
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        """Report one successful model execution."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+                self._probes_in_flight = 0
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """Report one failed model execution; may trip the breaker."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # The probe failed: the model is still unhealthy.
+                self._trip()
+                self._consecutive_failures = self.failure_threshold
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def snapshot(self) -> dict[str, object]:
+        """Copy of the breaker's state and counters (metrics surface)."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "state_code": STATE_CODES[self._state],
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self.trips,
+                "rejections": self.rejections,
+                "probes": self.probes,
+            }
+
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "STATE_CODES",
+]

@@ -1,19 +1,43 @@
-"""Model registry and batch execution engine for compiled trees.
+"""Model registry, versioned rollout, and the hardened batch execution engine.
 
 :class:`ModelRegistry` keys deployed models by the compiled tree's
 content fingerprint — registering the same tree twice (or the same tree
 rebuilt from JSON) lands on one entry, and a pruned tree registers as a
 *different* model, because pruning changes the flattened arrays and
-therefore the fingerprint.
+therefore the fingerprint.  On top of the fingerprint store it carries:
+
+* **named endpoints** (:mod:`repro.serve.rollout`): clients address
+  ``registry.deploy("scorer", fp)`` names; a weighted canary splits
+  traffic deterministically by ``route_key`` and promote/rollback are
+  single atomic pointer flips;
+* **drain-aware removal**: :meth:`ModelRegistry.unregister` refuses to
+  drop a fingerprint an endpoint still routes to, and defers removal
+  while leased requests are in flight, so hot swaps never yank a model
+  out from under a running batch.
 
 :class:`ServingEngine` executes prediction batches against registered
 models.  Large batches are sharded row-wise across a thread pool using
 the same contiguous-partition idiom as the training-side scan engine
 (:func:`repro.core.parallel.partition_chunks`): shards are contiguous
-row ranges, results are written into a preallocated output in shard
-order, so the merged output is identical to the single-threaded call for
-any worker count.  Every executed batch feeds the model's
-:class:`~repro.io.metrics.ServingStats`.
+row ranges, results are written in shard order, so the merged output is
+identical to the single-threaded call for any worker count.  Around
+that unchanged execution core sits the robustness layer:
+
+* **admission control** — an optional bounded queue
+  (:class:`~repro.serve.admission.AdmissionController`); excess load is
+  rejected immediately with :class:`~repro.serve.admission.Overloaded`;
+* **deadlines** — a per-request budget checked before execution and
+  enforced on shard waits (:class:`~repro.serve.admission.Deadline`);
+* **circuit breaking** — one
+  :class:`~repro.serve.breaker.CircuitBreaker` per fingerprint, tripped
+  by consecutive execution failures, with graceful degradation to a
+  configured fallback model or the majority-class prior;
+* **shard retry** — a failed shard is retried (with deterministic
+  backoff) before the batch fails.
+
+Every executed batch feeds the model's
+:class:`~repro.io.metrics.ServingStats`, including the shed / timeout /
+breaker / fallback counters the robustness paths increment.
 """
 
 from __future__ import annotations
@@ -21,6 +45,9 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from contextlib import contextmanager
+from typing import Iterator
 
 import numpy as np
 
@@ -28,37 +55,186 @@ from repro.core.compiled import CompiledTree, compile_tree
 from repro.core.tree import DecisionTree, _as_batch
 from repro.io.metrics import ServingStats
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.serve.admission import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceeded,
+    Overloaded,
+    as_deadline,
+)
+from repro.serve.breaker import BreakerPolicy, CircuitBreaker, CircuitOpen
+from repro.serve.rollout import ModelInUseError, RolloutManager
+
+#: ``fallback=PRIOR_FALLBACK`` degrades to the model's majority-class prior.
+PRIOR_FALLBACK = "prior"
 
 
 class ModelRegistry:
-    """Fingerprint-keyed store of compiled models and their serving stats."""
+    """Fingerprint-keyed store of models, endpoints, and serving stats."""
 
     def __init__(self) -> None:
-        self._models: dict[str, CompiledTree] = {}
+        self._models: dict[str, object] = {}
         self._stats: dict[str, ServingStats] = {}
+        self._inflight: dict[str, int] = {}
+        self._pending_removal: set[str] = set()
+        self._rollout = RolloutManager()
         self._lock = threading.Lock()
 
-    def register(self, model: DecisionTree | CompiledTree) -> str:
+    def register(self, model: "DecisionTree | CompiledTree | object") -> str:
         """Register a model; returns its fingerprint (the serving key).
 
-        Idempotent: re-registering a structurally identical model reuses
-        the existing entry and its accumulated stats.
+        Accepts a :class:`DecisionTree` (compiled on the spot), a
+        :class:`CompiledTree`, or any object exposing ``fingerprint``
+        plus the prediction methods — which is how the fault-injection
+        wrappers of :mod:`repro.serve.faults` deploy alongside real
+        models.  Idempotent: re-registering a structurally identical
+        model reuses the existing entry and its accumulated stats.
         """
-        compiled = model if isinstance(model, CompiledTree) else compile_tree(model)
-        key = compiled.fingerprint
+        if isinstance(model, DecisionTree):
+            compiled: object = compile_tree(model)
+        elif hasattr(model, "fingerprint") and hasattr(model, "predict"):
+            compiled = model
+        else:
+            raise TypeError(
+                f"cannot register {type(model).__name__}: need a DecisionTree, "
+                "a CompiledTree, or a fingerprinted model wrapper"
+            )
+        key = compiled.fingerprint  # type: ignore[attr-defined]
         with self._lock:
             if key not in self._models:
                 self._models[key] = compiled
                 self._stats[key] = ServingStats()
+            self._pending_removal.discard(key)
         return key
 
-    def get(self, fingerprint: str) -> CompiledTree:
-        """The compiled model registered under ``fingerprint``."""
+    def unregister(self, fingerprint: str) -> bool:
+        """Remove a model, honouring rollout and drain semantics.
+
+        Raises :class:`~repro.serve.rollout.ModelInUseError` while any
+        endpoint still routes to the fingerprint (repoint or roll back
+        first).  If leased requests are in flight, removal is *deferred*
+        — new leases are refused immediately and the entry is dropped
+        when the last in-flight request completes — and ``False`` is
+        returned; ``True`` means the model is gone now.
+        """
+        with self._lock:
+            if fingerprint not in self._models:
+                raise KeyError(f"no model registered as {fingerprint!r}")
+            routed = self._rollout.routes_to(fingerprint)
+            if routed:
+                raise ModelInUseError(
+                    f"model {fingerprint!r} still routed by endpoint(s) "
+                    f"{sorted(routed)}; promote, rollback or remove them first"
+                )
+            if self._inflight.get(fingerprint, 0) > 0:
+                self._pending_removal.add(fingerprint)
+                return False
+            self._drop(fingerprint)
+            return True
+
+    def _drop(self, fingerprint: str) -> None:
+        del self._models[fingerprint]
+        del self._stats[fingerprint]
+        self._inflight.pop(fingerprint, None)
+        self._pending_removal.discard(fingerprint)
+
+    @contextmanager
+    def lease(self, fingerprint: str) -> Iterator[object]:
+        """Hold a model for one request's execution (drain accounting).
+
+        A leased fingerprint cannot disappear mid-request: deferred
+        removal waits for the in-flight count to hit zero.  Leasing a
+        draining model is refused like an unknown one.
+        """
+        with self._lock:
+            if fingerprint in self._pending_removal:
+                raise KeyError(f"model {fingerprint!r} is draining for removal")
+            try:
+                model = self._models[fingerprint]
+            except KeyError:
+                raise KeyError(f"no model registered as {fingerprint!r}") from None
+            self._inflight[fingerprint] = self._inflight.get(fingerprint, 0) + 1
+        try:
+            yield model
+        finally:
+            with self._lock:
+                remaining = self._inflight.get(fingerprint, 1) - 1
+                self._inflight[fingerprint] = remaining
+                if remaining <= 0 and fingerprint in self._pending_removal:
+                    self._drop(fingerprint)
+
+    def inflight(self, fingerprint: str) -> int:
+        """Requests currently leasing ``fingerprint``."""
+        with self._lock:
+            return self._inflight.get(fingerprint, 0)
+
+    # -- endpoints (versioned rollout) ---------------------------------------
+
+    def deploy(self, name: str, fingerprint: str) -> None:
+        """Point endpoint ``name`` (created on first use) at a stable model."""
+        self._require_registered(fingerprint)
+        self._rollout.deploy(name, fingerprint)
+
+    def set_canary(self, name: str, fingerprint: str, weight: float) -> None:
+        """Send ``weight`` of ``name``'s traffic to a canary model."""
+        self._require_registered(fingerprint)
+        self._rollout.set_canary(name, fingerprint, weight)
+
+    def promote(self, name: str) -> str:
+        """Canary becomes stable in one atomic flip; returns the old stable."""
+        return self._rollout.promote(name)
+
+    def rollback(self, name: str) -> str:
+        """Drop the canary in one atomic flip; returns its fingerprint."""
+        return self._rollout.rollback(name)
+
+    def remove_endpoint(self, name: str) -> None:
+        """Delete an endpoint (its models stay registered)."""
+        self._rollout.remove_endpoint(name)
+
+    def endpoints(self) -> list[dict[str, object]]:
+        """Snapshot of every endpoint's routing state."""
+        return self._rollout.endpoints()
+
+    def resolve(self, target: str, route_key: object = None) -> str:
+        """Resolve an endpoint name or raw fingerprint to a fingerprint.
+
+        Endpoint names win over fingerprints (names are human-chosen,
+        fingerprints are 16 hex chars — collisions do not happen in
+        practice, and an explicit fingerprint still resolves as itself
+        when no endpoint shadows it).
+        """
+        if self._rollout.has_endpoint(target):
+            return self._rollout.resolve(target, route_key)
+        with self._lock:
+            if target in self._models:
+                return target
+        raise KeyError(f"no endpoint or model registered as {target!r}")
+
+    def _require_registered(self, fingerprint: str) -> None:
+        with self._lock:
+            if fingerprint not in self._models:
+                raise KeyError(f"no model registered as {fingerprint!r}")
+
+    # -- plain lookups -------------------------------------------------------
+
+    def get(self, fingerprint: str) -> "CompiledTree | object":
+        """The model registered under ``fingerprint``."""
         with self._lock:
             try:
                 return self._models[fingerprint]
             except KeyError:
                 raise KeyError(f"no model registered as {fingerprint!r}") from None
+
+    def stats_for(self, target: str) -> ServingStats:
+        """Stats of an endpoint's stable model or of a raw fingerprint.
+
+        Unlike :meth:`resolve`, looking up stats never advances routing
+        counters.
+        """
+        if self._rollout.has_endpoint(target):
+            return self.stats(self._rollout.peek(target))
+        return self.stats(target)
 
     def stats(self, fingerprint: str) -> ServingStats:
         """The serving counters of one registered model."""
@@ -99,6 +275,22 @@ class ServingEngine:
         Optional span recorder: each executed batch records one
         ``serve_batch`` span (model, method, rows, shard count).
         Tracing never changes predictions.
+    max_queue_depth:
+        Admission-control bound on concurrently in-flight requests;
+        ``None`` disables admission (the pre-hardening behaviour).  An
+        existing :class:`AdmissionController` may be passed to share one
+        gate across engines.
+    breaker_policy:
+        When set, each served fingerprint gets a circuit breaker built
+        from this policy; ``None`` disables circuit breaking.
+    fallback:
+        Degraded answer when a breaker rejects a request:
+        :data:`PRIOR_FALLBACK` serves the model's majority-class prior,
+        a fingerprint serves that registered model, ``None`` (default)
+        raises :class:`~repro.serve.breaker.CircuitOpen`.
+    shard_retries / shard_backoff_s:
+        Failed shard executions are retried up to ``shard_retries``
+        times, sleeping ``shard_backoff_s * attempt`` between tries.
     """
 
     def __init__(
@@ -107,16 +299,38 @@ class ServingEngine:
         workers: int = 1,
         min_shard_rows: int = 8192,
         tracer: "Tracer | NullTracer | None" = None,
+        max_queue_depth: "int | AdmissionController | None" = None,
+        breaker_policy: BreakerPolicy | None = None,
+        fallback: str | None = None,
+        shard_retries: int = 1,
+        shard_backoff_s: float = 0.001,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if min_shard_rows < 1:
             raise ValueError("min_shard_rows must be at least 1")
+        if shard_retries < 0:
+            raise ValueError("shard_retries must be non-negative")
+        if shard_backoff_s < 0:
+            raise ValueError("shard_backoff_s must be non-negative")
         self.registry = registry if registry is not None else ModelRegistry()
         self.workers = workers
         self.min_shard_rows = min_shard_rows
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        if isinstance(max_queue_depth, AdmissionController):
+            self.admission: AdmissionController | None = max_queue_depth
+        elif max_queue_depth is not None:
+            self.admission = AdmissionController(max_queue_depth)
+        else:
+            self.admission = None
+        self.breaker_policy = breaker_policy
+        self.fallback = fallback
+        self.shard_retries = shard_retries
+        self.shard_backoff_s = shard_backoff_s
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
@@ -126,7 +340,8 @@ class ServingEngine:
         return self._pool
 
     def close(self) -> None:
-        """Shut the shard pool down (idempotent)."""
+        """Shut the shard pool down and refuse further requests (idempotent)."""
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -137,50 +352,226 @@ class ServingEngine:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
+    # -- robustness plumbing -------------------------------------------------
+
+    def breaker(self, fingerprint: str) -> CircuitBreaker | None:
+        """This fingerprint's circuit breaker (created lazily), or ``None``."""
+        if self.breaker_policy is None:
+            return None
+        with self._breakers_lock:
+            breaker = self._breakers.get(fingerprint)
+            if breaker is None:
+                breaker = self.breaker_policy.build()
+                self._breakers[fingerprint] = breaker
+            return breaker
+
+    def breakers(self) -> dict[str, CircuitBreaker]:
+        """Snapshot of every instantiated breaker, keyed by fingerprint."""
+        with self._breakers_lock:
+            return dict(self._breakers)
+
+    def _validate_batch(self, fingerprint: str, model: object, X: np.ndarray) -> None:
+        """Reject malformed input before it reaches the compiled kernel."""
+        if X.ndim != 2:
+            raise ValueError(
+                f"model {fingerprint!r}: expected a 2-D record batch, got "
+                f"{X.ndim}-D input of shape {X.shape}"
+            )
+        width = getattr(model, "n_attributes", None)
+        if width is not None and len(X) > 0 and X.shape[1] != width:
+            raise ValueError(
+                f"model {fingerprint!r}: expected {width} attribute column(s), "
+                f"got batch of shape {X.shape}"
+            )
+
+    def _degrade(
+        self, fingerprint: str, model: object, X: np.ndarray, method: str
+    ) -> np.ndarray:
+        """Answer from the fallback path while the breaker holds traffic."""
+        stats = self.registry.stats(fingerprint)
+        if self.fallback is None:
+            raise CircuitOpen(
+                f"circuit open for model {fingerprint!r} and no fallback "
+                "is configured"
+            )
+        if self.fallback == PRIOR_FALLBACK:
+            counts = getattr(model, "counts", None)
+            if method == "apply" or counts is None:
+                raise CircuitOpen(
+                    f"circuit open for model {fingerprint!r}: majority-class "
+                    f"prior cannot answer {method!r}"
+                )
+            totals = np.asarray(counts, dtype=np.float64).sum(axis=0)
+            stats.count_fallback()
+            if method == "predict":
+                return np.full(len(X), int(np.argmax(totals)), dtype=np.int64)
+            grand = totals.sum()
+            proba = (
+                totals / grand
+                if grand > 0
+                else np.full_like(totals, 1.0 / len(totals))
+            )
+            return np.tile(proba, (len(X), 1))
+        fallback_model = self.registry.get(self.fallback)
+        stats.count_fallback()
+        return getattr(fallback_model, method)(X)
+
+    def _shard_call(self, fn, X: np.ndarray, stats: ServingStats) -> np.ndarray:
+        """One shard's execution, with bounded retry + deterministic backoff."""
+        attempt = 0
+        while True:
+            try:
+                return fn(X)
+            except Exception:
+                attempt += 1
+                if attempt > self.shard_retries:
+                    raise
+                stats.count_shard_retry()
+                if self.shard_backoff_s:
+                    time.sleep(self.shard_backoff_s * attempt)
+
     # -- execution -----------------------------------------------------------
 
-    def _run(self, fingerprint: str, X: np.ndarray, method: str) -> np.ndarray:
-        model = self.registry.get(fingerprint)
+    def _run(
+        self,
+        target: str,
+        X: np.ndarray,
+        method: str,
+        route_key: object = None,
+        deadline: "Deadline | float | None" = None,
+    ) -> np.ndarray:
+        if self._closed:
+            raise RuntimeError(
+                "serving engine is closed; create a new engine to serve"
+            )
+        dl = as_deadline(deadline)
+        fingerprint = self.registry.resolve(target, route_key)
         stats = self.registry.stats(fingerprint)
+        model = self.registry.get(fingerprint)
         X = _as_batch(X)
+        self._validate_batch(fingerprint, model, X)
+        if self.admission is not None and not self.admission.try_acquire():
+            stats.count_shed()
+            raise Overloaded(
+                f"serve queue full ({self.admission.max_depth} in flight); "
+                f"request for {fingerprint!r} shed",
+                depth=self.admission.max_depth,
+                max_depth=self.admission.max_depth,
+            )
+        try:
+            if dl.expired:
+                stats.count_timeout()
+                raise DeadlineExceeded(
+                    f"deadline expired before executing request for "
+                    f"{fingerprint!r}"
+                )
+            breaker = self.breaker(fingerprint)
+            if breaker is not None and not breaker.allow():
+                stats.count_breaker_rejection()
+                return self._degrade(fingerprint, model, X, method)
+            return self._execute(fingerprint, X, method, dl, breaker, stats)
+        finally:
+            if self.admission is not None:
+                self.admission.release()
+
+    def _execute(
+        self,
+        fingerprint: str,
+        X: np.ndarray,
+        method: str,
+        dl: Deadline,
+        breaker: CircuitBreaker | None,
+        stats: ServingStats,
+    ) -> np.ndarray:
         n = len(X)
-        fn = getattr(model, method)
-        with self.tracer.span(
-            "serve_batch", model=fingerprint[:12], method=method, rows=n
-        ) as span:
-            start = time.perf_counter()
-            if self.workers == 1 or n < 2 * self.min_shard_rows:
-                out = fn(X)
-            else:
-                # Contiguous, balanced row ranges — the partition_chunks rule,
-                # computed as bounds so a million-row batch is not listed out.
-                shards = max(2, min(self.workers, n // self.min_shard_rows))
-                base, extra = divmod(n, shards)
-                bounds = []
-                lo = 0
-                for i in range(shards):
-                    hi = lo + base + (1 if i < extra else 0)
-                    bounds.append((lo, hi))
-                    lo = hi
-                span.annotate(shards=shards)
-                pool = self._ensure_pool()
-                futures = [pool.submit(fn, X[a:b]) for a, b in bounds]
-                parts = [f.result() for f in futures]
-                out = np.concatenate(parts, axis=0)
-            stats.observe_batch(n, time.perf_counter() - start)
+        with self.registry.lease(fingerprint) as model:
+            fn = getattr(model, method)
+            with self.tracer.span(
+                "serve_batch", model=fingerprint[:12], method=method, rows=n
+            ) as span:
+                start = time.perf_counter()
+                try:
+                    if self.workers == 1 or n < 2 * self.min_shard_rows:
+                        out = self._shard_call(fn, X, stats)
+                    else:
+                        out = self._run_sharded(fn, X, n, dl, stats, span)
+                except FutureTimeout:
+                    stats.count_timeout()
+                    if breaker is not None:
+                        breaker.record_failure()
+                    raise DeadlineExceeded(
+                        f"deadline expired while executing a sharded batch "
+                        f"for {fingerprint!r}"
+                    ) from None
+                except Exception:
+                    if breaker is not None:
+                        breaker.record_failure()
+                    raise
+                if breaker is not None:
+                    breaker.record_success()
+                stats.observe_batch(n, time.perf_counter() - start)
         return out
 
-    def predict(self, fingerprint: str, X: np.ndarray) -> np.ndarray:
-        """Majority-class labels for ``X`` under one registered model."""
-        return self._run(fingerprint, X, "predict")
+    def _run_sharded(
+        self, fn, X: np.ndarray, n: int, dl: Deadline, stats: ServingStats, span
+    ) -> np.ndarray:
+        # Contiguous, balanced row ranges — the partition_chunks rule,
+        # computed as bounds so a million-row batch is not listed out.
+        shards = max(2, min(self.workers, n // self.min_shard_rows))
+        base, extra = divmod(n, shards)
+        bounds = []
+        lo = 0
+        for i in range(shards):
+            hi = lo + base + (1 if i < extra else 0)
+            bounds.append((lo, hi))
+            lo = hi
+        span.annotate(shards=shards)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(self._shard_call, fn, X[a:b], stats) for a, b in bounds
+        ]
+        parts = []
+        try:
+            for f in futures:
+                parts.append(f.result(timeout=dl.remaining()))
+        finally:
+            if len(parts) < len(futures):
+                for f in futures:
+                    f.cancel()
+        return np.concatenate(parts, axis=0)
 
-    def predict_proba(self, fingerprint: str, X: np.ndarray) -> np.ndarray:
-        """Per-class probabilities for ``X`` under one registered model."""
-        return self._run(fingerprint, X, "predict_proba")
+    def predict(
+        self,
+        target: str,
+        X: np.ndarray,
+        *,
+        route_key: object = None,
+        deadline: "Deadline | float | None" = None,
+    ) -> np.ndarray:
+        """Majority-class labels for ``X`` under a model or endpoint."""
+        return self._run(target, X, "predict", route_key, deadline)
 
-    def apply(self, fingerprint: str, X: np.ndarray) -> np.ndarray:
-        """Leaf node ids for ``X`` under one registered model."""
-        return self._run(fingerprint, X, "apply")
+    def predict_proba(
+        self,
+        target: str,
+        X: np.ndarray,
+        *,
+        route_key: object = None,
+        deadline: "Deadline | float | None" = None,
+    ) -> np.ndarray:
+        """Per-class probabilities for ``X`` under a model or endpoint."""
+        return self._run(target, X, "predict_proba", route_key, deadline)
+
+    def apply(
+        self,
+        target: str,
+        X: np.ndarray,
+        *,
+        route_key: object = None,
+        deadline: "Deadline | float | None" = None,
+    ) -> np.ndarray:
+        """Leaf node ids for ``X`` under a model or endpoint."""
+        return self._run(target, X, "apply", route_key, deadline)
 
 
-__all__ = ["ModelRegistry", "ServingEngine"]
+__all__ = ["ModelRegistry", "ServingEngine", "PRIOR_FALLBACK"]

@@ -1,0 +1,162 @@
+"""Deterministic fault injection for the serve path.
+
+The training side earned its robustness claims through injected faults
+(:mod:`repro.io.faults`); the serve path gets the same treatment.  Each
+wrapper decorates a compiled model while keeping its ``fingerprint``
+(and every other attribute) intact, so it registers and routes exactly
+like the real model — the engine cannot tell it is being tested:
+
+* :class:`SlowModel` — adds a fixed service delay per call; the knob
+  behind the saturation benchmark's deterministic capacity.
+* :class:`FlakyModel` — raises :class:`ModelExecutionError` on an
+  explicit schedule (call indices) or at a seeded rate, bounded by
+  ``max_consecutive`` like the I/O injector, so breaker trip/recovery
+  sequences replay identically run to run.
+* :class:`StuckModel` — blocks until an :class:`threading.Event` is
+  set: the "stuck batch" case behind deadline and drain tests.
+
+All wrappers count their calls (``calls``/``failures``) for test
+assertions and are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+
+class ModelExecutionError(RuntimeError):
+    """Injected model failure (the serve-side analogue of a read fault)."""
+
+
+class _ModelWrapper:
+    """Delegating base: everything not overridden falls through."""
+
+    _METHODS = ("predict", "predict_proba", "apply")
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def _before_call(self) -> int:
+        """Bump and return this call's 0-based index."""
+        with self._lock:
+            index = self.calls
+            self.calls += 1
+        return index
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self._call("predict", X)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self._call("predict_proba", X)
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        return self._call("apply", X)
+
+    def _call(self, method: str, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SlowModel(_ModelWrapper):
+    """Adds ``delay_s`` of service time to every call, then delegates."""
+
+    def __init__(self, inner, delay_s: float) -> None:
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        super().__init__(inner)
+        self.delay_s = delay_s
+
+    def _call(self, method: str, X: np.ndarray) -> np.ndarray:
+        self._before_call()
+        time.sleep(self.delay_s)
+        return getattr(self._inner, method)(X)
+
+
+class FlakyModel(_ModelWrapper):
+    """Fails on a deterministic schedule, otherwise delegates.
+
+    Parameters
+    ----------
+    fail_calls:
+        Explicit 0-based call indices that raise — exact scripting for
+        breaker tests (``range(5)`` = first five calls fail).
+    fail_rate / seed / max_consecutive:
+        Seeded random failures at ``fail_rate``, with at most
+        ``max_consecutive`` back-to-back (the :mod:`repro.io.faults`
+        bound: any retry budget above it is guaranteed to make
+        progress).  Ignored when ``fail_calls`` is given.
+    """
+
+    def __init__(
+        self,
+        inner,
+        fail_calls: "set[int] | None" = None,
+        fail_rate: float = 0.0,
+        seed: int = 0,
+        max_consecutive: int = 2,
+    ) -> None:
+        if not 0.0 <= fail_rate <= 1.0:
+            raise ValueError("fail_rate must be in [0, 1]")
+        if max_consecutive < 1:
+            raise ValueError("max_consecutive must be at least 1")
+        super().__init__(inner)
+        self.fail_calls = set(fail_calls) if fail_calls is not None else None
+        self.fail_rate = fail_rate
+        self.max_consecutive = max_consecutive
+        self._rng = np.random.default_rng(seed)
+        self._streak = 0
+        self.failures = 0
+
+    def _should_fail(self, index: int) -> bool:
+        with self._lock:
+            if self.fail_calls is not None:
+                fail = index in self.fail_calls
+            elif self._streak >= self.max_consecutive:
+                fail = False
+            else:
+                fail = float(self._rng.random()) < self.fail_rate
+            self._streak = self._streak + 1 if fail else 0
+            if fail:
+                self.failures += 1
+            return fail
+
+    def _call(self, method: str, X: np.ndarray) -> np.ndarray:
+        index = self._before_call()
+        if self._should_fail(index):
+            raise ModelExecutionError(
+                f"injected model failure on call {index} ({method})"
+            )
+        return getattr(self._inner, method)(X)
+
+
+class StuckModel(_ModelWrapper):
+    """Blocks every call until :attr:`release` is set (a stuck batch).
+
+    ``entered`` is set as soon as a call starts blocking, so a test can
+    wait for the batch to be verifiably in flight before acting.
+    ``timeout_s`` bounds the stall so a broken test cannot hang the
+    suite: an un-released call raises after the timeout.
+    """
+
+    def __init__(self, inner, timeout_s: float = 30.0) -> None:
+        super().__init__(inner)
+        self.release = threading.Event()
+        self.entered = threading.Event()
+        self.timeout_s = timeout_s
+
+    def _call(self, method: str, X: np.ndarray) -> np.ndarray:
+        self._before_call()
+        self.entered.set()
+        if not self.release.wait(self.timeout_s):
+            raise ModelExecutionError("stuck model was never released")
+        return getattr(self._inner, method)(X)
+
+
+__all__ = ["FlakyModel", "ModelExecutionError", "SlowModel", "StuckModel"]

@@ -1,0 +1,194 @@
+"""Versioned rollout: named endpoints over weighted {stable, canary} models.
+
+Production serving never swaps a model by handing every client a new
+fingerprint.  Clients address a stable *endpoint name*; the registry
+maps the name to a *stable* fingerprint plus, during a rollout, a
+*canary* fingerprint carrying a configurable fraction of traffic:
+
+* **Deterministic hash routing** — a request's ``route_key`` (user id,
+  session, shard…) is hashed with the endpoint name; keys whose hash
+  fraction falls below ``canary_weight`` go to the canary.  The same
+  key always lands on the same version (sticky, replayable), and the
+  canary fraction converges to the weight across distinct keys.
+  Requests without a key draw from a per-endpoint counter, which
+  spreads traffic at the configured weight and stays deterministic for
+  a given call sequence.
+* **One-call promote / rollback** — :meth:`RolloutManager.promote`
+  atomically makes the canary the new stable;
+  :meth:`RolloutManager.rollback` atomically drops the canary.  Either
+  is a single pointer flip under the manager lock, so there is no
+  window where an endpoint routes to nothing (zero-downtime hot swap).
+* **Drain awareness** — the manager knows which endpoints route to a
+  fingerprint (:meth:`routes_to`), which the registry's
+  ``unregister`` uses to refuse removing a live version and to defer
+  removal until in-flight requests drain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+
+
+class ModelInUseError(RuntimeError):
+    """Refused to remove a model that an endpoint still routes traffic to."""
+
+
+def route_fraction(endpoint: str, key: str) -> float:
+    """Deterministic hash of ``(endpoint, key)`` in ``[0, 1)``.
+
+    Hashing the endpoint name in keeps one key's canary membership
+    independent across endpoints — a user canaried on one endpoint is
+    not automatically canaried on all of them.
+    """
+    digest = hashlib.sha256(f"{endpoint}\x00{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass
+class Endpoint:
+    """One named route: a stable fingerprint and an optional weighted canary."""
+
+    name: str
+    stable: str
+    canary: str | None = None
+    canary_weight: float = 0.0
+    #: Requests routed to each version (cumulative, for tests/metrics).
+    stable_routes: int = 0
+    canary_routes: int = 0
+    #: Keyless-request counter feeding the deterministic spread.
+    _seq: int = field(default=0, repr=False)
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict copy (CLI / metrics surface)."""
+        return {
+            "name": self.name,
+            "stable": self.stable,
+            "canary": self.canary,
+            "canary_weight": self.canary_weight,
+            "stable_routes": self.stable_routes,
+            "canary_routes": self.canary_routes,
+        }
+
+
+class RolloutManager:
+    """Thread-safe endpoint table; see the module docstring.
+
+    The manager stores fingerprints as opaque strings — model existence
+    checks belong to the :class:`~repro.serve.engine.ModelRegistry`
+    wrapping it, which is also what keeps the lock order one-way
+    (registry → manager, never back).
+    """
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, Endpoint] = {}
+        self._lock = threading.Lock()
+
+    # -- configuration -------------------------------------------------------
+
+    def deploy(self, name: str, fingerprint: str) -> None:
+        """Create endpoint ``name`` serving ``fingerprint``, or repoint its
+        stable version (any live canary is kept)."""
+        if not name:
+            raise ValueError("endpoint name must be non-empty")
+        with self._lock:
+            ep = self._endpoints.get(name)
+            if ep is None:
+                self._endpoints[name] = Endpoint(name=name, stable=fingerprint)
+            else:
+                ep.stable = fingerprint
+
+    def set_canary(self, name: str, fingerprint: str, weight: float) -> None:
+        """Start (or retune) a canary on ``name`` at traffic ``weight``."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError("canary weight must be in [0, 1]")
+        with self._lock:
+            ep = self._require(name)
+            ep.canary = fingerprint
+            ep.canary_weight = weight
+
+    def promote(self, name: str) -> str:
+        """Make the canary the new stable; returns the *old* stable.
+
+        One atomic pointer flip: no request can observe an endpoint
+        without a stable version.
+        """
+        with self._lock:
+            ep = self._require(name)
+            if ep.canary is None:
+                raise ValueError(f"endpoint {name!r} has no canary to promote")
+            old = ep.stable
+            ep.stable = ep.canary
+            ep.canary = None
+            ep.canary_weight = 0.0
+            return old
+
+    def rollback(self, name: str) -> str:
+        """Drop the canary instantly; returns the dropped fingerprint."""
+        with self._lock:
+            ep = self._require(name)
+            if ep.canary is None:
+                raise ValueError(f"endpoint {name!r} has no canary to roll back")
+            dropped = ep.canary
+            ep.canary = None
+            ep.canary_weight = 0.0
+            return dropped
+
+    def remove_endpoint(self, name: str) -> None:
+        """Delete endpoint ``name`` (its models stay registered)."""
+        with self._lock:
+            self._require(name)
+            del self._endpoints[name]
+
+    # -- routing -------------------------------------------------------------
+
+    def resolve(self, name: str, route_key: object = None) -> str:
+        """Fingerprint serving this request, per the weighted hash route."""
+        with self._lock:
+            ep = self._require(name)
+            if ep.canary is None or ep.canary_weight <= 0.0:
+                ep.stable_routes += 1
+                return ep.stable
+            if route_key is None:
+                route_key = f"\x00seq:{ep._seq}"
+                ep._seq += 1
+            if route_fraction(name, str(route_key)) < ep.canary_weight:
+                ep.canary_routes += 1
+                return ep.canary
+            ep.stable_routes += 1
+            return ep.stable
+
+    def peek(self, name: str) -> str:
+        """The stable fingerprint of ``name``, without counting a route."""
+        with self._lock:
+            return self._require(name).stable
+
+    # -- introspection -------------------------------------------------------
+
+    def has_endpoint(self, name: str) -> bool:
+        with self._lock:
+            return name in self._endpoints
+
+    def routes_to(self, fingerprint: str) -> list[str]:
+        """Names of endpoints whose stable or canary is ``fingerprint``."""
+        with self._lock:
+            return [
+                ep.name
+                for ep in self._endpoints.values()
+                if fingerprint in (ep.stable, ep.canary)
+            ]
+
+    def endpoints(self) -> list[dict[str, object]]:
+        """Snapshot of every endpoint, in creation order."""
+        with self._lock:
+            return [ep.snapshot() for ep in self._endpoints.values()]
+
+    def _require(self, name: str) -> Endpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise KeyError(f"no endpoint named {name!r}") from None
+
+
+__all__ = ["Endpoint", "ModelInUseError", "RolloutManager", "route_fraction"]

@@ -1,0 +1,319 @@
+"""Tests for admission control, deadlines, and engine hardening
+(serve/admission.py plus the ServingEngine robustness paths)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.eval.treegen import random_batch, random_tree
+from repro.serve import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceeded,
+    ModelRegistry,
+    NO_DEADLINE,
+    Overloaded,
+    ServingEngine,
+    SlowModel,
+    StuckModel,
+    as_deadline,
+)
+from repro.serve.faults import FlakyModel, ModelExecutionError
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestDeadline:
+    def test_no_deadline_never_expires(self):
+        assert not NO_DEADLINE.expired
+        assert NO_DEADLINE.remaining() is None
+        assert as_deadline(None) is NO_DEADLINE
+
+    def test_expiry_on_fake_clock(self):
+        clock = FakeClock()
+        dl = Deadline.after(5.0, clock)
+        assert not dl.expired
+        assert dl.remaining() == pytest.approx(5.0)
+        clock.advance(4.0)
+        assert dl.remaining() == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert dl.expired
+        assert dl.remaining() == 0.0
+
+    def test_as_deadline_coercions(self):
+        clock = FakeClock()
+        dl = as_deadline(2.5, clock)
+        assert dl.remaining() == pytest.approx(2.5)
+        assert as_deadline(dl) is dl
+        with pytest.raises(ValueError):
+            Deadline.after(-1.0)
+
+
+class TestAdmissionController:
+    def test_bounds_depth_and_counts(self):
+        gate = AdmissionController(max_depth=2)
+        assert gate.try_acquire() and gate.try_acquire()
+        assert gate.depth == 2
+        assert not gate.try_acquire()  # full: shed, not blocked
+        snap = gate.snapshot()
+        assert snap["admitted"] == 2 and snap["shed"] == 1
+        assert snap["peak_depth"] == 2
+        gate.release()
+        assert gate.try_acquire()
+        gate.release()
+        gate.release()
+        assert gate.depth == 0
+
+    def test_admit_context_manager(self):
+        gate = AdmissionController(max_depth=1)
+        with gate.admit():
+            assert gate.depth == 1
+            with pytest.raises(Overloaded) as exc:
+                with gate.admit():
+                    pass  # pragma: no cover
+            assert exc.value.max_depth == 1
+        assert gate.depth == 0
+
+    def test_release_without_acquire_raises(self):
+        gate = AdmissionController(max_depth=1)
+        with pytest.raises(RuntimeError):
+            gate.release()
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_depth=0)
+
+
+def _engine_with_tree(seed=0, depth=4, **kwargs):
+    tree = random_tree(depth=depth, seed=seed)
+    engine = ServingEngine(**kwargs)
+    key = engine.registry.register(tree)
+    return engine, tree, key
+
+
+class TestEngineValidation:
+    def test_wrong_width_names_fingerprint_and_width(self):
+        engine, tree, key = _engine_with_tree(seed=20)
+        p = tree.schema.n_attributes
+        X = np.zeros((5, p + 2))
+        with pytest.raises(ValueError) as exc:
+            engine.predict(key, X)
+        assert key in str(exc.value)
+        assert str(p) in str(exc.value)
+
+    def test_non_2d_batch_rejected(self):
+        engine, tree, key = _engine_with_tree(seed=21)
+        with pytest.raises(ValueError, match="2-D"):
+            engine.predict(key, np.zeros(tree.schema.n_attributes))
+        with pytest.raises(ValueError, match="2-D"):
+            engine.predict(key, np.zeros((2, 2, 2)))
+
+    def test_empty_batch_still_allowed(self):
+        # [] arrives as shape (0, 1) regardless of the true width; the
+        # width check must not break the established empty-batch contract.
+        engine, tree, key = _engine_with_tree(seed=22)
+        assert engine.predict(key, []).shape == (0,)
+
+    def test_validation_error_does_not_trip_breaker(self):
+        from repro.serve import BreakerPolicy
+
+        engine, tree, key = _engine_with_tree(
+            seed=23, breaker_policy=BreakerPolicy(failure_threshold=1)
+        )
+        with pytest.raises(ValueError):
+            engine.predict(key, np.zeros((3, tree.schema.n_attributes + 1)))
+        # A client-side error is not a model failure.
+        assert engine.breaker(key).state == "closed"
+
+
+class TestEngineClosed:
+    def test_methods_after_close_raise(self):
+        engine, tree, key = _engine_with_tree(seed=24)
+        X = random_batch(tree.schema, 10, seed=1)
+        engine.close()
+        for method in ("predict", "predict_proba", "apply"):
+            with pytest.raises(RuntimeError, match="closed"):
+                getattr(engine, method)(key, X)
+
+    def test_close_is_idempotent(self):
+        engine, _, _ = _engine_with_tree(seed=25)
+        engine.close()
+        engine.close()
+
+
+class TestEngineAdmission:
+    def test_sheds_when_queue_full(self):
+        tree = random_tree(depth=4, seed=26)
+        stuck = StuckModel(tree.compiled())
+        engine = ServingEngine(max_queue_depth=1)
+        key = engine.registry.register(stuck)
+        X = random_batch(tree.schema, 4, seed=2)
+
+        errors = []
+        results = []
+
+        def call():
+            try:
+                results.append(engine.predict(key, X))
+            except BaseException as exc:  # noqa: BLE001 - test harness
+                errors.append(exc)
+
+        t = threading.Thread(target=call)
+        t.start()
+        assert stuck.entered.wait(5.0)
+        # The permit is held by the stuck request: next request sheds now.
+        with pytest.raises(Overloaded):
+            engine.predict(key, X)
+        assert engine.registry.stats(key).snapshot()["shed"] == 1
+        stuck.release.set()
+        t.join(5.0)
+        assert not errors and len(results) == 1
+        np.testing.assert_array_equal(results[0], tree.predict(X))
+        # Permit returned: traffic flows again.
+        np.testing.assert_array_equal(engine.predict(key, X), tree.predict(X))
+
+    def test_admitted_predictions_bit_identical(self):
+        tree = random_tree(depth=6, seed=27)
+        engine = ServingEngine(max_queue_depth=4)
+        key = engine.registry.register(tree)
+        X = random_batch(tree.schema, 2000, seed=3, unseen_frac=0.05)
+        np.testing.assert_array_equal(
+            engine.predict(key, X), tree.compiled().predict(X)
+        )
+        np.testing.assert_array_equal(
+            engine.predict_proba(key, X), tree.compiled().predict_proba(X)
+        )
+
+    def test_shared_controller_across_engines(self):
+        gate = AdmissionController(max_depth=8)
+        e1 = ServingEngine(max_queue_depth=gate)
+        e2 = ServingEngine(max_queue_depth=gate)
+        assert e1.admission is gate and e2.admission is gate
+
+
+class TestEngineDeadlines:
+    def test_expired_deadline_skips_execution(self):
+        engine, tree, key = _engine_with_tree(seed=28)
+        X = random_batch(tree.schema, 10, seed=4)
+        clock = FakeClock()
+        dl = Deadline.after(1.0, clock)
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded):
+            engine.predict(key, X, deadline=dl)
+        snap = engine.registry.stats(key).snapshot()
+        assert snap["timeouts"] == 1
+        assert snap["batches"] == 0  # the model was never executed
+
+    def test_generous_deadline_serves_normally(self):
+        engine, tree, key = _engine_with_tree(seed=29)
+        X = random_batch(tree.schema, 50, seed=5)
+        np.testing.assert_array_equal(
+            engine.predict(key, X, deadline=30.0), tree.predict(X)
+        )
+        assert engine.registry.stats(key).snapshot()["timeouts"] == 0
+
+    def test_shard_wait_times_out(self):
+        tree = random_tree(depth=4, seed=30)
+        stuck = StuckModel(tree.compiled())
+        engine = ServingEngine(workers=2, min_shard_rows=4)
+        key = engine.registry.register(stuck)
+        X = random_batch(tree.schema, 64, seed=6)
+        try:
+            with pytest.raises(DeadlineExceeded):
+                engine.predict(key, X, deadline=0.05)
+            assert engine.registry.stats(key).snapshot()["timeouts"] == 1
+        finally:
+            stuck.release.set()
+            engine.close()
+
+
+class TestShardRetry:
+    def test_failed_shard_is_retried(self):
+        tree = random_tree(depth=4, seed=31)
+        flaky = FlakyModel(tree.compiled(), fail_calls={0})
+        engine = ServingEngine(shard_retries=1, shard_backoff_s=0.0)
+        key = engine.registry.register(flaky)
+        X = random_batch(tree.schema, 20, seed=7)
+        np.testing.assert_array_equal(engine.predict(key, X), tree.predict(X))
+        assert engine.registry.stats(key).snapshot()["shard_retries"] == 1
+
+    def test_retry_budget_exhausted_propagates(self):
+        tree = random_tree(depth=4, seed=32)
+        flaky = FlakyModel(tree.compiled(), fail_calls={0, 1})
+        engine = ServingEngine(shard_retries=1, shard_backoff_s=0.0)
+        key = engine.registry.register(flaky)
+        X = random_batch(tree.schema, 20, seed=8)
+        with pytest.raises(ModelExecutionError):
+            engine.predict(key, X)
+        # The next call (index 2) is past the scripted failures.
+        np.testing.assert_array_equal(engine.predict(key, X), tree.predict(X))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ServingEngine(shard_retries=-1)
+        with pytest.raises(ValueError):
+            ServingEngine(shard_backoff_s=-0.1)
+
+
+class TestServeFaultWrappers:
+    def test_slow_model_delegates_and_counts(self):
+        tree = random_tree(depth=3, seed=33)
+        slow = SlowModel(tree.compiled(), delay_s=0.0)
+        X = random_batch(tree.schema, 10, seed=9)
+        np.testing.assert_array_equal(slow.predict(X), tree.predict(X))
+        np.testing.assert_array_equal(slow.predict_proba(X), tree.predict_proba(X))
+        np.testing.assert_array_equal(slow.apply(X), tree.apply(X))
+        assert slow.calls == 3
+        assert slow.fingerprint == tree.compiled().fingerprint
+        with pytest.raises(ValueError):
+            SlowModel(tree.compiled(), delay_s=-1.0)
+
+    def test_flaky_model_seeded_schedule_replays(self):
+        tree = random_tree(depth=3, seed=34)
+        X = random_batch(tree.schema, 5, seed=10)
+
+        def failure_pattern():
+            flaky = FlakyModel(
+                tree.compiled(), fail_rate=0.5, seed=7, max_consecutive=2
+            )
+            pattern = []
+            for _ in range(30):
+                try:
+                    flaky.predict(X)
+                    pattern.append(False)
+                except ModelExecutionError:
+                    pattern.append(True)
+            return pattern
+
+        first, second = failure_pattern(), failure_pattern()
+        assert first == second  # deterministic replay
+        assert any(first) and not all(first)
+        # max_consecutive bounds every failure streak.
+        streak = longest = 0
+        for failed in first:
+            streak = streak + 1 if failed else 0
+            longest = max(longest, streak)
+        assert longest <= 2
+
+    def test_flaky_model_rejects_bad_config(self):
+        tree = random_tree(depth=3, seed=35)
+        with pytest.raises(ValueError):
+            FlakyModel(tree.compiled(), fail_rate=1.5)
+        with pytest.raises(ValueError):
+            FlakyModel(tree.compiled(), max_consecutive=0)
+
+    def test_stuck_model_times_out_when_never_released(self):
+        tree = random_tree(depth=3, seed=36)
+        stuck = StuckModel(tree.compiled(), timeout_s=0.01)
+        with pytest.raises(ModelExecutionError, match="never released"):
+            stuck.predict(random_batch(tree.schema, 2, seed=11))

@@ -1,0 +1,264 @@
+"""Tests for circuit breaking (serve/breaker.py) and graceful degradation."""
+
+import numpy as np
+import pytest
+
+from repro.eval.treegen import random_batch, random_tree
+from repro.obs import MetricsRegistry, record_admission, record_breaker
+from repro.serve import (
+    PRIOR_FALLBACK,
+    AdmissionController,
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpen,
+    ServingEngine,
+)
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.serve.faults import FlakyModel, ModelExecutionError
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestCircuitBreaker:
+    def test_trips_on_consecutive_failures_only(self):
+        b = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        for _ in range(2):
+            b.record_failure()
+        b.record_success()  # resets the streak
+        for _ in range(2):
+            b.record_failure()
+        assert b.state == CLOSED
+        b.record_failure()  # third consecutive: trip
+        assert b.state == OPEN
+        assert b.snapshot()["trips"] == 1
+
+    def test_open_rejects_until_timeout(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0, clock=clock)
+        b.record_failure()
+        assert b.state == OPEN
+        assert not b.allow()
+        assert b.snapshot()["rejections"] == 1
+        clock.advance(9.0)
+        assert not b.allow()
+        clock.advance(1.0)
+        assert b.state == HALF_OPEN
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0, clock=clock)
+        b.record_failure()
+        clock.advance(5.0)
+        assert b.allow()  # the probe
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=2, reset_timeout_s=5.0, clock=clock)
+        b.record_failure()
+        b.record_failure()
+        clock.advance(5.0)
+        assert b.allow()
+        b.record_failure()  # probe failed: straight back to open
+        assert b.state == OPEN
+        assert b.snapshot()["trips"] == 2
+        assert not b.allow()
+        clock.advance(5.0)  # the timeout restarts from the re-trip
+        assert b.state == HALF_OPEN
+
+    def test_half_open_bounds_concurrent_probes(self):
+        clock = FakeClock()
+        b = CircuitBreaker(
+            failure_threshold=1,
+            reset_timeout_s=1.0,
+            half_open_max_probes=2,
+            clock=clock,
+        )
+        b.record_failure()
+        clock.advance(1.0)
+        assert b.allow() and b.allow()  # two probes granted
+        assert not b.allow()  # third is rejected
+        assert b.snapshot()["probes"] == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(reset_timeout_s=-1.0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(half_open_max_probes=0)
+
+
+def _flaky_engine(fail_calls, seed=40, clock=None, **engine_kwargs):
+    """Engine + always-registered flaky model, one model call per request."""
+    tree = random_tree(depth=4, seed=seed)
+    flaky = FlakyModel(tree.compiled(), fail_calls=fail_calls)
+    policy = BreakerPolicy(
+        failure_threshold=3,
+        reset_timeout_s=10.0,
+        clock=clock if clock is not None else FakeClock(),
+    )
+    engine = ServingEngine(
+        breaker_policy=policy, shard_retries=0, **engine_kwargs
+    )
+    key = engine.registry.register(flaky)
+    return engine, tree, flaky, key
+
+
+class TestEngineBreakerIntegration:
+    def test_trip_then_reject_then_recover(self):
+        clock = FakeClock()
+        # Calls 0-2 fail (tripping the breaker); later calls are healthy.
+        engine, tree, flaky, key = _flaky_engine({0, 1, 2}, clock=clock)
+        X = random_batch(tree.schema, 20, seed=12)
+        for _ in range(3):
+            with pytest.raises(ModelExecutionError):
+                engine.predict(key, X)
+        assert engine.breaker(key).state == OPEN
+        # While open, the model is not executed at all.
+        calls_before = flaky.calls
+        with pytest.raises(CircuitOpen):
+            engine.predict(key, X)
+        assert flaky.calls == calls_before
+        assert engine.registry.stats(key).snapshot()["breaker_rejections"] == 1
+        # After the reset timeout, the probe runs and recovery is full.
+        clock.advance(10.0)
+        np.testing.assert_array_equal(engine.predict(key, X), tree.predict(X))
+        assert engine.breaker(key).state == CLOSED
+        np.testing.assert_array_equal(engine.predict(key, X), tree.predict(X))
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        engine, tree, flaky, key = _flaky_engine({0, 1, 2, 3}, clock=clock)
+        X = random_batch(tree.schema, 10, seed=13)
+        for _ in range(3):
+            with pytest.raises(ModelExecutionError):
+                engine.predict(key, X)
+        clock.advance(10.0)
+        with pytest.raises(ModelExecutionError):  # probe (call 3) fails
+            engine.predict(key, X)
+        assert engine.breaker(key).state == OPEN
+        clock.advance(10.0)
+        np.testing.assert_array_equal(engine.predict(key, X), tree.predict(X))
+        assert engine.breaker(key).state == CLOSED
+
+    def test_fallback_model_serves_while_open(self):
+        clock = FakeClock()
+        engine, tree, flaky, key = _flaky_engine({0, 1, 2}, clock=clock)
+        fallback_tree = random_tree(depth=3, seed=41)
+        fb_key = engine.registry.register(fallback_tree)
+        engine.fallback = fb_key
+        X = random_batch(tree.schema, 15, seed=14)
+        for _ in range(3):
+            with pytest.raises(ModelExecutionError):
+                engine.predict(key, X)
+        got = engine.predict(key, X)
+        np.testing.assert_array_equal(got, fallback_tree.predict(X))
+        snap = engine.registry.stats(key).snapshot()
+        assert snap["breaker_rejections"] == 1
+        assert snap["fallbacks"] == 1
+
+    def test_prior_fallback_predict_and_proba(self):
+        clock = FakeClock()
+        engine, tree, flaky, key = _flaky_engine({0, 1, 2}, clock=clock)
+        engine.fallback = PRIOR_FALLBACK
+        X = random_batch(tree.schema, 12, seed=15)
+        for _ in range(3):
+            with pytest.raises(ModelExecutionError):
+                engine.predict(key, X)
+        compiled = tree.compiled()
+        totals = compiled.counts.sum(axis=0)
+        labels = engine.predict(key, X)
+        np.testing.assert_array_equal(
+            labels, np.full(len(X), int(np.argmax(totals)))
+        )
+        proba = engine.predict_proba(key, X)
+        np.testing.assert_allclose(proba, np.tile(totals / totals.sum(), (12, 1)))
+        # apply has no meaningful prior: the circuit error surfaces.
+        with pytest.raises(CircuitOpen):
+            engine.apply(key, X)
+        assert engine.registry.stats(key).snapshot()["fallbacks"] == 2
+
+    def test_no_fallback_raises_circuit_open(self):
+        clock = FakeClock()
+        engine, tree, flaky, key = _flaky_engine({0, 1, 2}, clock=clock)
+        X = random_batch(tree.schema, 5, seed=16)
+        for _ in range(3):
+            with pytest.raises(ModelExecutionError):
+                engine.predict(key, X)
+        with pytest.raises(CircuitOpen, match="no fallback"):
+            engine.predict(key, X)
+
+    def test_no_policy_means_no_breaker(self):
+        engine = ServingEngine()
+        tree = random_tree(depth=3, seed=42)
+        key = engine.registry.register(tree)
+        assert engine.breaker(key) is None
+        assert engine.breakers() == {}
+
+    def test_breakers_are_per_model(self):
+        clock = FakeClock()
+        engine, tree, flaky, key = _flaky_engine({0, 1, 2}, clock=clock)
+        healthy = random_tree(depth=3, seed=43)
+        healthy_key = engine.registry.register(healthy)
+        X = random_batch(tree.schema, 8, seed=17)
+        Xh = random_batch(healthy.schema, 8, seed=18)
+        for _ in range(3):
+            with pytest.raises(ModelExecutionError):
+                engine.predict(key, X)
+        # The flaky model's open breaker does not affect the healthy one.
+        np.testing.assert_array_equal(
+            engine.predict(healthy_key, Xh), healthy.predict(Xh)
+        )
+        assert engine.breaker(key).state == OPEN
+        assert engine.breaker(healthy_key).state == CLOSED
+
+
+class TestBreakerMetricsExport:
+    def test_record_breaker_gauges_and_counters(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=1, reset_timeout_s=99.0, clock=clock)
+        b.record_failure()
+        b.allow()
+        reg = MetricsRegistry()
+        record_breaker(reg, b, {"model": "abc"})
+        labels = {"model": "abc"}
+        assert reg.gauge("cmp_serve_breaker_state", labels=labels).value == 2.0
+        assert (
+            reg.counter("cmp_serve_breaker_trips_total", labels=labels).value == 1.0
+        )
+        assert (
+            reg.counter(
+                "cmp_serve_breaker_open_rejections_total", labels=labels
+            ).value
+            == 1.0
+        )
+
+    def test_record_admission_gauges_and_counters(self):
+        gate = AdmissionController(max_depth=3)
+        gate.try_acquire()
+        gate.try_acquire()
+        gate.try_acquire()
+        assert not gate.try_acquire()
+        gate.release()
+        reg = MetricsRegistry()
+        record_admission(reg, gate, {"engine": "e0"})
+        labels = {"engine": "e0"}
+        assert reg.gauge("cmp_serve_queue_depth", labels=labels).value == 2.0
+        assert reg.gauge("cmp_serve_queue_depth_limit", labels=labels).value == 3.0
+        assert reg.gauge("cmp_serve_queue_peak_depth", labels=labels).value == 3.0
+        assert reg.counter("cmp_serve_admitted_total", labels=labels).value == 3.0
+        assert (
+            reg.counter("cmp_serve_admission_shed_total", labels=labels).value == 1.0
+        )

@@ -1,12 +1,21 @@
 """Tests for the serving layer (serve/engine.py, serve/batcher.py)."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.cli import main as cli_main
 from repro.io.metrics import ServingStats
 from repro.eval.treegen import random_batch, random_tree
-from repro.serve import MicroBatcher, ModelRegistry, ServingEngine
+from repro.serve import (
+    DeadlineExceeded,
+    MicroBatcher,
+    ModelRegistry,
+    Overloaded,
+    ServingEngine,
+    StuckModel,
+)
 
 
 class TestServingStats:
@@ -263,6 +272,121 @@ class TestMicroBatcher:
             MicroBatcher(engine, key, max_batch=0)
         with pytest.raises(ValueError):
             MicroBatcher(engine, key, max_delay_s=0.0)
+
+
+class TestMicroBatcherDeadlines:
+    def test_deadline_shorter_than_flush_window(self):
+        # The flush thread must wake at the deadline, not the window end:
+        # a 5 ms budget under a 10 s window fails fast, without an engine
+        # call (the batch had no survivors).
+        t = random_tree(depth=3, seed=70)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        with MicroBatcher(engine, key, max_delay_s=10.0) as b:
+            f = b.submit(random_batch(t.schema, 1, seed=0)[0], deadline_s=0.005)
+            with pytest.raises(DeadlineExceeded, match="before execution"):
+                f.result(timeout=5.0)
+        snap = engine.registry.stats(key).snapshot()
+        assert snap["timeouts"] == 1
+        assert snap["batches"] == 0  # predict was never called
+
+    def test_all_expired_batch_skips_predict(self):
+        t = random_tree(depth=3, seed=71)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        X = random_batch(t.schema, 3, seed=1)
+        with MicroBatcher(
+            engine, key, max_delay_s=10.0, default_deadline_s=0.005
+        ) as b:
+            futures = [b.submit(row) for row in X]
+            for f in futures:
+                with pytest.raises(DeadlineExceeded):
+                    f.result(timeout=5.0)
+        snap = engine.registry.stats(key).snapshot()
+        assert snap["timeouts"] == 3
+        assert snap["batches"] == 0 and snap["records"] == 0
+
+    def test_deadline_expires_mid_execution(self):
+        # The batch starts executing inside the budget but finishes past
+        # it: the caller gets DeadlineExceeded, never a late answer.
+        t = random_tree(depth=3, seed=72)
+        stuck = StuckModel(t.compiled())
+        engine = ServingEngine()
+        key = engine.registry.register(stuck)
+        with MicroBatcher(engine, key, max_delay_s=0.001) as b:
+            f = b.submit(random_batch(t.schema, 1, seed=2)[0], deadline_s=0.2)
+            assert stuck.entered.wait(5.0)  # execution began in time
+            time.sleep(0.25)  # ...and the budget lapsed while stuck
+            stuck.release.set()
+            with pytest.raises(DeadlineExceeded, match="while its batch"):
+                f.result(timeout=5.0)
+        assert engine.registry.stats(key).snapshot()["timeouts"] == 1
+
+    def test_mixed_batch_only_expired_requests_fail(self):
+        t = random_tree(depth=3, seed=73)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        X = random_batch(t.schema, 2, seed=3)
+        with MicroBatcher(engine, key, max_delay_s=0.05) as b:
+            doomed = b.submit(X[0], deadline_s=0.005)
+            healthy = b.submit(X[1])  # no deadline
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=5.0)
+            assert healthy.result(timeout=5.0) == t.predict(X[1:2])[0]
+        snap = engine.registry.stats(key).snapshot()
+        assert snap["timeouts"] == 1 and snap["records"] == 1
+
+    def test_rejects_bad_deadline_config(self):
+        t = random_tree(depth=3, seed=74)
+        engine = ServingEngine()
+        key = engine.registry.register(t)
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, key, default_deadline_s=0.0)
+        with MicroBatcher(engine, key) as b:
+            with pytest.raises(ValueError):
+                b.submit(np.zeros(t.schema.n_attributes), deadline_s=-1.0)
+
+
+class TestMicroBatcherAdmission:
+    def test_max_pending_sheds_with_overloaded(self):
+        t = random_tree(depth=3, seed=75)
+        stuck = StuckModel(t.compiled())
+        engine = ServingEngine()
+        key = engine.registry.register(stuck)
+        X = random_batch(t.schema, 4, seed=4)
+        b = MicroBatcher(engine, key, max_delay_s=0.001, max_pending=2)
+        try:
+            first = b.submit(X[0])
+            assert stuck.entered.wait(5.0)  # flush thread is now occupied
+            # The queue refills behind the stuck batch...
+            pending = [b.submit(X[1]), b.submit(X[2])]
+            # ...and the bound sheds the next arrival immediately.
+            with pytest.raises(Overloaded):
+                b.submit(X[3])
+            assert engine.registry.stats(key).snapshot()["shed"] == 1
+            stuck.release.set()
+            for f in [first, *pending]:
+                f.result(timeout=5.0)
+        finally:
+            stuck.release.set()
+            b.close()
+
+    def test_serving_stats_new_counters_roundtrip(self):
+        s = ServingStats()
+        s.count_shed(2)
+        s.count_timeout()
+        s.count_breaker_rejection(3)
+        s.count_fallback()
+        s.count_shard_retry(4)
+        other = ServingStats()
+        other.count_shed()
+        other.merge_from(s)
+        snap = other.snapshot()
+        assert snap["shed"] == 3
+        assert snap["timeouts"] == 1
+        assert snap["breaker_rejections"] == 3
+        assert snap["fallbacks"] == 1
+        assert snap["shard_retries"] == 4
 
 
 class TestServeBenchCLI:
