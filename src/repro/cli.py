@@ -52,8 +52,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         metavar="N",
-        help="chunk-routing worker threads per scan (trees are bit-identical "
+        help="chunk-routing workers per scan (trees are bit-identical "
         "for any worker count; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--scan-backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="how scan workers execute: GIL-sharing threads, or forked "
+        "processes that scale past the GIL (bit-identical trees either "
+        "way; 'process' falls back to threads where fork is unavailable)",
     )
     _add_obs(parser)
 
@@ -81,6 +89,7 @@ def _config(args: argparse.Namespace) -> BuilderConfig:
         n_intervals=args.intervals,
         max_depth=args.max_depth,
         scan_workers=args.workers,
+        scan_backend=args.scan_backend,
     )
 
 

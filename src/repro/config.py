@@ -101,6 +101,11 @@ class BuilderConfig:
     #: slice of the chunk list; deltas are merged deterministically in chunk
     #: order, so the built tree is bit-identical for any worker count.
     scan_workers: int = 1
+    #: How scan workers execute: ``"thread"`` (shared-memory pool) or
+    #: ``"process"`` (fork-per-scan workers that sidestep the GIL; falls
+    #: back to threads on platforms without ``fork``).  Either backend
+    #: produces bit-identical trees — the choice is purely about speed.
+    scan_backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.n_intervals < 2:
@@ -125,6 +130,8 @@ class BuilderConfig:
             raise ValueError("buffer_budget_bytes must be non-negative")
         if self.scan_workers < 1:
             raise ValueError("scan_workers must be at least 1")
+        if self.scan_backend not in ("thread", "process"):
+            raise ValueError("scan_backend must be 'thread' or 'process'")
         if self.resume and not self.checkpoint_path:
             raise ValueError("resume requires checkpoint_path")
 

@@ -24,6 +24,7 @@ from repro.config import BuilderConfig
 from repro.core.checkpoint import CheckpointManager, build_fingerprint
 from repro.core.gini import gini_partition
 from repro.core.parallel import ScanEngine
+from repro.core import native_scan
 from repro.core.histogram import CategoryHistogram, ClassHistogram
 from repro.core.tree import DecisionTree, Node, TreeAccount
 from repro.data.dataset import Dataset
@@ -81,7 +82,9 @@ class TreeBuilder(ABC):
             raise ValueError("cannot build a tree on an empty dataset")
         stats = BuildStats()
         stats.scan_workers = self.config.scan_workers
+        stats.scan_backend = self._scan_engine().effective_backend
         stats.tracer = self.tracer
+        kernel_calls_before = native_scan.kernel_calls_total()
         with Stopwatch(stats):
             with self.tracer.span(
                 "build", builder=self.name, records=dataset.n_records
@@ -98,6 +101,9 @@ class TreeBuilder(ABC):
         stats.nodes_created = tree.n_nodes
         stats.leaves = tree.n_leaves
         stats.levels_built = tree.depth
+        stats.native_kernel_calls = (
+            native_scan.kernel_calls_total() - kernel_calls_before
+        )
         # Stamp the final accounting onto the (already closed) root span
         # so `inspect-trace` can cross-check scan spans against it.
         build_span.annotate(
@@ -131,7 +137,11 @@ class TreeBuilder(ABC):
 
     def _scan_engine(self) -> ScanEngine:
         """A scan engine sized to ``config.scan_workers`` (close after use)."""
-        return ScanEngine(self.config.scan_workers, tracer=self.tracer)
+        return ScanEngine(
+            self.config.scan_workers,
+            tracer=self.tracer,
+            backend=self.config.scan_backend,
+        )
 
     def _checkpointer(self, dataset: Dataset) -> CheckpointManager | None:
         """The build's checkpoint manager, or ``None`` when not configured."""

@@ -72,12 +72,13 @@ def build_fingerprint(
 ) -> dict[str, Any]:
     """Identity of one build: what a checkpoint must match to be resumable."""
     cfg = asdict(config)
-    # resume/checkpoint_path/scan_workers say how a build is being run,
-    # not what it builds: the resuming run necessarily differs from the
-    # writing run on the first two, and the parallel scan engine is
-    # bit-identical across worker counts, so a checkpoint written under
-    # one worker count is resumable under any other.
+    # resume/checkpoint_path/scan_workers/scan_backend say how a build is
+    # being run, not what it builds: the resuming run necessarily differs
+    # from the writing run on the first two, and the parallel scan engine
+    # is bit-identical across worker counts and backends, so a checkpoint
+    # written under one parallelism setup is resumable under any other.
     del cfg["resume"], cfg["checkpoint_path"], cfg["scan_workers"]
+    del cfg["scan_backend"]
     return {
         "builder": builder_name,
         "config": cfg,

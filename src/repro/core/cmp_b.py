@@ -347,6 +347,7 @@ class CMPBBuilder(TreeBuilder):
                         ],
                         memory=stats.memory,
                         delta_nbytes=sum(p.delta_nbytes() for p in live.values()),
+                        writeback=nid,
                     )
                 self._charge_nid(stats, n)
                 for p in pendings.values():

@@ -238,6 +238,7 @@ class CMPSBuilder(TreeBuilder):
                         ],
                         memory=stats.memory,
                         delta_nbytes=sum(p.delta_nbytes() for p in live.values()),
+                        writeback=nid,
                     )
                 self._charge_nid(stats, n)
                 overflowed = [

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import native_scan
+
 
 def gini(counts: np.ndarray) -> np.ndarray | float:
     """Gini index of one or many sets (Equation 1).
@@ -81,6 +83,14 @@ def boundary_ginis(cum: np.ndarray, totals: np.ndarray) -> np.ndarray:
     totals = np.asarray(totals, dtype=np.float64)
     if cum.ndim != 2 or cum.shape[1] != len(totals):
         raise ValueError("cum must be (boundaries, classes) aligned with totals")
+    native = native_scan.boundary_ginis(cum, totals)
+    if native is not None:
+        return native
+    return _boundary_ginis_numpy(cum, totals)
+
+
+def _boundary_ginis_numpy(cum: np.ndarray, totals: np.ndarray) -> np.ndarray:
+    """Reference numpy sweep (the native kernel replicates it bit for bit)."""
     right = totals[None, :] - cum
     return np.asarray(gini_partition(cum, right), dtype=np.float64)
 

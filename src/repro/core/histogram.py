@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import native_scan
 from repro.core.gini import boundary_ginis, gini_partition
 from repro.data.discretize import bin_index
 
@@ -52,6 +53,10 @@ class ClassHistogram:
         if len(values) == 0:
             return
         values = np.asarray(values)
+        if native_scan.hist_accum(
+            values, labels, self.edges, self.counts, self.vmin, self.vmax
+        ):
+            return
         bins = bin_index(values, self.edges)
         np.add.at(self.counts, (bins, np.asarray(labels)), 1.0)
         np.minimum.at(self.vmin, bins, values)
@@ -118,6 +123,11 @@ class CategoryHistogram:
     def update(self, codes: np.ndarray, labels: np.ndarray) -> None:
         """Add a batch of records (``codes`` are integer category codes)."""
         if len(codes) == 0:
+            return
+        codes = np.asarray(codes)
+        if codes.dtype == np.float64 and native_scan.cat_accum(
+            codes, labels, self.counts
+        ):
             return
         np.add.at(self.counts, (np.asarray(codes, dtype=np.intp), np.asarray(labels)), 1.0)
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import native_scan
 from repro.core.gini import gini_partition_many
 from repro.core.matrix import HistogramMatrix, MatrixSet
 
@@ -131,7 +132,12 @@ def gini_slope_walk(counts: np.ndarray) -> tuple[float, GridLine]:
     line achieving it.  Flip the matrix's Y axis before calling to obtain
     ``giniPositiveSlope``.
     """
-    scratch = _WalkScratch(np.asarray(counts, dtype=np.float64))
+    counts = np.asarray(counts, dtype=np.float64)
+    native = native_scan.slope_walk(counts, _MAX_STEPS)
+    if native is not None:
+        best_gini, bx, by = native
+        return best_gini, GridLine(bx, by)
+    scratch = _WalkScratch(counts)
     qx, qy = scratch.qx, scratch.qy
     # An intercept beyond qx + qy can no longer change which cells the line
     # crosses meaningfully; capping both bounds the walk at O(qx + qy).

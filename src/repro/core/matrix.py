@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import native_scan
 from repro.core.histogram import CategoryHistogram, ClassHistogram
 from repro.data.discretize import bin_index
 from repro.data.schema import Schema
@@ -128,6 +129,17 @@ class HistogramMatrix:
         if len(labels) == 0:
             return
         self._widen_for(len(labels))
+        y_values = np.asarray(y_values)
+        if native_scan.matrix_accum(
+            x_bins,
+            y_values,
+            labels,
+            self.y_edges,
+            self.counts,
+            self.y_stats.vmin,
+            self.y_stats.vmax,
+        ):
+            return
         y_bins = bin_index(y_values, self.y_edges)
         np.add.at(self.counts, (x_bins, y_bins, np.asarray(labels)), 1)
         self.y_stats.update(y_bins, y_values)

@@ -21,15 +21,13 @@ on platforms where ``intp`` is not 64-bit).
 
 from __future__ import annotations
 
-import atexit
 import ctypes
 import os
-import shutil
-import subprocess
-import tempfile
 import threading
 
 import numpy as np
+
+from repro.core import native_build
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -82,27 +80,11 @@ _resolved = False
 def _build():
     if np.intp(0).itemsize != 8 or np.dtype(np.int64).byteorder not in ("=", "<", ">"):
         return None
-    cc = (
-        os.environ.get("CC")
-        or shutil.which("cc")
-        or shutil.which("gcc")
-        or shutil.which("clang")
-    )
-    if not cc:
+    # Shared content-addressed cache with atomic publication: concurrent
+    # processes (routine with the process scan backend) race benignly.
+    lib = native_build.load_library("route", _SOURCE)
+    if lib is None:
         return None
-    tmpdir = tempfile.mkdtemp(prefix="cmp-repro-native-")
-    atexit.register(shutil.rmtree, tmpdir, ignore_errors=True)
-    src = os.path.join(tmpdir, "route.c")
-    lib_path = os.path.join(tmpdir, "route.so")
-    with open(src, "w", encoding="utf-8") as f:
-        f.write(_SOURCE)
-    subprocess.run(
-        [cc, "-O2", "-ffp-contract=off", "-fPIC", "-shared", src, "-o", lib_path],
-        check=True,
-        capture_output=True,
-        timeout=120,
-    )
-    lib = ctypes.CDLL(lib_path)
     fn = lib.cmp_route
     fn.argtypes = [ctypes.c_int64, ctypes.c_int64] + [ctypes.c_void_p] * 14
     fn.restype = None

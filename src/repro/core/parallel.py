@@ -13,10 +13,10 @@ model (Pham, Ta & Vu).
 
 * the level's chunk list is partitioned into ``workers`` **contiguous**
   slices, preserving chunk order within each slice;
-* each worker thread reads its chunks through the shared (retrying,
-  possibly fault-injecting) table handle and routes them into a
-  **private delta** — a structural clone of the live pendings with
-  empty accumulators;
+* each worker reads its chunks through the shared (retrying, possibly
+  fault-injecting) table handle and routes them into a **private
+  delta** — a structural clone of the live pendings with empty
+  accumulators;
 * after the pass, deltas are merged into the live pendings **in slice
   order**, i.e. in global chunk order.
 
@@ -24,9 +24,27 @@ Determinism rule: every accumulator update is exact (integer-valued
 float64 or integer counts, extrema, concatenated record buffers), so
 merging worker deltas in chunk order reproduces the serial pass *bit
 for bit* — the built tree, its predictions and the scan counts are
-identical for any worker count.  ``nid`` writes need no delta at all:
-a chunk only ever writes the record ids it covers, so chunk-disjoint
-writes commute.
+identical for any worker count and either backend.
+
+Two backends execute the worker slices:
+
+``thread``
+    A lazily created thread pool.  Workers share the live process, so
+    ``nid`` writes need no delta at all — a chunk only ever writes the
+    record ids it covers, so chunk-disjoint writes commute.  Routing is
+    GIL-bound except where the native kernels release nothing but are
+    simply fast.
+
+``process``
+    A per-scan ``fork`` pool.  Each worker is forked *at scan time*, so
+    it inherits the live pendings, table handle and routing closures by
+    copy-on-write — nothing is pickled on the way in.  Results travel
+    back explicitly: the accumulator delta, the worker's slice of the
+    ``writeback`` array (the forked copy of ``nid`` is private to the
+    child), and an IO-counter delta folded into the shared stats so
+    page/record/retry accounting matches the serial pass.  Merging
+    stays in submission order, hence in global chunk order.  On
+    platforms without ``fork`` the engine silently uses threads.
 
 The engine composes with the fault-tolerance layer unchanged: chunk
 reads go through :class:`~repro.io.retry.RetryingTable.read_chunk`
@@ -34,7 +52,15 @@ reads go through :class:`~repro.io.retry.RetryingTable.read_chunk`
 ``chunk_starts()`` in the caller's thread before workers launch, and
 level checkpoints see exactly the same post-merge state a serial build
 would produce — a checkpointed parallel build resumes bit-identically
-under any other worker count.
+under any other worker count or backend.  One asymmetry: with process
+workers, a fault injector's *counters* advance in the forked children,
+so the parent-side injector object stays at zero even though retries
+(visible in ``read_retries``) happened.
+
+Scan execution is exception-safe on both backends: when routing or
+merging raises, pending batches are cancelled and the worker pool is
+shut down before the error propagates, so a poisoned scan leaves no
+live worker threads or processes behind.
 
 With ``workers == 1`` the engine streams chunks straight into the live
 pendings — byte-for-byte the pre-engine serial path, no pool, no
@@ -43,14 +69,26 @@ deltas, no merge.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
+from repro.core import native_scan
 from repro.io.metrics import MemoryTracker
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 #: Memory-tracker tag under which worker-delta bytes are charged.
 DELTA_ALLOCATION = "scan/worker-deltas"
+
+#: Scan backends accepted by :class:`ScanEngine` and ``--scan-backend``.
+SCAN_BACKENDS = ("thread", "process")
+
+
+def process_backend_available() -> bool:
+    """True when this platform can fork scan workers."""
+    return "fork" in multiprocessing.get_all_start_methods()
 
 
 def partition_chunks(starts: Sequence[int], workers: int) -> list[list[int]]:
@@ -75,28 +113,77 @@ def partition_chunks(starts: Sequence[int], workers: int) -> list[list[int]]:
     return slices
 
 
+#: Scan-scoped job state for forked workers.  Set by the parent
+#: immediately before creating the per-scan fork pool (so children
+#: inherit it copy-on-write) and cleared when the scan ends.
+_FORK_JOB: dict[str, Any] | None = None
+
+
+def _run_fork_batch(chunk_starts: list[int]) -> tuple[Any, int | None, int | None, Any, dict[str, int]]:
+    """Route one contiguous chunk slice inside a forked worker.
+
+    Runs against the fork-inherited :data:`_FORK_JOB`.  Returns the
+    accumulator delta, the ``[lo, hi)`` record range covered (when a
+    writeback array is in play) with the worker's copy of that slice,
+    and the worker's IO-counter delta relative to the fork point.
+    """
+    job = _FORK_JOB
+    assert job is not None, "fork batch outside an active process scan"
+    table = job["table"]
+    route = job["route"]
+    writeback = job["writeback"]
+    before = table.stats.snapshot()
+    delta = job["make_delta"]()
+    lo: int | None = None
+    hi: int | None = None
+    for start in chunk_starts:
+        chunk = table.read_chunk(start)
+        route(chunk, delta)
+        if writeback is not None:
+            if lo is None:
+                lo = chunk.start
+            hi = chunk.stop
+    after = table.stats.snapshot()
+    io_delta = {key: after[key] - before[key] for key in after}
+    nid_slice = None
+    if writeback is not None and lo is not None:
+        nid_slice = np.ascontiguousarray(writeback[lo:hi])
+    return delta, lo, hi, nid_slice, io_delta
+
+
 class ScanEngine:
     """Executes accounted table scans, serially or chunk-parallel.
 
     Parameters
     ----------
     workers:
-        Routing threads per scan.  ``1`` keeps the exact serial path; a
-        pool is created lazily only for ``workers > 1``.
+        Routing workers per scan.  ``1`` keeps the exact serial path; a
+        pool is created only for ``workers > 1``.
     tracer:
         Optional span recorder.  A parallel pass records one ``scan``
         span with a ``chunk_batch`` child per worker slice (explicitly
-        parent-linked across the thread boundary); the serial path
-        leaves tracing to the table's own ``scan()``.  Tracing never
-        changes routing, merging, or accounting.
+        parent-linked across the worker boundary; with process workers
+        the child spans are recorded parent-side around the result
+        wait).  Tracing never changes routing, merging, or accounting.
+    backend:
+        ``"thread"`` (default) or ``"process"``.  The process backend
+        falls back to threads where ``fork`` is unavailable.
     """
 
     def __init__(
-        self, workers: int = 1, tracer: "Tracer | NullTracer | None" = None
+        self,
+        workers: int = 1,
+        tracer: "Tracer | NullTracer | None" = None,
+        backend: str = "thread",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if backend not in SCAN_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {SCAN_BACKENDS}, got {backend!r}"
+            )
         self.workers = workers
+        self.backend = backend
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._pool: ThreadPoolExecutor | None = None
         #: Parallel chunk batches dispatched over the engine's lifetime.
@@ -104,8 +191,15 @@ class ScanEngine:
 
     @property
     def parallel(self) -> bool:
-        """True when scans fan chunks out across worker threads."""
+        """True when scans fan chunks out across workers."""
         return self.workers > 1
+
+    @property
+    def effective_backend(self) -> str:
+        """The backend scans actually use on this platform."""
+        if self.backend == "process" and not process_backend_available():
+            return "thread"
+        return self.backend
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
@@ -136,6 +230,7 @@ class ScanEngine:
         *,
         memory: MemoryTracker | None = None,
         delta_nbytes: int = 0,
+        writeback: "np.ndarray | None" = None,
     ) -> None:
         """One full accounted pass over ``table``.
 
@@ -144,7 +239,10 @@ class ScanEngine:
         per worker otherwise.  Deltas are handed to ``merge_delta`` in
         chunk order.  ``delta_nbytes`` (per delta) is charged to
         ``memory`` for the duration of a parallel pass so worker copies
-        show up in the Figure 19 accounting.
+        show up in the Figure 19 accounting.  ``writeback`` names the
+        per-record array ``route`` writes through ``chunk.rids`` (the
+        ``nid`` map); process workers return their slice of it for the
+        parent to apply, thread workers write it in place.
         """
         if not self.parallel:
             for chunk in table.scan():
@@ -158,33 +256,114 @@ class ScanEngine:
         if memory is not None and delta_nbytes:
             memory.allocate(DELTA_ALLOCATION, len(slices) * delta_nbytes)
         try:
-            with self.tracer.span(
-                "scan", parallel=True, workers=len(slices)
-            ) as scan_span:
-                pool = self._ensure_pool()
+            if self.effective_backend == "process":
+                self._scan_processes(table, route, make_delta, merge_delta, slices, writeback)
+            else:
+                self._scan_threads(table, route, make_delta, merge_delta, slices)
+        finally:
+            if memory is not None and delta_nbytes:
+                memory.release(DELTA_ALLOCATION)
 
-                def job(index: int, chunk_starts: list[int]) -> Any:
-                    with self.tracer.span(
-                        "chunk_batch",
-                        parent=scan_span,
-                        worker=index,
-                        chunks=len(chunk_starts),
-                    ):
-                        delta = make_delta()
-                        for start in chunk_starts:
-                            route(table.read_chunk(start), delta)
-                        return delta
+    def _scan_threads(
+        self,
+        table: Any,
+        route: Callable[[Any, Any], None],
+        make_delta: Callable[[], Any],
+        merge_delta: Callable[[Any], None],
+        slices: list[list[int]],
+    ) -> None:
+        with self.tracer.span(
+            "scan", parallel=True, workers=len(slices), backend="thread"
+        ) as scan_span:
+            pool = self._ensure_pool()
 
-                futures = [pool.submit(job, i, s) for i, s in enumerate(slices)]
-                self.batches_dispatched += len(slices)
+            def job(index: int, chunk_starts: list[int]) -> Any:
+                with self.tracer.span(
+                    "chunk_batch",
+                    parent=scan_span,
+                    worker=index,
+                    chunks=len(chunk_starts),
+                ):
+                    delta = make_delta()
+                    for start in chunk_starts:
+                        route(table.read_chunk(start), delta)
+                    return delta
+
+            futures = [pool.submit(job, i, s) for i, s in enumerate(slices)]
+            self.batches_dispatched += len(slices)
+            try:
                 # Collect in submission order == chunk order.  result()
                 # re-raises worker failures (e.g. ScanFailedError after
                 # exhausted retries).
                 for future in futures:
                     merge_delta(future.result())
-        finally:
-            if memory is not None and delta_nbytes:
-                memory.release(DELTA_ALLOCATION)
+            except BaseException:
+                # Poisoned scan: drop queued batches, then tear the pool
+                # down so no worker threads outlive the failure.
+                for future in futures:
+                    future.cancel()
+                self.close()
+                raise
+
+    def _scan_processes(
+        self,
+        table: Any,
+        route: Callable[[Any, Any], None],
+        make_delta: Callable[[], Any],
+        merge_delta: Callable[[Any], None],
+        slices: list[list[int]],
+        writeback: "np.ndarray | None",
+    ) -> None:
+        global _FORK_JOB
+        # Resolve (and if necessary compile) the native kernels before
+        # forking so every child inherits the loaded library instead of
+        # racing to build its own.
+        native_scan.warm_up()
+        with self.tracer.span(
+            "scan", parallel=True, workers=len(slices), backend="process"
+        ) as scan_span:
+            _FORK_JOB = {
+                "table": table,
+                "route": route,
+                "make_delta": make_delta,
+                "writeback": writeback,
+            }
+            # A fresh pool per scan: fork workers must inherit *this*
+            # scan's live state (pendings, nid, table position), which a
+            # pool forked during an earlier scan would not see.
+            pool = ProcessPoolExecutor(
+                max_workers=len(slices),
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            futures = []
+            try:
+                futures = [pool.submit(_run_fork_batch, s) for s in slices]
+                self.batches_dispatched += len(slices)
+                for index, future in enumerate(futures):
+                    with self.tracer.span(
+                        "chunk_batch",
+                        parent=scan_span,
+                        worker=index,
+                        chunks=len(slices[index]),
+                    ):
+                        delta, lo, hi, nid_slice, io_delta = future.result()
+                    merge_delta(delta)
+                    if writeback is not None and nid_slice is not None:
+                        writeback[lo:hi] = nid_slice
+                    table.stats.merge_counter_delta(io_delta)
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+            finally:
+                pool.shutdown(wait=True)
+                _FORK_JOB = None
 
 
-__all__ = ["ScanEngine", "partition_chunks", "DELTA_ALLOCATION"]
+__all__ = [
+    "ScanEngine",
+    "partition_chunks",
+    "process_backend_available",
+    "DELTA_ALLOCATION",
+    "SCAN_BACKENDS",
+]

@@ -113,6 +113,20 @@ class IOStats:
         """Return a plain-dict copy of all counters."""
         return {name: getattr(self, name) for name in _IO_COUNTERS}
 
+    def merge_counter_delta(self, delta: dict[str, int]) -> None:
+        """Fold a worker's counter increments into this instance.
+
+        Process scan workers charge their fork-inherited *copy* of the
+        stats; the parent applies ``after - before`` snapshots so the
+        shared accounting ends up identical to a serial or threaded
+        pass.  Unknown keys are rejected rather than dropped.
+        """
+        with self._lock:
+            for name, value in delta.items():
+                if name not in _IO_COUNTERS:
+                    raise ValueError(f"unknown IO counter {name!r}")
+                setattr(self, name, getattr(self, name) + value)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
         return f"IOStats({inner})"
@@ -244,10 +258,17 @@ class BuildStats:
     predictions_correct: int = 0
     buffer_overflow_rescans: int = 0
     resumed_from_level: int = -1
-    #: Chunk-routing worker threads the build was configured with.
+    #: Chunk-routing workers the build was configured with.
     scan_workers: int = 1
+    #: Backend the scan engine actually used ("thread" or "process").
+    scan_backend: str = "thread"
     #: Parallel chunk batches dispatched across all scans of the build.
     parallel_batches: int = 0
+    #: Native training-kernel calls made in this process during the build
+    #: (histogram/matrix accumulation, gini sweeps, slope walks).  Zero
+    #: when the kernels are unavailable or ``CMP_NO_NATIVE=1``; with the
+    #: process backend, calls made inside forked workers are not counted.
+    native_kernel_calls: int = 0
     #: Wall-clock seconds per build phase ("scan", "resolve", "checkpoint").
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: Span recorder threaded through the build (``NULL_TRACER`` = off).
@@ -307,7 +328,9 @@ class BuildStats:
             "two_level_splits": self.two_level_splits,
             "read_retries": self.io.read_retries,
             "scan_workers": self.scan_workers,
+            "scan_backend": self.scan_backend,
             "parallel_batches": self.parallel_batches,
+            "native_kernel_calls": self.native_kernel_calls,
         }
         for name, seconds in sorted(self.phase_seconds.items()):
             out[f"phase_{name}_s"] = round(seconds, 4)

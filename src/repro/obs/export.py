@@ -154,6 +154,11 @@ def record_build_stats(
         "Extra scans forced by alive-buffer overflow.",
         labels,
     ).inc(float(stats.buffer_overflow_rescans))
+    registry.counter(
+        "cmp_build_native_kernel_calls_total",
+        "Native training-kernel calls made during the build.",
+        labels,
+    ).inc(float(stats.native_kernel_calls))
     for phase, seconds in sorted(stats.phase_seconds.items()):
         phase_labels = dict(labels or {})
         phase_labels["phase"] = phase
