@@ -1,0 +1,288 @@
+"""Benchmark: shared-scan bagged training and packed forest inference.
+
+Standalone script (not a pytest benchmark), the perf gate for the
+ensemble subsystem.  Two claims are measured and asserted:
+
+1. **Training** — one :class:`~repro.ensemble.BaggedForestBuilder` build
+   of ``--trees`` member trees (one scan per level shared by every
+   member) against training the same ``--trees`` trees independently,
+   each on its materialized bootstrap sample.  Every shared member must
+   be bit-identical to its independent twin (asserted always), the
+   shared build must issue strictly fewer dataset scans (asserted
+   always), and ``--assert-training-speedup X`` additionally gates the
+   wall-clock ratio.
+2. **Inference** — one packed :class:`~repro.core.compiled.CompiledForest`
+   routing call over ``--query-records`` rows against the per-tree
+   predict loop.  Raw decision values must match the explicit
+   per-member accumulation bit-for-bit and packed ``predict`` must equal
+   the per-tree soft-vote loop (asserted always);
+   ``--assert-inference-speedup X`` gates the wall-clock ratio.
+
+A boosted-forest build is also timed (and its fingerprint checked
+deterministic across two builds) so the JSON tracks both trainers.
+CI runs::
+
+    PYTHONPATH=src python benchmarks/bench_forest.py \
+        --records 600000 --query-records 1000000 --trees 8 \
+        --assert-training-speedup 1.0 --assert-inference-speedup 1.2 \
+        --out BENCH_forest.json
+
+Wall speedups are meaningless on heavily loaded machines — leave the
+``--assert-*-speedup`` flags unset there; bit-identity and the scan-count
+gate are asserted regardless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import BuilderConfig
+from repro.core import native_scan
+from repro.core.cmp_s import CMPSBuilder
+from repro.core.native import forest_kernel
+from repro.data.synthetic import generate_agrawal
+from repro.ensemble import (
+    BaggedForestBuilder,
+    HistGradientBoostingBuilder,
+    bootstrap_indices,
+    member_seed,
+)
+from repro.verify.differential import tree_signature
+
+
+def _train_shared(dataset, config, n_trees, repeats):
+    walls, result = [], None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = BaggedForestBuilder(config, n_trees=n_trees).build(dataset)
+        walls.append(time.perf_counter() - start)
+    return result, min(walls)
+
+
+def _train_independent(dataset, config, n_trees, repeats):
+    """Time the baseline: each member built alone on its bootstrap sample.
+
+    Materializing the bootstrap sample is part of the independent
+    pipeline's cost (the shared builder never materializes one), so the
+    ``take`` is inside the timed region.
+    """
+    n = dataset.n_records
+    walls, trees, scans, pages = [], None, 0, 0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        built, scans, pages = [], 0, 0
+        for t in range(n_trees):
+            boot = dataset.take(np.sort(bootstrap_indices(config.seed, t, n)))
+            result = CMPSBuilder(
+                config.with_(seed=member_seed(config.seed, t))
+            ).build(boot)
+            built.append(result.tree)
+            scans += result.stats.io.scans
+            pages += result.stats.io.pages_read
+        walls.append(time.perf_counter() - start)
+        trees = built
+    return trees, min(walls), scans, pages
+
+
+def _time_once(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def run(args) -> tuple[dict[str, object], bool]:
+    dataset = generate_agrawal(args.function, args.records, seed=args.seed)
+    config = BuilderConfig(max_depth=args.depth, seed=args.seed)
+    report: dict[str, object] = {
+        "benchmark": "forest",
+        "function": args.function,
+        "records": args.records,
+        "query_records": args.query_records,
+        "trees": args.trees,
+        "depth": args.depth,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "native_scan_kernels": native_scan.available(),
+        "native_forest_kernel": forest_kernel() is not None,
+    }
+    ok = True
+
+    # --- Training: shared-scan vs independent builds. ---------------------
+    shared, shared_wall = _train_shared(dataset, config, args.trees, args.repeats)
+    independent, indep_wall, indep_scans, indep_pages = _train_independent(
+        dataset, config, args.trees, args.repeats
+    )
+    identical = all(
+        tree_signature(m) == tree_signature(s)
+        for m, s in zip(shared.forest.members, independent)
+    )
+    ok &= identical
+    fewer_scans = shared.stats.io.scans < indep_scans
+    ok &= fewer_scans
+    training = {
+        "bit_identical": identical,
+        "shared_wall_seconds": round(shared_wall, 3),
+        "independent_wall_seconds": round(indep_wall, 3),
+        "wall_speedup": round(indep_wall / max(shared_wall, 1e-9), 3),
+        "shared_scans": shared.stats.io.scans,
+        "independent_scans": indep_scans,
+        "scan_ratio": round(indep_scans / max(shared.stats.io.scans, 1), 2),
+        "fewer_scans": fewer_scans,
+        "shared_pages_read": shared.stats.io.pages_read,
+        "independent_pages_read": indep_pages,
+        "shared_level_scans": shared.stats.shared_level_scans,
+        "levels": shared.stats.levels_built,
+        "nodes": shared.stats.nodes_created,
+        "simulated_ms": round(shared.stats.simulated_ms, 3),
+    }
+    report["training"] = training
+    print(
+        f"training: identical={identical} shared={shared_wall:.2f}s "
+        f"independent={indep_wall:.2f}s (x{training['wall_speedup']:.2f}) "
+        f"scans {shared.stats.io.scans} vs {indep_scans}"
+    )
+    if args.assert_training_speedup is not None:
+        if training["wall_speedup"] < args.assert_training_speedup:
+            print(
+                f"FAIL: shared training speedup {training['wall_speedup']:.2f} "
+                f"< required {args.assert_training_speedup:.2f}",
+                file=sys.stderr,
+            )
+            ok = False
+
+    # --- Inference: packed forest vs per-tree loop at query scale. --------
+    Xq = generate_agrawal(args.function, args.query_records, seed=args.seed + 1).X
+    cf = shared.forest.compiled()
+    packed_values, packed_s = _time_once(lambda: cf.decision_values(Xq))
+
+    def member_loop_values():
+        acc = np.tile(cf.base, (len(Xq), 1))
+        for t, member in enumerate(cf.members):
+            acc += cf.values[cf.leaf_row[cf.tree_offsets[t] + member.route(Xq)]]
+        return acc
+
+    loop_values, loop_s = _time_once(member_loop_values)
+    values_identical = bool(np.array_equal(packed_values, loop_values))
+    ok &= values_identical
+
+    packed_labels, packed_predict_s = _time_once(lambda: cf.predict(Xq))
+
+    def member_soft_vote():
+        acc = np.zeros((len(Xq), cf.values.shape[1]))
+        for member in shared.forest.members:
+            acc += member.compiled().predict_proba(Xq)
+        return np.argmax(acc, axis=1)
+
+    vote_labels, vote_s = _time_once(member_soft_vote)
+    labels_equal = bool(np.array_equal(packed_labels, vote_labels))
+    ok &= labels_equal
+    inference = {
+        "values_bit_identical": values_identical,
+        "predict_equal_to_soft_vote": labels_equal,
+        "packed_values_seconds": round(packed_s, 4),
+        "member_loop_seconds": round(loop_s, 4),
+        "values_speedup": round(loop_s / max(packed_s, 1e-9), 3),
+        "packed_predict_seconds": round(packed_predict_s, 4),
+        "soft_vote_seconds": round(vote_s, 4),
+        "predict_speedup": round(vote_s / max(packed_predict_s, 1e-9), 3),
+        "rows_per_second_packed": int(args.query_records / max(packed_predict_s, 1e-9)),
+    }
+    report["inference"] = inference
+    print(
+        f"inference: identical={values_identical} "
+        f"packed={packed_predict_s:.3f}s soft-vote={vote_s:.3f}s "
+        f"(x{inference['predict_speedup']:.2f})"
+    )
+    if args.assert_inference_speedup is not None:
+        if inference["predict_speedup"] < args.assert_inference_speedup:
+            print(
+                f"FAIL: packed inference speedup "
+                f"{inference['predict_speedup']:.2f} "
+                f"< required {args.assert_inference_speedup:.2f}",
+                file=sys.stderr,
+            )
+            ok = False
+
+    # --- Boosting: wall clock + fingerprint determinism. ------------------
+    start = time.perf_counter()
+    boosted = HistGradientBoostingBuilder(
+        config, n_iterations=args.boost_iterations
+    ).build(dataset)
+    boost_wall = time.perf_counter() - start
+    fp = boosted.forest.compiled().fingerprint
+    again = HistGradientBoostingBuilder(
+        config, n_iterations=args.boost_iterations
+    ).build(dataset)
+    deterministic = again.forest.compiled().fingerprint == fp
+    ok &= deterministic
+    train_acc = float(np.mean(boosted.forest.predict(dataset.X) == dataset.y))
+    report["boosting"] = {
+        "iterations": args.boost_iterations,
+        "members": boosted.forest.n_trees,
+        "wall_seconds": round(boost_wall, 3),
+        "deterministic": deterministic,
+        "train_accuracy": round(train_acc, 4),
+        "scans": boosted.stats.io.scans,
+        "shared_level_scans": boosted.stats.shared_level_scans,
+    }
+    print(
+        f"boosting: {boosted.forest.n_trees} members in {boost_wall:.2f}s "
+        f"deterministic={deterministic} train_acc={train_acc:.3f}"
+    )
+    report["ok"] = ok
+    return report, ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=600_000)
+    parser.add_argument("--query-records", type=int, default=1_000_000)
+    parser.add_argument("--trees", type=int, default=8)
+    parser.add_argument("--depth", type=int, default=8)
+    parser.add_argument("--boost-iterations", type=int, default=4)
+    parser.add_argument("--function", default="F2")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="training builds per configuration; wall reported as min",
+    )
+    parser.add_argument(
+        "--assert-training-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless shared-scan training beats independent builds by X",
+    )
+    parser.add_argument(
+        "--assert-inference-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless packed predict beats the per-tree soft-vote by X",
+    )
+    parser.add_argument("--out", default="BENCH_forest.json", metavar="PATH")
+    args = parser.parse_args(argv)
+
+    report, ok = run(args)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not ok:
+        print("bench_forest: FAILED (see report)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -265,6 +265,14 @@ def main(argv: list[str] | None = None) -> int:
         help="multiplier on the footnote-1 estimator bound (grid drift margin)",
     )
     p.add_argument(
+        "--forest-every",
+        type=int,
+        default=5,
+        metavar="N",
+        help="run the shared-scan forest differential on every Nth dataset "
+        "(0 disables)",
+    )
+    p.add_argument(
         "--fuzz",
         action="store_true",
         help="fuzz instead of the fixed sweep: shrink any failing dataset "
@@ -279,6 +287,28 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("demo", help="Train CMP on a synthetic function, print the tree")
     p.add_argument("--function", default="Ff")
     p.add_argument("--records", type=int, default=50_000)
+    p.add_argument(
+        "--ensemble",
+        choices=("bagged", "boosted"),
+        default=None,
+        help="train a shared-scan ensemble instead of a single tree: "
+        "'bagged' bootstrap-sampled CMP-S members (soft voting), "
+        "'boosted' histogram gradient boosting over the binned scan",
+    )
+    p.add_argument(
+        "--n-trees",
+        type=int,
+        default=8,
+        metavar="N",
+        help="bagged member trees, or boosting iterations (--ensemble only)",
+    )
+    p.add_argument(
+        "--learning-rate",
+        type=float,
+        default=0.1,
+        metavar="LR",
+        help="shrinkage for --ensemble boosted",
+    )
     p.add_argument(
         "--checkpoint",
         default=None,
@@ -484,6 +514,7 @@ def main(argv: list[str] | None = None) -> int:
             n=args.records,
             metamorphic_checks=tuple(args.checks) if args.checks else None,
             safety=args.safety,
+            forest_every=args.forest_every,
             tracer=tracer,
             registry=registry,
             log=log,
@@ -503,12 +534,58 @@ def main(argv: list[str] | None = None) -> int:
         if args.resume and not args.checkpoint:
             parser.error("--resume requires --checkpoint")
         config = _config(args)
+        if args.ensemble and args.checkpoint:
+            parser.error("--ensemble does not support --checkpoint")
         if args.checkpoint:
             config = config.with_(
                 checkpoint_path=args.checkpoint, resume=args.resume
             )
         tracer, registry = _obs_objects(args)
         dataset = generate_agrawal(args.function, args.records, seed=args.seed)
+        if args.ensemble:
+            from repro.ensemble import (
+                BaggedForestBuilder,
+                HistGradientBoostingBuilder,
+            )
+
+            if args.ensemble == "bagged":
+                builder = BaggedForestBuilder(
+                    config, n_trees=args.n_trees, tracer=tracer
+                )
+            else:
+                builder = HistGradientBoostingBuilder(
+                    config,
+                    n_iterations=args.n_trees,
+                    learning_rate=args.learning_rate,
+                    tracer=tracer,
+                )
+            result = builder.build(dataset)
+            forest = result.forest
+            accuracy = float(np.mean(forest.predict(dataset.X) == dataset.y))
+            if registry is not None:
+                record_build_stats(
+                    registry,
+                    result.stats,
+                    {"builder": builder.name, "records": str(args.records)},
+                )
+            print(
+                format_table(
+                    [
+                        {
+                            "builder": builder.name,
+                            "members": forest.n_trees,
+                            "records": args.records,
+                            "accuracy": round(accuracy, 4),
+                            "scans": result.stats.io.scans,
+                            "shared_level_scans": result.stats.shared_level_scans,
+                            "wall_seconds": round(result.stats.wall_seconds, 3),
+                            "fingerprint": forest.compiled().fingerprint[:16],
+                        }
+                    ]
+                )
+            )
+            _write_obs(args, tracer, registry)
+            return 0
         record, result = run_builder(CMPBuilder(config, tracer=tracer), dataset)
         if registry is not None:
             record_build_stats(

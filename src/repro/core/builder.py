@@ -171,13 +171,26 @@ class PartState:
         if self.class_counts is None:
             self.class_counts = np.zeros(self.n_classes, dtype=np.float64)
 
-    def update(self, X: np.ndarray, y: np.ndarray) -> None:
-        """Add a batch of records to every histogram of this part."""
+    def update(
+        self, X: np.ndarray, y: np.ndarray, weights: np.ndarray | None = None
+    ) -> None:
+        """Add a batch of records to every histogram of this part.
+
+        ``weights`` are integer-valued per-record multiplicities
+        (bootstrap draw counts); the weighted accumulation is exact and
+        bit-identical to repeating each record ``weight`` times.
+        Callers drop zero-weight records beforehand.
+        """
         if len(y) == 0:
             return
-        self.class_counts += np.bincount(y, minlength=self.n_classes)
+        if weights is None:
+            self.class_counts += np.bincount(y, minlength=self.n_classes)
+        else:
+            self.class_counts += np.bincount(
+                y, weights=weights, minlength=self.n_classes
+            )
         for attr, hist in self.hists.items():
-            hist.update(X[:, attr], y)
+            hist.update(X[:, attr], y, weights)
 
     def nbytes(self) -> int:
         """Memory footprint of all histograms."""

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.native import forest_kernel as native_forest_kernel
 from repro.core.native import route_kernel as native_route_kernel
 from repro.core.splits import CategoricalSplit, LinearSplit, NumericSplit
 from repro.core.tree import DecisionTree, Node, _as_batch
@@ -283,16 +284,19 @@ def compile_tree(tree: DecisionTree) -> CompiledTree:
             raise TypeError(f"unknown split type {type(split).__name__}")
 
     # Leaf probability table, row order == pre-order leaf order — the same
-    # construction (and float64 arithmetic) as walk_predict_proba.
+    # construction (and float64 arithmetic) as walk_predict_proba.  Empty
+    # leaves predict from the nearest populated ancestor's distribution
+    # (Node.effective_counts); ``counts`` keeps the raw per-leaf counts.
     proba = np.empty((len(leaves), n_classes), dtype=np.float64)
     counts = np.empty((len(leaves), n_classes), dtype=np.float64)
     for row, node in enumerate(leaves):
         counts[row] = node.class_counts
-        total = node.class_counts.sum()
+        effective = node.effective_counts
+        total = effective.sum()
         proba[row] = (
-            node.class_counts / total
+            effective / total
             if total > 0
-            else np.full_like(node.class_counts, 1.0 / len(node.class_counts))
+            else np.full_like(effective, 1.0 / len(effective))
         )
 
     cat_mask = np.concatenate(masks) if masks else np.zeros(0, dtype=bool)
@@ -334,13 +338,251 @@ def compile_tree(tree: DecisionTree) -> CompiledTree:
         depth=depth,
         has_linear=bool((kind == LINEAR).any()),
         has_categorical=bool((kind == CATEGORICAL).any()),
-        fingerprint=digest.hexdigest()[:16],
+        fingerprint=digest.hexdigest(),
+    )
+
+
+@dataclass(frozen=True)
+class CompiledForest:
+    """An ensemble packed into one set of concatenated node arrays.
+
+    The member trees' pre-order node arrays are laid back to back, with
+    child indices, ``cat_mask`` offsets and leaf rows shifted to global
+    positions: one native C call (:func:`repro.core.native.forest_kernel`)
+    routes a whole batch through every member and accumulates the leaf
+    ``values`` rows.  The numpy fallback routes each member with its own
+    (already bit-identical) :meth:`CompiledTree.route` and adds the same
+    value rows in the same member order — the element-wise fold order
+    matches the C loop exactly, so the two paths are bit-identical.
+
+    Aggregation ``mode``:
+
+    * ``"average"`` (bagging) — ``values`` rows are member-leaf class
+      distributions; ``predict_proba`` divides the accumulated sum by
+      the member count (soft voting), ``predict`` is its argmax.
+    * ``"sum_softmax"`` (boosting) — ``values`` rows are leaf score
+      contributions added onto ``base``; ``predict_proba`` is the
+      softmax of the accumulated raw scores, ``predict`` its argmax.
+
+    ``counts`` feeds the serving engine's degraded majority-class
+    fallback (summed over axis 0, like a tree's per-leaf counts).
+    """
+
+    members: tuple[CompiledTree, ...]
+    tree_offsets: np.ndarray  #: (T + 1,) int64 member root node offsets
+    kind: np.ndarray
+    attr: np.ndarray
+    attr2: np.ndarray
+    coef_a: np.ndarray
+    coef_b: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    default_left: np.ndarray
+    cat_offset: np.ndarray
+    cat_len: np.ndarray
+    cat_mask: np.ndarray
+    leaf_row: np.ndarray  #: (n_nodes,) int64 global row into ``values``
+    values: np.ndarray  #: (total_leaves, n_outputs) float64 leaf value rows
+    base: np.ndarray  #: (n_outputs,) float64 accumulator start
+    mode: str  #: "average" | "sum_softmax"
+    counts: np.ndarray  #: (rows, n_outputs) float64 prior-fallback counts
+    n_classes: int
+    n_attributes: int
+    fingerprint: str
+
+    @property
+    def n_trees(self) -> int:
+        """Member count."""
+        return len(self.members)
+
+    @property
+    def n_outputs(self) -> int:
+        """Width of the accumulator (equals ``n_classes``)."""
+        return self.values.shape[1]
+
+    @property
+    def n_nodes(self) -> int:
+        """Total packed node count across all members."""
+        return len(self.kind)
+
+    def nbytes(self) -> int:
+        """Total bytes held by the packed arrays."""
+        return sum(
+            getattr(self, f).nbytes
+            for f in (
+                "tree_offsets", "kind", "attr", "attr2", "coef_a", "coef_b",
+                "threshold", "left", "right", "default_left", "cat_offset",
+                "cat_len", "cat_mask", "leaf_row", "values", "base", "counts",
+            )
+        )
+
+    def decision_values(self, X: np.ndarray) -> np.ndarray:
+        """``base`` plus the summed member leaf rows, shape ``(n, K)``."""
+        X = _as_batch(X)
+        n = len(X)
+        if n == 0:
+            return np.tile(self.base, (0, 1))
+        kernel = native_forest_kernel()
+        if kernel is not None:
+            X = np.ascontiguousarray(X)
+            acc = np.empty((n, self.n_outputs), dtype=np.float64)
+            kernel(self, X, acc)
+            return acc
+        acc = np.tile(self.base, (n, 1))
+        for t, member in enumerate(self.members):
+            rows = self.tree_offsets[t] + member.route(X)
+            acc += self.values[self.leaf_row[rows]]
+        return acc
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Aggregated class label per record."""
+        return np.argmax(self.decision_values(X), axis=1)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Aggregated per-class probabilities, shape ``(n, n_classes)``."""
+        acc = self.decision_values(X)
+        if self.mode == "average":
+            return acc / self.n_trees
+        # Numerically stable softmax over the raw boosted scores.
+        shifted = acc - acc.max(axis=1, keepdims=True)
+        np.exp(shifted, out=shifted)
+        shifted /= shifted.sum(axis=1, keepdims=True)
+        return shifted
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Member-leaf ``node_id`` per record, shape ``(n, n_trees)``."""
+        X = _as_batch(X)
+        out = np.empty((len(X), self.n_trees), dtype=np.int64)
+        for t, member in enumerate(self.members):
+            out[:, t] = member.apply(X)
+        return out
+
+
+def compile_forest(
+    members: "list[CompiledTree | DecisionTree]",
+    mode: str = "average",
+    values: "list[np.ndarray] | None" = None,
+    base: np.ndarray | None = None,
+    counts: np.ndarray | None = None,
+) -> CompiledForest:
+    """Pack member trees into a :class:`CompiledForest`.
+
+    ``values`` gives each member's ``(n_leaves, K)`` leaf value rows (in
+    the member's pre-order leaf order); omitted, each member contributes
+    its class-distribution ``proba`` table (bagging soft vote).  ``base``
+    defaults to zeros; ``counts`` defaults to the stacked member root
+    class counts (recovered as the column sums of each member's leaf
+    ``counts`` table).
+    """
+    if not members:
+        raise ValueError("need at least one member tree")
+    if mode not in ("average", "sum_softmax"):
+        raise ValueError(f"unknown aggregation mode {mode!r}")
+    compiled = [
+        compile_tree(m) if isinstance(m, DecisionTree) else m for m in members
+    ]
+    n_classes = compiled[0].n_classes
+    n_attributes = compiled[0].n_attributes
+    for m in compiled:
+        if m.n_classes != n_classes or m.n_attributes != n_attributes:
+            raise ValueError("member trees must share schema shape")
+    if values is None:
+        value_rows = [m.proba for m in compiled]
+    else:
+        if len(values) != len(compiled):
+            raise ValueError("need one value table per member")
+        value_rows = [np.asarray(v, dtype=np.float64) for v in values]
+        for m, v in zip(compiled, value_rows):
+            if v.shape != (m.n_leaves, n_classes):
+                raise ValueError(
+                    f"value table shape {v.shape} does not match "
+                    f"({m.n_leaves}, {n_classes})"
+                )
+    if base is None:
+        base = np.zeros(n_classes, dtype=np.float64)
+    else:
+        base = np.ascontiguousarray(base, dtype=np.float64)
+        if base.shape != (n_classes,):
+            raise ValueError("base must have one entry per class")
+    if counts is None:
+        counts = np.stack([m.counts.sum(axis=0) for m in compiled])
+    else:
+        counts = np.ascontiguousarray(np.atleast_2d(counts), dtype=np.float64)
+
+    node_offsets = np.cumsum([0] + [m.n_nodes for m in compiled])
+    mask_offsets = np.cumsum([0] + [len(m.cat_mask) for m in compiled])
+    leaf_offsets = np.cumsum([0] + [m.n_leaves for m in compiled])
+
+    def cat(arrays, dtype):
+        return np.ascontiguousarray(np.concatenate(arrays), dtype=dtype)
+
+    kind = cat([m.kind for m in compiled], np.int8)
+    attr = cat([m.attr for m in compiled], np.int32)
+    attr2 = cat([m.attr2 for m in compiled], np.int32)
+    coef_a = cat([m.coef_a for m in compiled], np.float64)
+    coef_b = cat([m.coef_b for m in compiled], np.float64)
+    threshold = cat([m.threshold for m in compiled], np.float64)
+    # Child indices shift by the member's node offset — leaf self-loops
+    # stay self-loops at their global position.
+    left = cat([m.left + off for m, off in zip(compiled, node_offsets)], np.int64)
+    right = cat([m.right + off for m, off in zip(compiled, node_offsets)], np.int64)
+    default_left = cat([m.default_left for m in compiled], bool)
+    cat_offset = cat(
+        [m.cat_offset + off for m, off in zip(compiled, mask_offsets)], np.int64
+    )
+    cat_len = cat([m.cat_len for m in compiled], np.int64)
+    cat_mask = (
+        cat([m.cat_mask for m in compiled], bool)
+        if any(len(m.cat_mask) for m in compiled)
+        else np.zeros(0, dtype=bool)
+    )
+    leaf_row = cat(
+        [m.leaf_row + off for m, off in zip(compiled, leaf_offsets)], np.int64
+    )
+    packed_values = np.ascontiguousarray(np.concatenate(value_rows), dtype=np.float64)
+
+    # Member fingerprints cover structure, splits and training counts;
+    # the value rows and base are hashed separately because boosting leaf
+    # scores are not part of any member's digest.
+    digest = hashlib.sha256()
+    digest.update(mode.encode("utf-8"))
+    for m in compiled:
+        digest.update(m.fingerprint.encode("utf-8"))
+    digest.update(packed_values.tobytes())
+    digest.update(base.tobytes())
+
+    return CompiledForest(
+        members=tuple(compiled),
+        tree_offsets=np.ascontiguousarray(node_offsets, dtype=np.int64),
+        kind=kind,
+        attr=attr,
+        attr2=attr2,
+        coef_a=coef_a,
+        coef_b=coef_b,
+        threshold=threshold,
+        left=left,
+        right=right,
+        default_left=default_left,
+        cat_offset=cat_offset,
+        cat_len=cat_len,
+        cat_mask=cat_mask,
+        leaf_row=leaf_row,
+        values=packed_values,
+        base=base,
+        mode=mode,
+        counts=counts,
+        n_classes=n_classes,
+        n_attributes=n_attributes,
+        fingerprint=digest.hexdigest(),
     )
 
 
 __all__ = [
     "CompiledTree",
+    "CompiledForest",
     "compile_tree",
+    "compile_forest",
     "tree_fingerprint",
     "LEAF",
     "NUMERIC",

@@ -48,17 +48,37 @@ class ClassHistogram:
         """Memory footprint of the count matrix."""
         return self.counts.nbytes
 
-    def update(self, values: np.ndarray, labels: np.ndarray) -> None:
-        """Add a batch of records to the histogram (vectorized)."""
+    def update(
+        self,
+        values: np.ndarray,
+        labels: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Add a batch of records to the histogram (vectorized).
+
+        ``weights`` are per-record multiplicities (bootstrap draw
+        counts): each record contributes its weight instead of 1.
+        Integer-valued float64 weights keep the counts integer-valued,
+        hence exact — bit-identical to repeating each record ``weight``
+        times.  Callers must drop zero-weight records beforehand; the
+        extrema folds see every value passed in.
+        """
         if len(values) == 0:
             return
         values = np.asarray(values)
         if native_scan.hist_accum(
-            values, labels, self.edges, self.counts, self.vmin, self.vmax
+            values, labels, self.edges, self.counts, self.vmin, self.vmax, weights
         ):
             return
         bins = bin_index(values, self.edges)
-        np.add.at(self.counts, (bins, np.asarray(labels)), 1.0)
+        if weights is None:
+            np.add.at(self.counts, (bins, np.asarray(labels)), 1.0)
+        else:
+            np.add.at(
+                self.counts,
+                (bins, np.asarray(labels)),
+                np.asarray(weights, dtype=np.float64),
+            )
         np.minimum.at(self.vmin, bins, values)
         np.maximum.at(self.vmax, bins, values)
 
@@ -120,16 +140,34 @@ class CategoryHistogram:
         """Memory footprint of the count matrix."""
         return self.counts.nbytes
 
-    def update(self, codes: np.ndarray, labels: np.ndarray) -> None:
-        """Add a batch of records (``codes`` are integer category codes)."""
+    def update(
+        self,
+        codes: np.ndarray,
+        labels: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Add a batch of records (``codes`` are integer category codes).
+
+        ``weights`` follow the same multiplicity contract as
+        :meth:`ClassHistogram.update`.
+        """
         if len(codes) == 0:
             return
         codes = np.asarray(codes)
         if codes.dtype == np.float64 and native_scan.cat_accum(
-            codes, labels, self.counts
+            codes, labels, self.counts, weights
         ):
             return
-        np.add.at(self.counts, (np.asarray(codes, dtype=np.intp), np.asarray(labels)), 1.0)
+        if weights is None:
+            np.add.at(
+                self.counts, (np.asarray(codes, dtype=np.intp), np.asarray(labels)), 1.0
+            )
+        else:
+            np.add.at(
+                self.counts,
+                (np.asarray(codes, dtype=np.intp), np.asarray(labels)),
+                np.asarray(weights, dtype=np.float64),
+            )
 
     def totals(self) -> np.ndarray:
         """Class counts of the whole node."""

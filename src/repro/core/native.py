@@ -70,6 +70,61 @@ void cmp_route(int64_t n, int64_t ncols, const double *X,
         out[r] = i;
     }
 }
+
+/* Packed-forest scoring: one call routes every record through every
+ * member tree and accumulates the leaf value rows.  Arrays are the
+ * member trees' node arrays concatenated in member order with child
+ * indices, cat_mask offsets and leaf_row already shifted to global
+ * positions (repro.core.compiled.compile_forest); tree_offsets[t] is
+ * member t's root index.  Per record the accumulator starts at base and
+ * adds member leaf rows in member order — the exact element-wise fold
+ * order of the numpy fallback, hence bit-identical results. */
+void cmp_forest_score(int64_t n, int64_t ncols, const double *X,
+                      int64_t n_trees, const int64_t *tree_offsets,
+                      const int8_t *kind, const int32_t *attr,
+                      const int32_t *attr2,
+                      const double *coef_a, const double *coef_b,
+                      const double *threshold,
+                      const int64_t *left, const int64_t *right,
+                      const uint8_t *default_left,
+                      const int64_t *cat_offset, const int64_t *cat_len,
+                      const uint8_t *cat_mask,
+                      const int64_t *leaf_row, int64_t n_outputs,
+                      const double *base, const double *values,
+                      double *acc)
+{
+    for (int64_t r = 0; r < n; ++r) {
+        const double *row = X + r * ncols;
+        double *a = acc + r * n_outputs;
+        for (int64_t k = 0; k < n_outputs; ++k)
+            a[k] = base[k];
+        for (int64_t t = 0; t < n_trees; ++t) {
+            int64_t i = tree_offsets[t];
+            for (;;) {
+                int8_t k = kind[i];
+                int go;
+                if (k == 0)
+                    break;
+                if (k == 1) {
+                    go = row[attr[i]] <= threshold[i];
+                } else if (k == 3) {
+                    go = coef_a[i] * row[attr[i]] + coef_b[i] * row[attr2[i]]
+                         <= threshold[i];
+                } else {
+                    int64_t code = (int64_t)row[attr[i]];
+                    if (code >= 0 && code < cat_len[i])
+                        go = cat_mask[cat_offset[i] + code];
+                    else
+                        go = default_left[i];
+                }
+                i = go ? left[i] : right[i];
+            }
+            const double *v = values + leaf_row[i] * n_outputs;
+            for (int64_t k = 0; k < n_outputs; ++k)
+                a[k] += v[k];
+        }
+    }
+}
 """
 
 _lock = threading.Lock()
@@ -88,6 +143,13 @@ def _build():
     fn = lib.cmp_route
     fn.argtypes = [ctypes.c_int64, ctypes.c_int64] + [ctypes.c_void_p] * 14
     fn.restype = None
+    ffn = lib.cmp_forest_score
+    ffn.argtypes = (
+        [ctypes.c_int64, ctypes.c_int64, ctypes.c_void_p, ctypes.c_int64]
+        + [ctypes.c_void_p] * 14
+        + [ctypes.c_int64, ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p]
+    )
+    ffn.restype = None
 
     def kernel(ct, X: np.ndarray, out: np.ndarray) -> None:
         n, ncols = X.shape
@@ -110,16 +172,37 @@ def _build():
             out.ctypes.data,
         )
 
-    return kernel
+    def forest(cf, X: np.ndarray, acc: np.ndarray) -> None:
+        n, ncols = X.shape
+        ffn(
+            n,
+            ncols,
+            X.ctypes.data,
+            cf.n_trees,
+            cf.tree_offsets.ctypes.data,
+            cf.kind.ctypes.data,
+            cf.attr.ctypes.data,
+            cf.attr2.ctypes.data,
+            cf.coef_a.ctypes.data,
+            cf.coef_b.ctypes.data,
+            cf.threshold.ctypes.data,
+            cf.left.ctypes.data,
+            cf.right.ctypes.data,
+            cf.default_left.ctypes.data,
+            cf.cat_offset.ctypes.data,
+            cf.cat_len.ctypes.data,
+            cf.cat_mask.ctypes.data,
+            cf.leaf_row.ctypes.data,
+            cf.n_outputs,
+            cf.base.ctypes.data,
+            cf.values.ctypes.data,
+            acc.ctypes.data,
+        )
+
+    return {"route": kernel, "forest": forest}
 
 
-def route_kernel():
-    """The native routing kernel, or ``None`` when unavailable.
-
-    Resolved once per process (build + load on first call); honours
-    ``CMP_NO_NATIVE=1`` for forcing the numpy path, e.g. to compare the
-    two implementations or on machines where the toolchain misbehaves.
-    """
+def _resolve():
     global _kernel, _resolved
     if _resolved:
         return _kernel
@@ -137,9 +220,29 @@ def route_kernel():
     return _kernel
 
 
+def route_kernel():
+    """The native single-tree routing kernel, or ``None`` when unavailable.
+
+    Resolved once per process (build + load on first call); honours
+    ``CMP_NO_NATIVE=1`` for forcing the numpy path, e.g. to compare the
+    two implementations or on machines where the toolchain misbehaves.
+    """
+    kernels = _resolve()
+    return None if kernels is None else kernels["route"]
+
+
+def forest_kernel():
+    """The native packed-forest scoring kernel, or ``None`` when unavailable.
+
+    Same resolution and degradation contract as :func:`route_kernel`.
+    """
+    kernels = _resolve()
+    return None if kernels is None else kernels["forest"]
+
+
 def native_available() -> bool:
-    """True when the C kernel built (or will build) on this machine."""
+    """True when the C kernels built (or will build) on this machine."""
     return route_kernel() is not None
 
 
-__all__ = ["route_kernel", "native_available"]
+__all__ = ["route_kernel", "forest_kernel", "native_available"]

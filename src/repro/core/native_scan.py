@@ -112,6 +112,32 @@ int cmp_hist_accum(int64_t n, int64_t vstride, const double *values,
     return 0;
 }
 
+/* Weighted variant: np.add.at(counts, (bins, labels), weights).  Counts
+ * stay exact (integer-valued weights on integer-valued counts), so a
+ * weight-w add is bit-identical to w unit adds in any order.  Extrema
+ * fold every record, like the unweighted kernel — callers drop
+ * zero-weight records beforehand so phantom values never pollute the
+ * per-bin min/max. */
+int cmp_hist_accum_w(int64_t n, int64_t vstride, const double *values,
+                     const int64_t *labels, const double *weights,
+                     const double *edges, int64_t m, int64_t c,
+                     double *counts, double *vmin, double *vmax)
+{
+    for (int64_t r = 0; r < n; ++r) {
+        double v = values[r * vstride];
+        int64_t lab = labels[r];
+        if (lab < 0)
+            lab += c;
+        if (lab < 0 || lab >= c)
+            return 1;
+        int64_t b = bin_of(v, edges, m);
+        counts[b * c + lab] += weights[r];
+        fold_min(vmin + b, v);
+        fold_max(vmax + b, v);
+    }
+    return 0;
+}
+
 /* np.add.at(counts, (codes.astype(intp), labels), 1) — C-cast code
  * conversion, negative indices wrap, out of range returns 1. */
 int cmp_cat_accum(int64_t n, int64_t vstride, const double *codes,
@@ -133,6 +159,28 @@ int cmp_cat_accum(int64_t n, int64_t vstride, const double *codes,
         if (k < 0 || k >= ncat || lab < 0 || lab >= c)
             return 1;
         counts[k * c + lab] += 1.0;
+    }
+    return 0;
+}
+
+/* Weighted variant: np.add.at(counts, (codes, labels), weights). */
+int cmp_cat_accum_w(int64_t n, int64_t vstride, const double *codes,
+                    const int64_t *labels, const double *weights,
+                    int64_t ncat, int64_t c, double *counts)
+{
+    for (int64_t r = 0; r < n; ++r) {
+        double cv = codes[r * vstride];
+        if (cv != cv || cv >= 9.2233720368547758e18 || cv < -9.2233720368547758e18)
+            return 1;
+        int64_t k = (int64_t)cv;
+        int64_t lab = labels[r];
+        if (k < 0)
+            k += ncat;
+        if (lab < 0)
+            lab += c;
+        if (k < 0 || k >= ncat || lab < 0 || lab >= c)
+            return 1;
+        counts[k * c + lab] += weights[r];
     }
     return 0;
 }
@@ -360,7 +408,9 @@ def _build() -> dict[str, object] | None:
         return None
     sig = {
         "hist_accum": (ctypes.c_int, [_I64, _I64, _PTR, _PTR, _PTR, _I64, _I64, _PTR, _PTR, _PTR]),
+        "hist_accum_w": (ctypes.c_int, [_I64, _I64, _PTR, _PTR, _PTR, _PTR, _I64, _I64, _PTR, _PTR, _PTR]),
         "cat_accum": (ctypes.c_int, [_I64, _I64, _PTR, _PTR, _I64, _I64, _PTR]),
+        "cat_accum_w": (ctypes.c_int, [_I64, _I64, _PTR, _PTR, _PTR, _I64, _I64, _PTR]),
         "matrix_accum32": (ctypes.c_int, [_I64, _PTR, _I64, _PTR, _PTR, _PTR, _I64, _I64, _I64, _I64, _PTR, _PTR, _PTR]),
         "matrix_accum64": (ctypes.c_int, [_I64, _PTR, _I64, _PTR, _PTR, _PTR, _I64, _I64, _I64, _I64, _PTR, _PTR, _PTR]),
         "boundary_ginis": (None, [_I64, _I64, _PTR, _PTR, _PTR, _PTR]),
@@ -477,6 +527,16 @@ def _contiguous_f64(a: np.ndarray) -> bool:
 # ---------------------------------------------------------------------------
 
 
+def _weights_f64(weights: object, n: int) -> np.ndarray | None:
+    """Weights as a contiguous float64 array, or ``None`` if unsupported."""
+    arr = np.asarray(weights)
+    if arr.ndim != 1 or len(arr) != n:
+        return None
+    if arr.dtype == np.bool_ or not np.issubdtype(arr.dtype, np.number):
+        return None
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
 def hist_accum(
     values: np.ndarray,
     labels: object,
@@ -484,8 +544,15 @@ def hist_accum(
     counts: np.ndarray,
     vmin: np.ndarray,
     vmax: np.ndarray,
+    weights: object | None = None,
 ) -> bool:
-    """Native ``ClassHistogram.update`` body; False = use numpy."""
+    """Native ``ClassHistogram.update`` body; False = use numpy.
+
+    With ``weights`` (per-record multiplicities, e.g. bootstrap draw
+    counts), each record adds its weight instead of 1.  Integer-valued
+    float64 weights on integer-valued counts stay exact, so the result
+    is bit-identical to repeating each record ``weight`` times.
+    """
     fns = _resolve()
     if fns is None:
         return False
@@ -502,25 +569,48 @@ def hist_accum(
         and _contiguous_f64(vmax)
     ):
         return False
-    rc = fns["hist_accum"](
-        len(values),
-        vstride,
-        values.ctypes.data,
-        lab.ctypes.data,
-        edges.ctypes.data,
-        len(edges),
-        counts.shape[1],
-        counts.ctypes.data,
-        vmin.ctypes.data,
-        vmax.ctypes.data,
-    )
+    if weights is None:
+        rc = fns["hist_accum"](
+            len(values),
+            vstride,
+            values.ctypes.data,
+            lab.ctypes.data,
+            edges.ctypes.data,
+            len(edges),
+            counts.shape[1],
+            counts.ctypes.data,
+            vmin.ctypes.data,
+            vmax.ctypes.data,
+        )
+    else:
+        w = _weights_f64(weights, len(values))
+        if w is None:
+            return False
+        rc = fns["hist_accum_w"](
+            len(values),
+            vstride,
+            values.ctypes.data,
+            lab.ctypes.data,
+            w.ctypes.data,
+            edges.ctypes.data,
+            len(edges),
+            counts.shape[1],
+            counts.ctypes.data,
+            vmin.ctypes.data,
+            vmax.ctypes.data,
+        )
     if rc:
         raise IndexError("class label out of bounds for histogram counts")
     _COUNTS["hist_accum"] += 1
     return True
 
 
-def cat_accum(codes: np.ndarray, labels: object, counts: np.ndarray) -> bool:
+def cat_accum(
+    codes: np.ndarray,
+    labels: object,
+    counts: np.ndarray,
+    weights: object | None = None,
+) -> bool:
     """Native ``CategoryHistogram.update`` body; False = use numpy."""
     fns = _resolve()
     if fns is None:
@@ -533,15 +623,30 @@ def cat_accum(codes: np.ndarray, labels: object, counts: np.ndarray) -> bool:
         return False
     if not _contiguous_f64(counts):
         return False
-    rc = fns["cat_accum"](
-        len(codes),
-        vstride,
-        codes.ctypes.data,
-        lab.ctypes.data,
-        counts.shape[0],
-        counts.shape[1],
-        counts.ctypes.data,
-    )
+    if weights is None:
+        rc = fns["cat_accum"](
+            len(codes),
+            vstride,
+            codes.ctypes.data,
+            lab.ctypes.data,
+            counts.shape[0],
+            counts.shape[1],
+            counts.ctypes.data,
+        )
+    else:
+        w = _weights_f64(weights, len(codes))
+        if w is None:
+            return False
+        rc = fns["cat_accum_w"](
+            len(codes),
+            vstride,
+            codes.ctypes.data,
+            lab.ctypes.data,
+            w.ctypes.data,
+            counts.shape[0],
+            counts.shape[1],
+            counts.ctypes.data,
+        )
     if rc:
         raise IndexError("category code or class label out of bounds")
     _COUNTS["cat_accum"] += 1

@@ -26,6 +26,9 @@ class Node:
     split: Split | None = None
     left: "Node | None" = None
     right: "Node | None" = None
+    #: Back-pointer to the parent node, wired by :class:`DecisionTree`;
+    #: ``None`` at the root (and on nodes never attached to a tree).
+    parent: "Node | None" = field(default=None, repr=False, compare=False)
 
     @property
     def is_leaf(self) -> bool:
@@ -38,9 +41,31 @@ class Node:
         return float(self.class_counts.sum())
 
     @property
+    def effective_counts(self) -> np.ndarray:
+        """Class counts to predict from: own, or the nearest ancestor's.
+
+        Bootstrap samples routinely produce nodes no (weighted) training
+        record reached; an all-zero count row carries no signal, so the
+        prediction falls back deterministically to the closest ancestor
+        with a populated distribution.  Returns the node's own (all-zero)
+        counts only when every ancestor is empty too.
+        """
+        node: Node | None = self
+        while node is not None:
+            if node.class_counts.sum() > 0:
+                return node.class_counts
+            node = node.parent
+        return self.class_counts
+
+    @property
     def majority_class(self) -> int:
-        """Class predicted by this node when treated as a leaf."""
-        return int(np.argmax(self.class_counts))
+        """Class predicted by this node when treated as a leaf.
+
+        Empty nodes (all-zero ``class_counts``) defer to the parent
+        distribution via :attr:`effective_counts` instead of silently
+        predicting class 0.
+        """
+        return int(np.argmax(self.effective_counts))
 
     @property
     def gini(self) -> float:
@@ -93,6 +118,18 @@ class DecisionTree:
         self.schema = schema
         self._compiled = None
         self._compiled_nodes = -1
+        # Wire parent back-pointers (iteratively: chain trees deeper than
+        # the recursion limit must construct fine).  Builders attach
+        # children without setting parents; the finished tree fixes them
+        # up once so empty-leaf predictions can fall back up the path.
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                node.left.parent = node  # type: ignore[union-attr]
+                node.right.parent = node  # type: ignore[union-attr]
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
 
     def compiled(self):
         """The tree's compiled form, rebuilt when the structure changed.
@@ -185,11 +222,12 @@ class DecisionTree:
         table = np.empty((len(leaves), self.schema.n_classes), dtype=np.float64)
         lookup = np.zeros(max(n.node_id for n in leaves) + 1, dtype=np.intp)
         for row, node in enumerate(leaves):
-            total = node.class_counts.sum()
+            counts = node.effective_counts
+            total = counts.sum()
             table[row] = (
-                node.class_counts / total
+                counts / total
                 if total > 0
-                else np.full_like(node.class_counts, 1.0 / len(node.class_counts))
+                else np.full_like(counts, 1.0 / len(counts))
             )
             lookup[node.node_id] = row
         return table[lookup[leaf_ids]]

@@ -1,0 +1,16 @@
+"""Ensembles of CMP trees trained with shared level scans."""
+
+from repro.ensemble.bagging import BaggedForestBuilder
+from repro.ensemble.boosting import HistGradientBoostingBuilder
+from repro.ensemble.bootstrap import bootstrap_indices, bootstrap_weights, member_seed
+from repro.ensemble.forest import Forest, ForestBuildResult
+
+__all__ = [
+    "BaggedForestBuilder",
+    "Forest",
+    "ForestBuildResult",
+    "HistGradientBoostingBuilder",
+    "bootstrap_indices",
+    "bootstrap_weights",
+    "member_seed",
+]

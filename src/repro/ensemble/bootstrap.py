@@ -1,0 +1,46 @@
+"""Deterministic per-member bootstrap derivation.
+
+Every ensemble member owns two independent random streams derived from
+the forest seed and the member index through ``np.random.SeedSequence``:
+one for the member's builder (reservoir sampling inside CMP-S), one for
+its bootstrap draw.  Keeping the two separate means a member trained
+inside the shared-scan forest loop and the same member trained alone via
+``CMPSBuilder(config.with_(seed=member_seed(seed, t)))`` consume
+identical random streams — the bit-identity contract of
+:class:`repro.ensemble.bagging.BaggedForestBuilder` rests on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Stream tags mixed into the SeedSequence entropy so the builder stream
+#: and the bootstrap stream never collide.
+_BUILDER_STREAM = 0
+_BOOTSTRAP_STREAM = 1
+
+
+def member_seed(seed: int, t: int) -> int:
+    """Builder seed for member ``t`` of a forest seeded with ``seed``."""
+    ss = np.random.SeedSequence(entropy=[int(seed), int(t), _BUILDER_STREAM])
+    return int(ss.generate_state(1)[0])
+
+
+def bootstrap_indices(seed: int, t: int, n: int) -> np.ndarray:
+    """Member ``t``'s bootstrap draw: ``n`` record ids sampled with replacement."""
+    ss = np.random.SeedSequence(entropy=[int(seed), int(t), _BOOTSTRAP_STREAM])
+    return np.random.default_rng(ss).integers(0, n, size=n)
+
+
+def bootstrap_weights(seed: int, t: int, n: int) -> np.ndarray:
+    """Member ``t``'s draw as per-record multiplicities (float64, length ``n``).
+
+    ``weights[r]`` counts how often record ``r`` was drawn; roughly 36.8%
+    of the entries are zero.  Integer-valued float64 so weighted histogram
+    updates stay exact (see :meth:`repro.core.histogram.ClassHistogram.update`).
+    """
+    idx = bootstrap_indices(seed, t, n)
+    return np.bincount(idx, minlength=n).astype(np.float64)
+
+
+__all__ = ["member_seed", "bootstrap_indices", "bootstrap_weights"]

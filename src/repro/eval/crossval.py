@@ -51,21 +51,74 @@ def kfold_indices(
     return out
 
 
+def stratified_kfold_indices(
+    y: np.ndarray, k: int, rng: np.random.Generator
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled (train, test) pairs with per-class proportional folds.
+
+    Each class's records are shuffled and dealt across the ``k`` folds
+    independently, so every fold's class mix tracks the full dataset's.
+    A class rarer than ``k`` records simply appears in fewer folds —
+    but never vanishes from *every* training split, which is the
+    failure mode of unstratified folds (a rare class concentrated in
+    one fold leaves the complementary training set without it, so the
+    trained tree cannot predict it at all).
+    """
+    y = np.asarray(y)
+    n = len(y)
+    if k < 2:
+        raise ValueError("need at least 2 folds")
+    if n < k:
+        raise ValueError("need at least one record per fold")
+    fold_members: list[list[np.ndarray]] = [[] for _ in range(k)]
+    # Classes iterated in sorted label order and a single rng stream keep
+    # the assignment deterministic for a given (y, k, seed).
+    for label in np.unique(y):
+        members = rng.permutation(np.flatnonzero(y == label))
+        # Rotate the starting fold per class so small classes don't all
+        # pile into fold 0.
+        start = int(rng.integers(0, k))
+        for i, part in enumerate(np.array_split(members, k)):
+            if len(part):
+                fold_members[(start + i) % k].append(part)
+    out = []
+    for i in range(k):
+        test = (
+            np.sort(np.concatenate(fold_members[i]))
+            if fold_members[i]
+            else np.empty(0, dtype=np.intp)
+        )
+        mask = np.ones(n, dtype=bool)
+        mask[test] = False
+        out.append((np.flatnonzero(mask), test))
+    return out
+
+
 def cross_validate(
     builder_factory,
     dataset: Dataset,
     k: int = 5,
     seed: int = 0,
+    stratify: bool = True,
 ) -> CrossValResult:
     """K-fold cross-validation.
 
     ``builder_factory`` is called once per fold and must return a fresh
     :class:`~repro.core.builder.TreeBuilder` (e.g.
     ``lambda: CMPBuilder(config)``) so no state leaks between folds.
+
+    ``stratify`` (default on — these are classification datasets) deals
+    each class across folds proportionally so rare classes cannot
+    vanish from a training split; pass ``False`` for the historical
+    unstratified shuffle-and-split folds.
     """
     rng = np.random.default_rng(seed)
+    if stratify:
+        splits = stratified_kfold_indices(dataset.y, k, rng)
+    else:
+        splits = kfold_indices(dataset.n_records, k, rng)
     accs: list[float] = []
-    for train_idx, test_idx in kfold_indices(dataset.n_records, k, rng):
+    for train_idx, test_idx in splits:
         builder = builder_factory()
         if not isinstance(builder, TreeBuilder):
             raise TypeError("builder_factory must return a TreeBuilder")

@@ -269,6 +269,12 @@ class BuildStats:
     #: when the kernels are unavailable or ``CMP_NO_NATIVE=1``; with the
     #: process backend, calls made inside forked workers are not counted.
     native_kernel_calls: int = 0
+    #: Member trees trained by an ensemble build (0 = single-tree build).
+    ensemble_members: int = 0
+    #: Level scans shared across all member trees of an ensemble build —
+    #: the solo equivalent would have paid ``ensemble_members`` times as
+    #: many table passes for the same levels.
+    shared_level_scans: int = 0
     #: Wall-clock seconds per build phase ("scan", "resolve", "checkpoint").
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: Span recorder threaded through the build (``NULL_TRACER`` = off).
@@ -332,6 +338,9 @@ class BuildStats:
             "parallel_batches": self.parallel_batches,
             "native_kernel_calls": self.native_kernel_calls,
         }
+        if self.ensemble_members:
+            out["ensemble_members"] = self.ensemble_members
+            out["shared_level_scans"] = self.shared_level_scans
         for name, seconds in sorted(self.phase_seconds.items()):
             out[f"phase_{name}_s"] = round(seconds, 4)
         return out

@@ -84,16 +84,21 @@ class ModelRegistry:
         """Register a model; returns its fingerprint (the serving key).
 
         Accepts a :class:`DecisionTree` (compiled on the spot), a
-        :class:`CompiledTree`, or any object exposing ``fingerprint``
-        plus the prediction methods — which is how the fault-injection
-        wrappers of :mod:`repro.serve.faults` deploy alongside real
-        models.  Idempotent: re-registering a structurally identical
-        model reuses the existing entry and its accumulated stats.
+        :class:`CompiledTree`, an ensemble :class:`~repro.ensemble.Forest`
+        (packed into a :class:`~repro.core.compiled.CompiledForest` on the
+        spot — anything exposing a ``compiled()`` factory compiles the
+        same way), or any object exposing ``fingerprint`` plus the
+        prediction methods — which is how the fault-injection wrappers of
+        :mod:`repro.serve.faults` deploy alongside real models.
+        Idempotent: re-registering a structurally identical model reuses
+        the existing entry and its accumulated stats.
         """
         if isinstance(model, DecisionTree):
             compiled: object = compile_tree(model)
         elif hasattr(model, "fingerprint") and hasattr(model, "predict"):
             compiled = model
+        elif callable(getattr(model, "compiled", None)):
+            compiled = model.compiled()  # type: ignore[operator]
         else:
             raise TypeError(
                 f"cannot register {type(model).__name__}: need a DecisionTree, "
@@ -107,6 +112,37 @@ class ModelRegistry:
             self._pending_removal.discard(key)
         return key
 
+    #: Shortest fingerprint prefix the registry resolves (back-compat with
+    #: the former 16-hex-char truncated keys; anything shorter is too
+    #: collision-prone to be useful as an address).
+    MIN_PREFIX = 8
+
+    def _canonical_locked(self, fingerprint: str) -> str:
+        """Resolve a full fingerprint or a unique prefix to the stored key.
+
+        Fingerprints are full sha256 hex digests (64 chars); callers that
+        recorded the historical 16-char truncation — or any prefix of at
+        least :attr:`MIN_PREFIX` chars — still resolve, as long as the
+        prefix is unambiguous.  Must be called with ``self._lock`` held.
+        Unknown keys are returned unchanged so each caller raises its own
+        ``KeyError`` with the caller's wording.
+        """
+        if fingerprint in self._models or len(fingerprint) < self.MIN_PREFIX:
+            return fingerprint
+        matches = [k for k in self._models if k.startswith(fingerprint)]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise KeyError(
+                f"fingerprint prefix {fingerprint!r} is ambiguous: matches "
+                f"{len(matches)} registered models"
+            )
+        return fingerprint
+
+    def _canonical(self, fingerprint: str) -> str:
+        with self._lock:
+            return self._canonical_locked(fingerprint)
+
     def unregister(self, fingerprint: str) -> bool:
         """Remove a model, honouring rollout and drain semantics.
 
@@ -118,6 +154,7 @@ class ModelRegistry:
         returned; ``True`` means the model is gone now.
         """
         with self._lock:
+            fingerprint = self._canonical_locked(fingerprint)
             if fingerprint not in self._models:
                 raise KeyError(f"no model registered as {fingerprint!r}")
             routed = self._rollout.routes_to(fingerprint)
@@ -147,6 +184,7 @@ class ModelRegistry:
         draining model is refused like an unknown one.
         """
         with self._lock:
+            fingerprint = self._canonical_locked(fingerprint)
             if fingerprint in self._pending_removal:
                 raise KeyError(f"model {fingerprint!r} is draining for removal")
             try:
@@ -166,18 +204,18 @@ class ModelRegistry:
     def inflight(self, fingerprint: str) -> int:
         """Requests currently leasing ``fingerprint``."""
         with self._lock:
-            return self._inflight.get(fingerprint, 0)
+            return self._inflight.get(self._canonical_locked(fingerprint), 0)
 
     # -- endpoints (versioned rollout) ---------------------------------------
 
     def deploy(self, name: str, fingerprint: str) -> None:
         """Point endpoint ``name`` (created on first use) at a stable model."""
-        self._require_registered(fingerprint)
+        fingerprint = self._require_registered(fingerprint)
         self._rollout.deploy(name, fingerprint)
 
     def set_canary(self, name: str, fingerprint: str, weight: float) -> None:
         """Send ``weight`` of ``name``'s traffic to a canary model."""
-        self._require_registered(fingerprint)
+        fingerprint = self._require_registered(fingerprint)
         self._rollout.set_canary(name, fingerprint, weight)
 
     def promote(self, name: str) -> str:
@@ -200,27 +238,33 @@ class ModelRegistry:
         """Resolve an endpoint name or raw fingerprint to a fingerprint.
 
         Endpoint names win over fingerprints (names are human-chosen,
-        fingerprints are 16 hex chars — collisions do not happen in
-        practice, and an explicit fingerprint still resolves as itself
-        when no endpoint shadows it).
+        fingerprints are full sha256 hex digests, and an explicit
+        fingerprint still resolves as itself when no endpoint shadows
+        it).  A unique fingerprint prefix of at least
+        :attr:`MIN_PREFIX` chars — e.g. a historical 16-char truncated
+        key — resolves to the full digest.
         """
         if self._rollout.has_endpoint(target):
             return self._rollout.resolve(target, route_key)
         with self._lock:
+            target = self._canonical_locked(target)
             if target in self._models:
                 return target
         raise KeyError(f"no endpoint or model registered as {target!r}")
 
-    def _require_registered(self, fingerprint: str) -> None:
+    def _require_registered(self, fingerprint: str) -> str:
         with self._lock:
+            fingerprint = self._canonical_locked(fingerprint)
             if fingerprint not in self._models:
                 raise KeyError(f"no model registered as {fingerprint!r}")
+            return fingerprint
 
     # -- plain lookups -------------------------------------------------------
 
     def get(self, fingerprint: str) -> "CompiledTree | object":
-        """The model registered under ``fingerprint``."""
+        """The model registered under ``fingerprint`` (or a unique prefix)."""
         with self._lock:
+            fingerprint = self._canonical_locked(fingerprint)
             try:
                 return self._models[fingerprint]
             except KeyError:
@@ -239,6 +283,7 @@ class ModelRegistry:
     def stats(self, fingerprint: str) -> ServingStats:
         """The serving counters of one registered model."""
         with self._lock:
+            fingerprint = self._canonical_locked(fingerprint)
             try:
                 return self._stats[fingerprint]
             except KeyError:
@@ -255,7 +300,9 @@ class ModelRegistry:
 
     def __contains__(self, fingerprint: object) -> bool:
         with self._lock:
-            return fingerprint in self._models
+            if not isinstance(fingerprint, str):
+                return False
+            return self._canonical_locked(fingerprint) in self._models
 
 
 class ServingEngine:

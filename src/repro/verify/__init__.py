@@ -19,6 +19,10 @@ that claim into machine-checkable assertions:
   and ID column injection), each with a stated expected invariant.
 * :mod:`repro.verify.fuzz` — adversarial dataset fuzzing with automatic
   shrinking of failing datasets into a replayable JSON corpus.
+* :mod:`repro.verify.forest` — shared-scan ensemble checks: every bagged
+  member bit-identical to its solo build and oracle-verified on its own
+  bootstrap sample, plus a backend/worker bit-identity matrix for both
+  ensemble trainers and packed-scoring parity.
 * :mod:`repro.verify.runner` — the ``cmp-repro verify`` orchestration,
   wired into :mod:`repro.obs` tracing and metrics.
 
@@ -44,6 +48,11 @@ from repro.verify.fuzz import (
     save_case,
     shrink_case,
 )
+from repro.verify.forest import (
+    ForestReport,
+    forest_signatures,
+    run_forest_differential,
+)
 from repro.verify.metamorphic import METAMORPHIC_CHECKS, run_metamorphic
 from repro.verify.oracle import (
     OracleBuilder,
@@ -60,6 +69,7 @@ __all__ = [
     "DifferentialReport",
     "FailureCase",
     "Finding",
+    "ForestReport",
     "METAMORPHIC_CHECKS",
     "OracleBuilder",
     "OracleSplit",
@@ -68,11 +78,13 @@ __all__ = [
     "best_numeric_split",
     "check_tree_against_oracle",
     "default_checks",
+    "forest_signatures",
     "load_case",
     "node_members",
     "oracle_best_split",
     "replay_case",
     "run_differential",
+    "run_forest_differential",
     "run_fuzz",
     "run_metamorphic",
     "run_verify",

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.config import BuilderConfig
 from repro.eval.treegen import ADVERSARIAL_PROFILES, adversarial_dataset
 from repro.verify.differential import Finding, run_differential
+from repro.verify.forest import run_forest_differential
 from repro.verify.metamorphic import run_metamorphic
 
 DEFAULT_BUILDERS = ("CMP-S", "CMP-B", "CMP", "CLOUDS", "SLIQ")
@@ -71,6 +72,7 @@ def run_verify(
     metamorphic_checks: tuple[str, ...] | None = None,
     safety: float = 2.0,
     accuracy_tol: float = 0.05,
+    forest_every: int = 5,
     tracer=None,
     registry=None,
     log=None,
@@ -81,7 +83,11 @@ def run_verify(
     ``i`` — deterministic, and every profile is exercised once the seed
     count reaches the profile count.  ``metamorphic_checks=None`` runs
     the full metamorphic battery (including the soft accuracy-delta
-    checks).
+    checks).  Every ``forest_every``-th dataset (0 disables) also runs
+    :func:`repro.verify.forest.run_forest_differential`: each shared-scan
+    bagged member is checked bit-identical to its solo build and against
+    the exact-split oracle on its own bootstrap sample, and both ensemble
+    trainers must reproduce exactly across the backend/worker matrix.
     """
     from repro.obs.trace import NULL_TRACER
 
@@ -118,15 +124,23 @@ def run_verify(
                     seed=i,
                     accuracy_tol=accuracy_tol,
                 )
+            forest_findings: list[Finding] = []
+            if forest_every and i % forest_every == 0:
+                with tracer.span("forest_differential"):
+                    forest = run_forest_differential(
+                        dataset, config, safety=safety, tracer=tracer
+                    )
+                forest_findings = forest.findings
             n_errors = sum(
                 1
-                for f in diff.findings + meta.findings
+                for f in diff.findings + meta.findings + forest_findings
                 if f.severity == "error"
             )
             span.annotate(findings=n_errors)
         summary.datasets_run += 1
         summary.findings.extend(diff.findings)
         summary.findings.extend(meta.findings)
+        summary.findings.extend(forest_findings)
         for row in diff.rows():
             summary.rows.append({"profile": profile, "seed": i, **row})
         for row in meta.rows:

@@ -179,7 +179,7 @@ class TestFingerprint:
             node.right = account.new_node(d, np.array([1.0, 1.0]))
             node = node.right
         t = DecisionTree(root, schema)
-        assert len(tree_fingerprint(t)) == 16
+        assert len(tree_fingerprint(t)) == 64  # full sha256 hex digest
 
 
 class TestCompiledCache:
