@@ -34,6 +34,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.eval.treegen import random_batch, random_tree
+from repro.obs import SLODefinition, SLOMonitor
 from repro.serve import Overloaded, ServingEngine, SlowModel
 
 
@@ -113,6 +114,16 @@ def run(args: argparse.Namespace) -> dict[str, object]:
     base = _uncontended(engine, key, X, args.baseline_calls)
     base_p99 = _percentile(base, 99)
 
+    # Informational SLO: sample the availability objective before and
+    # after the overload and report burn rates.  A saturation run is
+    # *designed* to shed, so the burn must blow far past every alerting
+    # threshold — that asymmetry (alerts fire, yet admitted traffic
+    # stays healthy) is exactly what load shedding buys.
+    slo = SLOMonitor(
+        SLODefinition(name="saturation-availability", objective=args.slo_objective)
+    )
+    slo.observe_stats(engine.registry.stats(key).snapshot())
+
     latencies, shed, errors = _saturate(
         engine,
         key,
@@ -124,6 +135,8 @@ def run(args: argparse.Namespace) -> dict[str, object]:
     sat_p99 = _percentile(latencies, 99)
     snap = engine.registry.stats(key).snapshot()
     admission = engine.admission.snapshot()
+    slo.observe_stats(snap)
+    slo_report = slo.snapshot()
 
     # Post-overload identity spot check: the engine recovered cleanly.
     np.testing.assert_array_equal(engine.predict(key, X), expected)
@@ -161,6 +174,7 @@ def run(args: argparse.Namespace) -> dict[str, object]:
         "errors": errors,
         "peak_queue_depth": admission["peak_depth"],
         "stats": {k: snap[k] for k in ("requests", "batches", "shed", "timeouts")},
+        "slo": slo_report,
         "checks": checks,
         "passed": all(checks.values()),
     }
@@ -174,6 +188,14 @@ def run(args: argparse.Namespace) -> dict[str, object]:
     )
     for name, ok in checks.items():
         print(f"  {'ok' if ok else 'FAIL'}: {name}")
+    worst = max(
+        (a["short_burn"] for a in slo_report["alerts"]), default=0.0
+    )
+    print(
+        f"slo {slo_report['slo']}: compliance="
+        f"{slo_report['compliance']:.4f} worst_burn={worst:.1f} "
+        f"firing={slo_report['firing']}"
+    )
     return report
 
 
@@ -188,6 +210,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline-calls", type=int, default=50)
     parser.add_argument("--p99-factor", type=float, default=3.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--slo-objective",
+        type=float,
+        default=0.999,
+        metavar="OBJ",
+        help="availability objective for the informational burn-rate report",
+    )
     parser.add_argument("--out", default="BENCH_serve.json", metavar="PATH")
     args = parser.parse_args(argv)
 

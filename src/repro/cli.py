@@ -10,7 +10,9 @@ Usage (installed as ``cmp-repro`` or via ``python -m repro``)::
     cmp-repro prediction
     cmp-repro demo --function Ff --records 50000
     cmp-repro demo --records 20000 --trace trace.jsonl --metrics out.prom
-    cmp-repro inspect-trace trace.jsonl
+    cmp-repro inspect-trace trace.jsonl --format json
+    cmp-repro serve-bench --access-log access.jsonl --slo-availability 0.999
+    cmp-repro bench-history --append BENCH_*.json --check
     cmp-repro verify --seeds 25
     cmp-repro verify --fuzz --seeds 10 --corpus-dir tests/data/corpus
 """
@@ -18,6 +20,7 @@ Usage (installed as ``cmp-repro`` or via ``python -m repro``)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -199,6 +202,37 @@ def main(argv: list[str] | None = None) -> int:
         help="degraded answer while the breaker is open: a registered "
         "fingerprint, or 'prior' for the majority-class prior",
     )
+    p.add_argument(
+        "--access-log",
+        default=None,
+        metavar="FILE",
+        help="write one structured JSONL record per serving request to "
+        "FILE; per-outcome counts are cross-checked against the "
+        "ServingStats counters (mismatch fails the run)",
+    )
+    p.add_argument(
+        "--slo-availability",
+        type=float,
+        default=None,
+        metavar="OBJ",
+        help="evaluate an availability SLO with objective OBJ (e.g. "
+        "0.999) over the run and report burn rates",
+    )
+    p.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="evaluate a latency SLO (answers within MS milliseconds) "
+        "over the run and report burn rates",
+    )
+    p.add_argument(
+        "--slo-latency-objective",
+        type=float,
+        default=0.99,
+        metavar="OBJ",
+        help="good-fraction objective for --slo-latency-ms (default 0.99)",
+    )
     _add_obs(p)
 
     p = sub.add_parser(
@@ -213,7 +247,74 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--render",
         action="store_true",
-        help="also print the full indented span tree",
+        help="also print the full indented span tree (text format only)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format; 'json' emits the full summary (phases, "
+        "slowest spans, per-build cross-checks) for scripted consumers",
+    )
+
+    p = sub.add_parser(
+        "bench-history",
+        help="Fold BENCH_*.json artifacts into an append-only trajectory "
+        "and gate the newest run against a rolling baseline",
+    )
+    p.add_argument(
+        "--history",
+        default="BENCH_history.json",
+        metavar="FILE",
+        help="trajectory file (created on first --append)",
+    )
+    p.add_argument(
+        "--append",
+        nargs="+",
+        default=None,
+        metavar="ARTIFACT",
+        help="bench artifact(s) to fold in as one new run",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero if the newest run regressed any gated metric "
+        "past --tolerance vs the rolling-median baseline",
+    )
+    p.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="identifier for the appended run (e.g. the commit SHA)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="relative movement in a metric's bad direction that counts "
+        "as a regression (default 0.25 = 25%%)",
+    )
+    p.add_argument(
+        "--min-runs",
+        type=int,
+        default=3,
+        metavar="N",
+        help="prior observations a metric needs before it is gated",
+    )
+    p.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        metavar="N",
+        help="prior runs the rolling median baseline is computed over",
+    )
+    p.add_argument(
+        "--max-runs",
+        type=int,
+        default=200,
+        metavar="N",
+        help="newest runs retained in the history file",
     )
 
     p = sub.add_parser(
@@ -375,6 +476,7 @@ def main(argv: list[str] | None = None) -> int:
         import time
 
         from repro.eval.treegen import random_batch, random_tree
+        from repro.obs import AccessLog, SLODefinition, SLOMonitor
         from repro.serve import BreakerPolicy, ModelRegistry, ServingEngine
 
         tracer, metrics_registry = _obs_objects(args)
@@ -395,10 +497,45 @@ def main(argv: list[str] | None = None) -> int:
         deadline_s = (
             args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
         )
+        # The latency SLO is computed from access records, so any SLO
+        # flag turns the (in-memory) access log on.
+        access = (
+            AccessLog(metrics=metrics_registry)
+            if args.access_log
+            or args.slo_availability is not None
+            or args.slo_latency_ms is not None
+            else None
+        )
+        avail_mon = (
+            SLOMonitor(
+                SLODefinition(
+                    name="serve-availability", objective=args.slo_availability
+                )
+            )
+            if args.slo_availability is not None
+            else None
+        )
+        latency_mon = (
+            SLOMonitor(
+                SLODefinition(
+                    name="serve-latency",
+                    objective=args.slo_latency_objective,
+                    kind="latency",
+                    latency_threshold_s=args.slo_latency_ms / 1000.0,
+                )
+            )
+            if args.slo_latency_ms is not None
+            else None
+        )
+        if avail_mon is not None:
+            avail_mon.observe(0, 0)
+        if latency_mon is not None:
+            latency_mon.observe(0, 0)
         with ServingEngine(
             registry,
             workers=args.serve_workers,
             tracer=tracer,
+            access_log=access,
             max_queue_depth=args.max_queue_depth,
             breaker_policy=breaker_policy,
             fallback=args.fallback,
@@ -419,6 +556,48 @@ def main(argv: list[str] | None = None) -> int:
                 record_breaker(metrics_registry, breaker, {"model": key})
 
         identical = bool(np.array_equal(served, walked))
+        log_consistent = True
+        if access is not None:
+            counts = access.outcome_counts()
+            # Every engine call must have produced exactly one record
+            # whose outcome mirrors the aggregate counters.
+            expected = {
+                "ok": int(snap["batches"]),
+                "shed": int(snap["shed"]),
+                "deadline": int(snap["timeouts"]),
+                "fallback": int(snap["fallbacks"]),
+                "breaker": int(snap["breaker_rejections"]) - int(snap["fallbacks"]),
+                "error": 0,
+            }
+            log_consistent = counts == expected
+            if not log_consistent:
+                print(
+                    f"access-log cross-check: MISMATCH (log {counts} != "
+                    f"stats {expected})",
+                    file=sys.stderr,
+                )
+            if args.access_log:
+                n = access.write_jsonl(args.access_log)
+                print(
+                    f"wrote {n} access records to {args.access_log} "
+                    f"(outcomes: "
+                    + " ".join(f"{k}={v}" for k, v in counts.items() if v)
+                    + ")",
+                    file=sys.stderr,
+                )
+        slo_reports = []
+        if avail_mon is not None:
+            avail_mon.observe_stats(snap)
+            slo_reports.append(avail_mon.snapshot())
+        if latency_mon is not None:
+            lat_hist = MetricsRegistry().histogram(
+                "latency", "request latency", {}
+            )
+            for rec in access.records():
+                if rec.outcome in ("ok", "fallback"):
+                    lat_hist.observe(rec.latency_s)
+            latency_mon.observe_histogram(lat_hist)
+            slo_reports.append(latency_mon.snapshot())
         rows = [
             {
                 "model": key,
@@ -442,8 +621,10 @@ def main(argv: list[str] | None = None) -> int:
             }
         ]
         print(format_table(rows))
+        for report in slo_reports:
+            print(f"slo {report['slo']}: {json.dumps(report)}")
         _write_obs(args, tracer, metrics_registry)
-        return 0 if identical else 1
+        return 0 if identical and log_consistent else 1
     if args.command == "inspect-trace":
         try:
             spans = load_trace_jsonl(args.file)
@@ -451,11 +632,66 @@ def main(argv: list[str] | None = None) -> int:
             print(f"cannot read trace: {exc}", file=sys.stderr)
             return 2
         summary = summarize_trace(spans, top=args.top)
-        print(format_summary(summary))
-        if args.render:
-            print()
-            print(render_tree(spans))
+        if args.format == "json":
+            print(json.dumps(summary.to_dict(), indent=1))
+        else:
+            print(format_summary(summary))
+            if args.render:
+                print()
+                print(render_tree(spans))
         return 0 if summary.consistent else 1
+    if args.command == "bench-history":
+        from repro.obs import (
+            append_run,
+            check_regressions,
+            load_history,
+            save_history,
+            summarize_history,
+        )
+
+        try:
+            history = load_history(args.history)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read history: {exc}", file=sys.stderr)
+            return 2
+        if args.append:
+            try:
+                entry = append_run(
+                    history,
+                    args.append,
+                    run_id=args.run_id,
+                    max_runs=args.max_runs,
+                )
+            except (OSError, ValueError) as exc:
+                print(f"cannot append artifacts: {exc}", file=sys.stderr)
+                return 2
+            save_history(args.history, history)
+            n_metrics = sum(
+                len(b["metrics"]) for b in entry["benchmarks"].values()
+            )
+            print(
+                f"appended {entry['run_id']}: "
+                f"{len(entry['benchmarks'])} benchmark(s), "
+                f"{n_metrics} metric(s) -> {args.history}"
+            )
+        if args.check:
+            regressions = check_regressions(
+                history,
+                tolerance=args.tolerance,
+                min_runs=args.min_runs,
+                window=args.window,
+            )
+            for reg in regressions:
+                print(f"REGRESSION: {reg.describe()}")
+            if regressions:
+                return 1
+            print(
+                f"no regressions ({len(history['runs'])} run(s), "
+                f"tolerance {args.tolerance:.0%})"
+            )
+        if not args.append and not args.check:
+            print(json.dumps(summarize_history(history), indent=1))
+        return 0
     if args.command == "verify":
         import os
 

@@ -387,7 +387,8 @@ _resolved = False
 #: Per-process tally of applied kernel calls, by kernel name.  Plain int
 #: increments under the GIL; read via :func:`kernel_counts`.  With the
 #: process scan backend, chunk-accumulation calls made inside forked
-#: workers are counted in the worker, not here.
+#: workers are counted in the worker and folded back into the parent's
+#: tally via :func:`merge_counts` when the worker's delta is merged.
 _COUNTS = {
     "hist_accum": 0,
     "cat_accum": 0,
@@ -395,6 +396,21 @@ _COUNTS = {
     "boundary_ginis": 0,
     "slope_walk": 0,
 }
+
+#: Per-thread tally mirroring :data:`_COUNTS`; lets a traced scan worker
+#: thread attribute kernel calls to *its* chunk batch without cross-talk
+#: from sibling workers.
+_THREAD_COUNTS = threading.local()
+
+
+def _count(name: str) -> None:
+    """Record one applied kernel call (process-wide and per-thread)."""
+    _COUNTS[name] += 1
+    counts = getattr(_THREAD_COUNTS, "counts", None)
+    if counts is None:
+        counts = {}
+        _THREAD_COUNTS.counts = counts
+    counts[name] = counts.get(name, 0) + 1
 
 _PTR = ctypes.c_void_p
 _I64 = ctypes.c_int64
@@ -468,6 +484,31 @@ def kernel_counts() -> dict[str, int]:
 def kernel_calls_total() -> int:
     """Total applied kernel calls in this process (all kernels)."""
     return sum(_COUNTS.values())
+
+
+def thread_kernel_counts() -> dict[str, int]:
+    """Snapshot of applied-call counts made by the *calling thread*.
+
+    Diffing two snapshots around a chunk batch gives the exact kernel
+    activity of one scan worker thread — the thread-backend analogue of
+    the before/after :func:`kernel_counts` diff a forked worker ships
+    home.
+    """
+    counts = getattr(_THREAD_COUNTS, "counts", None)
+    return dict(counts) if counts else {k: 0 for k in _COUNTS}
+
+
+def merge_counts(delta: dict[str, int]) -> None:
+    """Fold a worker's per-kernel call delta into this process's tally.
+
+    The process scan backend ships each forked worker's count delta back
+    with its scan delta; merging here keeps :func:`kernel_calls_total`
+    (and therefore ``BuildStats.native_kernel_calls``) accurate across
+    backends.  Unknown keys are ignored rather than invented.
+    """
+    for name, calls in delta.items():
+        if name in _COUNTS and calls:
+            _COUNTS[name] += int(calls)
 
 
 @contextmanager
@@ -601,7 +642,7 @@ def hist_accum(
         )
     if rc:
         raise IndexError("class label out of bounds for histogram counts")
-    _COUNTS["hist_accum"] += 1
+    _count("hist_accum")
     return True
 
 
@@ -649,7 +690,7 @@ def cat_accum(
         )
     if rc:
         raise IndexError("category code or class label out of bounds")
-    _COUNTS["cat_accum"] += 1
+    _count("cat_accum")
     return True
 
 
@@ -707,7 +748,7 @@ def matrix_accum(
     )
     if rc:
         raise IndexError("x bin or class label out of bounds for matrix counts")
-    _COUNTS["matrix_accum"] += 1
+    _count("matrix_accum")
     return True
 
 
@@ -731,7 +772,7 @@ def boundary_ginis(cum: np.ndarray, totals: np.ndarray) -> np.ndarray | None:
     fns["boundary_ginis"](
         b, c, cum.ctypes.data, totals.ctypes.data, out.ctypes.data, scratch.ctypes.data
     )
-    _COUNTS["boundary_ginis"] += 1
+    _count("boundary_ginis")
     return out
 
 
@@ -765,7 +806,7 @@ def slope_walk(
     fns["slope_walk"](
         qx, qy, c, counts.ctypes.data, max_steps, scratch.ctypes.data, out.ctypes.data
     )
-    _COUNTS["slope_walk"] += 1
+    _count("slope_walk")
     return float(out[0]), float(out[1]), float(out[2])
 
 

@@ -41,8 +41,12 @@ Two backends execute the worker slices:
     copy-on-write — nothing is pickled on the way in.  Results travel
     back explicitly: the accumulator delta, the worker's slice of the
     ``writeback`` array (the forked copy of ``nid`` is private to the
-    child), and an IO-counter delta folded into the shared stats so
-    page/record/retry accounting matches the serial pass.  Merging
+    child), an IO-counter delta folded into the shared stats so
+    page/record/retry accounting matches the serial pass, a per-kernel
+    native-call delta folded into :func:`native_scan.merge_counts` so
+    ``BuildStats.native_kernel_calls`` stays accurate across backends,
+    and — when tracing — the worker's recorded span dicts, grafted
+    under the parent ``scan`` span via :meth:`Tracer.graft`.  Merging
     stays in submission order, hence in global chunk order.  On
     platforms without ``fork`` the engine silently uses threads.
 
@@ -70,6 +74,7 @@ deltas, no merge.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
@@ -77,7 +82,7 @@ import numpy as np
 
 from repro.core import native_scan
 from repro.io.metrics import MemoryTracker
-from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 
 #: Memory-tracker tag under which worker-delta bytes are charged.
 DELTA_ALLOCATION = "scan/worker-deltas"
@@ -119,36 +124,99 @@ def partition_chunks(starts: Sequence[int], workers: int) -> list[list[int]]:
 _FORK_JOB: dict[str, Any] | None = None
 
 
-def _run_fork_batch(chunk_starts: list[int]) -> tuple[Any, int | None, int | None, Any, dict[str, int]]:
+def _record_kernel_spans(
+    tracer: "Tracer | NullTracer",
+    parent: Span,
+    before: dict[str, int],
+    after: dict[str, int],
+) -> None:
+    """Emit one marker ``kernel`` span per native kernel that fired.
+
+    ``before``/``after`` are per-kernel call-count snapshots taken
+    around a chunk batch; each kernel with a positive delta gets a
+    zero-duration span (attrs ``kernel``/``calls``) under ``parent`` —
+    dispatch *accounting*, not timing, since individual kernel calls
+    are far below span-recording resolution.
+    """
+    for name in sorted(after):
+        calls = after.get(name, 0) - before.get(name, 0)
+        if calls > 0:
+            with tracer.span("kernel", parent=parent, kernel=name, calls=calls):
+                pass
+
+
+def _run_fork_batch(
+    index: int, chunk_starts: list[int]
+) -> tuple[Any, int | None, int | None, Any, dict[str, int], dict[str, int], list[dict[str, object]] | None]:
     """Route one contiguous chunk slice inside a forked worker.
 
     Runs against the fork-inherited :data:`_FORK_JOB`.  Returns the
     accumulator delta, the ``[lo, hi)`` record range covered (when a
     writeback array is in play) with the worker's copy of that slice,
-    and the worker's IO-counter delta relative to the fork point.
+    the worker's IO-counter delta relative to the fork point, the
+    per-kernel native-call delta, and — when the parent shipped a
+    trace context — the worker's recorded spans as dicts (a
+    ``chunk_batch`` root tagged with this worker's pid, io ``retry``
+    children, and per-kernel dispatch markers) for the parent to graft.
     """
     job = _FORK_JOB
     assert job is not None, "fork batch outside an active process scan"
     table = job["table"]
     route = job["route"]
     writeback = job["writeback"]
+    ctx = job["trace_ctx"]
+    wtracer: Tracer | None = None
+    if ctx is not None:
+        wtracer = Tracer.from_context(ctx)
+        if hasattr(table, "tracer"):
+            # The forked copy of the table handle is private to this
+            # child; pointing it at the worker tracer routes its retry
+            # spans here without touching the parent's object.
+            table.tracer = wtracer
+    kernels_before = native_scan.kernel_counts()
     before = table.stats.snapshot()
     delta = job["make_delta"]()
     lo: int | None = None
     hi: int | None = None
-    for start in chunk_starts:
-        chunk = table.read_chunk(start)
-        route(chunk, delta)
-        if writeback is not None:
-            if lo is None:
-                lo = chunk.start
-            hi = chunk.stop
+
+    def _route_slice() -> None:
+        nonlocal lo, hi
+        for start in chunk_starts:
+            chunk = table.read_chunk(start)
+            route(chunk, delta)
+            if writeback is not None:
+                if lo is None:
+                    lo = chunk.start
+                hi = chunk.stop
+
+    if wtracer is not None:
+        with wtracer.span(
+            "chunk_batch",
+            worker=index,
+            chunks=len(chunk_starts),
+            pid=os.getpid(),
+        ) as batch_span:
+            _route_slice()
+        _record_kernel_spans(
+            wtracer, batch_span, kernels_before, native_scan.kernel_counts()
+        )
+    else:
+        _route_slice()
     after = table.stats.snapshot()
     io_delta = {key: after[key] - before[key] for key in after}
+    kernels_after = native_scan.kernel_counts()
+    kernel_delta = {
+        name: kernels_after[name] - kernels_before.get(name, 0)
+        for name in kernels_after
+        if kernels_after[name] != kernels_before.get(name, 0)
+    }
     nid_slice = None
     if writeback is not None and lo is not None:
         nid_slice = np.ascontiguousarray(writeback[lo:hi])
-    return delta, lo, hi, nid_slice, io_delta
+    span_dicts = (
+        [sp.to_dict() for sp in wtracer.spans()] if wtracer is not None else None
+    )
+    return delta, lo, hi, nid_slice, io_delta, kernel_delta, span_dicts
 
 
 class ScanEngine:
@@ -161,10 +229,15 @@ class ScanEngine:
         pool is created only for ``workers > 1``.
     tracer:
         Optional span recorder.  A parallel pass records one ``scan``
-        span with a ``chunk_batch`` child per worker slice (explicitly
-        parent-linked across the worker boundary; with process workers
-        the child spans are recorded parent-side around the result
-        wait).  Tracing never changes routing, merging, or accounting.
+        span with a ``chunk_batch`` child per worker slice, each tagged
+        with its worker index and pid and carrying the worker's io
+        ``retry`` spans plus per-kernel ``kernel`` dispatch markers.
+        Thread workers parent-link across the thread boundary; process
+        workers record into a worker-local tracer built from a shipped
+        :class:`~repro.obs.trace.TraceContext` and the parent grafts
+        the subtree back, so both backends produce structurally
+        equivalent traces.  Tracing never changes routing, merging, or
+        accounting.
     backend:
         ``"thread"`` (default) or ``"process"``.  The process backend
         falls back to threads where ``fork`` is unavailable.
@@ -273,21 +346,37 @@ class ScanEngine:
         slices: list[list[int]],
     ) -> None:
         with self.tracer.span(
-            "scan", parallel=True, workers=len(slices), backend="thread"
+            "scan",
+            parallel=True,
+            workers=len(slices),
+            backend="thread",
+            chunks=sum(len(s) for s in slices),
         ) as scan_span:
             pool = self._ensure_pool()
+            traced = self.tracer.enabled
 
             def job(index: int, chunk_starts: list[int]) -> Any:
+                kernels_before = (
+                    native_scan.thread_kernel_counts() if traced else None
+                )
                 with self.tracer.span(
                     "chunk_batch",
                     parent=scan_span,
                     worker=index,
                     chunks=len(chunk_starts),
-                ):
+                    pid=os.getpid(),
+                ) as batch_span:
                     delta = make_delta()
                     for start in chunk_starts:
                         route(table.read_chunk(start), delta)
-                    return delta
+                if traced:
+                    _record_kernel_spans(
+                        self.tracer,
+                        batch_span,
+                        kernels_before,
+                        native_scan.thread_kernel_counts(),
+                    )
+                return delta
 
             futures = [pool.submit(job, i, s) for i, s in enumerate(slices)]
             self.batches_dispatched += len(slices)
@@ -320,13 +409,21 @@ class ScanEngine:
         # racing to build its own.
         native_scan.warm_up()
         with self.tracer.span(
-            "scan", parallel=True, workers=len(slices), backend="process"
+            "scan",
+            parallel=True,
+            workers=len(slices),
+            backend="process",
+            chunks=sum(len(s) for s in slices),
         ) as scan_span:
             _FORK_JOB = {
                 "table": table,
                 "route": route,
                 "make_delta": make_delta,
                 "writeback": writeback,
+                # Serializable continuation handle (None when tracing is
+                # off): workers build a local tracer from it and ship
+                # their spans home for grafting.
+                "trace_ctx": self.tracer.context(scan_span),
             }
             # A fresh pool per scan: fork workers must inherit *this*
             # scan's live state (pendings, nid, table position), which a
@@ -337,20 +434,25 @@ class ScanEngine:
             )
             futures = []
             try:
-                futures = [pool.submit(_run_fork_batch, s) for s in slices]
+                futures = [
+                    pool.submit(_run_fork_batch, i, s) for i, s in enumerate(slices)
+                ]
                 self.batches_dispatched += len(slices)
                 for index, future in enumerate(futures):
-                    with self.tracer.span(
-                        "chunk_batch",
-                        parent=scan_span,
-                        worker=index,
-                        chunks=len(slices[index]),
-                    ):
-                        delta, lo, hi, nid_slice, io_delta = future.result()
+                    delta, lo, hi, nid_slice, io_delta, kernel_delta, span_dicts = (
+                        future.result()
+                    )
                     merge_delta(delta)
                     if writeback is not None and nid_slice is not None:
                         writeback[lo:hi] = nid_slice
                     table.stats.merge_counter_delta(io_delta)
+                    if kernel_delta:
+                        native_scan.merge_counts(kernel_delta)
+                    if span_dicts:
+                        # Same epoch on both sides (TraceContext ships
+                        # it), so worker timestamps land on the parent's
+                        # axis verbatim.
+                        self.tracer.graft(span_dicts, parent=scan_span)
             except BaseException:
                 for future in futures:
                     future.cancel()

@@ -264,10 +264,12 @@ class BuildStats:
     scan_backend: str = "thread"
     #: Parallel chunk batches dispatched across all scans of the build.
     parallel_batches: int = 0
-    #: Native training-kernel calls made in this process during the build
-    #: (histogram/matrix accumulation, gini sweeps, slope walks).  Zero
-    #: when the kernels are unavailable or ``CMP_NO_NATIVE=1``; with the
-    #: process backend, calls made inside forked workers are not counted.
+    #: Native training-kernel calls made during the build (histogram/
+    #: matrix accumulation, gini sweeps, slope walks).  Zero when the
+    #: kernels are unavailable or ``CMP_NO_NATIVE=1``.  With the process
+    #: backend, calls made inside forked workers ship home as per-kernel
+    #: deltas and are folded into the parent tally, so the count matches
+    #: the thread backend's.
     native_kernel_calls: int = 0
     #: Member trees trained by an ensemble build (0 = single-tree build).
     ensemble_members: int = 0

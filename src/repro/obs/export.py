@@ -39,6 +39,12 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    # HELP text escapes only backslash and newline (quotes stay raw),
+    # per the exposition-format spec — different from label values.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
     parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
     if extra:
@@ -65,7 +71,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for name, kind, help_text, members in registry.collect():
         if help_text:
-            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {name} {kind}")
         for m in members:
             if kind == "histogram":

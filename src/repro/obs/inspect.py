@@ -3,7 +3,8 @@
 This is the analysis half of the ``cmp-repro inspect-trace`` subcommand.
 It consumes the span list written by :meth:`repro.obs.trace.Tracer.write_jsonl`
 (or loaded back via :func:`repro.obs.trace.load_trace_jsonl`) and
-produces plain data a CLI can print:
+produces plain data a CLI can print (text or, via
+:meth:`TraceSummary.to_dict`, JSON for scripted consumers):
 
 * **per-phase rollup** — total duration and span count per ``phase:*``
   span name;
@@ -14,7 +15,17 @@ produces plain data a CLI can print:
   the ``scans`` attribute the builder stamped on the root from
   ``IOStats.scans``.  Agreement is the structural invariant the paper's
   accounting rests on: every sequential pass, and only those, traces
-  exactly one ``scan`` span.
+  exactly one ``scan`` span;
+* **worker-batch cross-check** — for every parallel ``scan`` span, the
+  ``chunk_batch`` children (shipped home by forked workers, or recorded
+  in place by thread workers) must number exactly the span's declared
+  ``workers`` and their ``chunks`` attrs must sum to the span's
+  declared ``chunks`` — a dropped or double-grafted worker subtree is
+  a mismatch.  Batches are also tallied per worker pid, which is how a
+  process-backend trace proves the spans really came from the children.
+
+A mismatch on either check flips :attr:`TraceSummary.consistent`, which
+is the CLI's exit code.
 """
 
 from __future__ import annotations
@@ -36,11 +47,38 @@ class BuildCheck:
     #: (quantiling pass, root histogram pass) and overflow rescans that
     #: fire outside a ``level`` span.
     scans_per_level: dict[int, int] = field(default_factory=dict)
+    #: ``chunk_batch`` spans under this build, per worker pid (spans
+    #: recorded before the pid attr existed land under ``"?"``).
+    worker_batches_per_pid: dict[str, int] = field(default_factory=dict)
+    #: Human-readable descriptions of scan spans whose declared
+    #: ``workers``/``chunks`` disagree with their ``chunk_batch``
+    #: children.
+    batch_mismatches: list[str] = field(default_factory=list)
 
     @property
     def matches(self) -> bool:
-        """True when the trace and ``IOStats.scans`` agree (or no attr)."""
-        return self.recorded_scans is None or self.recorded_scans == self.counted_scans
+        """True when scan counts and worker batches both check out."""
+        scans_ok = (
+            self.recorded_scans is None
+            or self.recorded_scans == self.counted_scans
+        )
+        return scans_ok and not self.batch_mismatches
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "builder": self.builder,
+            "recorded_scans": self.recorded_scans,
+            "counted_scans": self.counted_scans,
+            "scans_per_level": {
+                str(level): count
+                for level, count in sorted(self.scans_per_level.items())
+            },
+            "worker_batches_per_pid": dict(
+                sorted(self.worker_batches_per_pid.items())
+            ),
+            "batch_mismatches": list(self.batch_mismatches),
+            "matches": self.matches,
+        }
 
 
 @dataclass
@@ -55,8 +93,48 @@ class TraceSummary:
 
     @property
     def consistent(self) -> bool:
-        """True when every build's scan cross-check agrees."""
+        """True when every build's cross-checks agree."""
         return all(b.matches for b in self.builds)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form for ``inspect-trace --format json``."""
+        return {
+            "n_spans": self.n_spans,
+            "wall_s": round(self.wall_s, 9),
+            "consistent": self.consistent,
+            "phases": {
+                name: {"seconds": round(total, 9), "spans": count}
+                for name, (total, count) in sorted(self.phase_rollup.items())
+            },
+            "slowest": [sp.to_dict() for sp in self.slowest],
+            "builds": [b.to_dict() for b in self.builds],
+        }
+
+
+def _check_scan_batches(
+    scan: Span, batch_children: list[Span]
+) -> list[str]:
+    """Worker-batch mismatches for one parallel ``scan`` span."""
+    issues: list[str] = []
+    declared_workers = scan.attrs.get("workers")
+    if declared_workers is not None and int(declared_workers) != len(
+        batch_children
+    ):
+        issues.append(
+            f"scan span {scan.span_id}: {len(batch_children)} chunk_batch "
+            f"span(s) for {declared_workers} declared worker(s)"
+        )
+    declared_chunks = scan.attrs.get("chunks")
+    if declared_chunks is not None:
+        batch_chunks = [b.attrs.get("chunks") for b in batch_children]
+        if all(c is not None for c in batch_chunks):
+            total = sum(int(c) for c in batch_chunks)
+            if total != int(declared_chunks):
+                issues.append(
+                    f"scan span {scan.span_id}: worker batches cover "
+                    f"{total} chunk(s), scan declared {declared_chunks}"
+                )
+    return issues
 
 
 def summarize_trace(spans: list[Span], top: int = 10) -> TraceSummary:
@@ -89,6 +167,25 @@ def summarize_trace(spans: list[Span], top: int = 10) -> TraceSummary:
                 recorded_scans=int(recorded) if recorded is not None else None,
                 counted_scans=0,
             )
+
+    def enclosing_build(sp: Span) -> "BuildCheck | None":
+        for anc in ancestors(sp):
+            if anc.span_id in builds:
+                return builds[anc.span_id]
+        return None
+
+    batches_by_scan: dict[int, list[Span]] = {}
+    for sp in spans:
+        if sp.name == "chunk_batch":
+            if sp.parent_id is not None:
+                batches_by_scan.setdefault(sp.parent_id, []).append(sp)
+            build = enclosing_build(sp)
+            if build is not None:
+                pid = str(sp.attrs.get("pid", "?"))
+                build.worker_batches_per_pid[pid] = (
+                    build.worker_batches_per_pid.get(pid, 0) + 1
+                )
+
     for sp in spans:
         if sp.name != "scan":
             continue
@@ -103,6 +200,10 @@ def summarize_trace(spans: list[Span], top: int = 10) -> TraceSummary:
         if build is not None:
             build.counted_scans += 1
             build.scans_per_level[level] = build.scans_per_level.get(level, 0) + 1
+            if sp.attrs.get("parallel"):
+                build.batch_mismatches.extend(
+                    _check_scan_batches(sp, batches_by_scan.get(sp.span_id, []))
+                )
 
     candidates = [sp for sp in spans if sp.name != "build"] or list(spans)
     slowest = sorted(candidates, key=lambda s: s.duration_s, reverse=True)[:top]
@@ -147,14 +248,27 @@ def format_summary(summary: TraceSummary) -> str:
         for level in sorted(b.scans_per_level):
             label = "prelude" if level == -1 else f"level {level}"
             lines.append(f"  {label:<10} {b.scans_per_level[level]} scans")
+        if b.worker_batches_per_pid:
+            per_pid = "  ".join(
+                f"pid {pid}: {count}"
+                for pid, count in sorted(b.worker_batches_per_pid.items())
+            )
+            lines.append(f"  worker batches  {per_pid}")
         if b.recorded_scans is None:
             lines.append("  cross-check: build span carries no scans attribute")
-        elif b.matches:
+        elif b.recorded_scans == b.counted_scans:
             lines.append(f"  cross-check: OK (IOStats.scans == {b.recorded_scans})")
         else:
             lines.append(
                 f"  cross-check: MISMATCH (trace {b.counted_scans} != "
                 f"IOStats.scans {b.recorded_scans})"
+            )
+        for issue in b.batch_mismatches:
+            lines.append(f"  worker cross-check: MISMATCH ({issue})")
+        if not b.batch_mismatches and b.worker_batches_per_pid:
+            lines.append(
+                "  worker cross-check: OK "
+                f"({sum(b.worker_batches_per_pid.values())} chunk_batch spans)"
             )
     return "\n".join(lines)
 

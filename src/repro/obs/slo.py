@@ -1,0 +1,341 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An SLO ("99.9% of requests get a real answer", "99% answer within
+50 ms") turns raw counters into a judgement: given ``good`` and
+``total`` request counts, the **error budget** is ``1 - objective`` and
+the **burn rate** over a window is::
+
+    burn = (bad / total) / (1 - objective)
+
+Burn 1.0 spends the budget exactly at the sustainable pace; burn 14.4
+over an hour exhausts a 30-day budget in ~2 days.  Alerting on a single
+window either pages too slowly (long window) or flaps on noise (short
+window), so :class:`SLOMonitor` evaluates the standard *multi-window,
+multi-burn-rate* policy: an alert fires only when **both** a long
+window and its short companion exceed the window's burn threshold —
+the long window proves the problem is sustained, the short one proves
+it is still happening.
+
+Everything is deterministic and merge-friendly:
+
+* the clock is injectable (tests hand-compute burn rates against a
+  fake clock; benchmarks pass real ``time.monotonic`` values);
+* observations are **cumulative** ``(t, good, total)`` samples — the
+  same exact-counter idiom as :class:`~repro.obs.metrics.Counter` — so
+  windowed rates are exact differences, not decayed estimates, and two
+  monitors fed the same samples agree bit-for-bit;
+* :func:`availability_counts` and :func:`latency_counts` adapt the
+  existing surfaces (a :meth:`ServingStats.snapshot` dict, a latency
+  :class:`~repro.obs.metrics.Histogram`) without new bookkeeping in
+  the serving path.
+
+Wired into ``cmp-repro serve-bench`` (``--slo-availability`` /
+``--slo-latency-ms``) and ``benchmarks/bench_serve_saturation.py``,
+where a saturation run demonstrates burn rates far above threshold
+while the admitted traffic stays healthy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.obs.metrics import Histogram
+
+#: SLO kinds understood by :class:`SLODefinition`.
+SLO_KINDS = ("availability", "latency")
+
+
+@dataclass(frozen=True)
+class SLODefinition:
+    """One declarative objective over a good/total request ratio.
+
+    ``objective`` is the target good fraction in ``(0, 1)`` — e.g.
+    ``0.999`` for three nines.  ``kind="latency"`` additionally needs
+    ``latency_threshold_s``: a request is *good* when it finished within
+    the threshold (counted from histogram buckets, see
+    :func:`latency_counts`).
+    """
+
+    name: str
+    objective: float
+    kind: str = "availability"
+    latency_threshold_s: float | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SLO name must be non-empty")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective!r}"
+            )
+        if self.kind not in SLO_KINDS:
+            raise ValueError(f"kind must be one of {SLO_KINDS}, got {self.kind!r}")
+        if self.kind == "latency" and self.latency_threshold_s is None:
+            raise ValueError("latency SLOs need latency_threshold_s")
+
+    @property
+    def error_budget(self) -> float:
+        """Tolerated bad fraction (``1 - objective``)."""
+        return 1.0 - self.objective
+
+
+@dataclass(frozen=True)
+class BurnRateWindow:
+    """One (long, short) window pair with its firing threshold."""
+
+    long_s: float
+    short_s: float
+    threshold: float
+    severity: str = "page"
+
+    def __post_init__(self) -> None:
+        if self.long_s <= 0 or self.short_s <= 0:
+            raise ValueError("window lengths must be positive")
+        if self.short_s > self.long_s:
+            raise ValueError("short window must not exceed the long window")
+        if self.threshold <= 0:
+            raise ValueError("burn threshold must be positive")
+
+
+#: The SRE-workbook ladder for a 30-day budget: fast burn pages within
+#: the hour, slow burn tickets within the day.
+DEFAULT_WINDOWS = (
+    BurnRateWindow(long_s=3600.0, short_s=300.0, threshold=14.4, severity="page"),
+    BurnRateWindow(long_s=21600.0, short_s=1800.0, threshold=6.0, severity="page"),
+    BurnRateWindow(long_s=86400.0, short_s=7200.0, threshold=3.0, severity="ticket"),
+)
+
+
+@dataclass(frozen=True)
+class BurnAlert:
+    """Evaluation of one window pair at one instant."""
+
+    slo: str
+    window: BurnRateWindow
+    long_burn: float
+    short_burn: float
+    firing: bool
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "slo": self.slo,
+            "long_s": self.window.long_s,
+            "short_s": self.window.short_s,
+            "threshold": self.window.threshold,
+            "severity": self.window.severity,
+            "long_burn": round(self.long_burn, 6),
+            "short_burn": round(self.short_burn, 6),
+            "firing": self.firing,
+        }
+
+
+class SLOMonitor:
+    """Evaluates one SLO over cumulative good/total samples.
+
+    Feed it monotonically non-decreasing cumulative counters via
+    :meth:`observe` (or the :meth:`observe_stats` /
+    :meth:`observe_histogram` adapters); ask for :meth:`burn_rate`
+    over any window or :meth:`evaluate` against the configured window
+    ladder.  Not thread-safe — sample from one collection loop, as the
+    benchmarks do.
+    """
+
+    def __init__(
+        self,
+        slo: SLODefinition,
+        windows: tuple[BurnRateWindow, ...] = DEFAULT_WINDOWS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not windows:
+            raise ValueError("need at least one burn-rate window")
+        self.slo = slo
+        self.windows = tuple(windows)
+        self._clock = clock
+        self._samples: list[tuple[float, float, float]] = []
+
+    # -- sampling ------------------------------------------------------------
+
+    def observe(
+        self, good: float, total: float, now: float | None = None
+    ) -> None:
+        """Record cumulative ``good``/``total`` counts at time ``now``.
+
+        Counts and timestamps must be non-decreasing and ``good <=
+        total`` — violations raise, because a decreasing "cumulative"
+        counter means the caller is feeding deltas and every windowed
+        rate would silently be wrong.
+        """
+        t = self._clock() if now is None else now
+        if good < 0 or total < 0 or good > total:
+            raise ValueError(
+                f"need 0 <= good <= total, got good={good} total={total}"
+            )
+        if self._samples:
+            lt, lg, ltot = self._samples[-1]
+            if t < lt:
+                raise ValueError(f"time went backwards: {t} < {lt}")
+            if good < lg or total < ltot:
+                raise ValueError(
+                    "cumulative counts decreased; feed running totals, "
+                    "not per-interval deltas"
+                )
+        self._samples.append((t, float(good), float(total)))
+
+    def observe_stats(
+        self, snapshot: Mapping[str, object], now: float | None = None
+    ) -> None:
+        """Sample an availability SLO from a ``ServingStats.snapshot()``."""
+        good, total = availability_counts(snapshot)
+        self.observe(good, total, now)
+
+    def observe_histogram(
+        self, latency: Histogram, now: float | None = None
+    ) -> None:
+        """Sample a latency SLO from a latency histogram."""
+        threshold = self.slo.latency_threshold_s
+        if threshold is None:
+            raise ValueError("observe_histogram needs a latency SLO")
+        good, total = latency_counts(latency, threshold)
+        self.observe(good, total, now)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _window_delta(
+        self, window_s: float, now: float
+    ) -> tuple[float, float]:
+        """(good, total) delta across the trailing window.
+
+        The baseline is the youngest sample at or before ``now -
+        window_s``; with no sample that old yet, the oldest sample
+        stands in (the window simply covers the whole history so far).
+        """
+        if not self._samples:
+            return 0.0, 0.0
+        cutoff = now - window_s
+        baseline = self._samples[0]
+        for sample in self._samples:
+            if sample[0] <= cutoff:
+                baseline = sample
+            else:
+                break
+        latest = self._samples[-1]
+        return latest[1] - baseline[1], latest[2] - baseline[2]
+
+    def burn_rate(self, window_s: float, now: float | None = None) -> float:
+        """Error-budget burn rate over the trailing ``window_s`` seconds.
+
+        ``0.0`` when the window saw no traffic: no evidence is not
+        evidence of burning.
+        """
+        now = self._clock() if now is None else now
+        good, total = self._window_delta(window_s, now)
+        if total <= 0:
+            return 0.0
+        bad_rate = (total - good) / total
+        return bad_rate / self.slo.error_budget
+
+    def evaluate(self, now: float | None = None) -> list[BurnAlert]:
+        """All window pairs at ``now``; ``firing`` needs both to exceed."""
+        now = self._clock() if now is None else now
+        alerts = []
+        for window in self.windows:
+            long_burn = self.burn_rate(window.long_s, now)
+            short_burn = self.burn_rate(window.short_s, now)
+            alerts.append(
+                BurnAlert(
+                    slo=self.slo.name,
+                    window=window,
+                    long_burn=long_burn,
+                    short_burn=short_burn,
+                    firing=(
+                        long_burn >= window.threshold
+                        and short_burn >= window.threshold
+                    ),
+                )
+            )
+        return alerts
+
+    def firing(self, now: float | None = None) -> list[BurnAlert]:
+        """Just the alerts currently firing."""
+        return [a for a in self.evaluate(now) if a.firing]
+
+    def snapshot(self, now: float | None = None) -> dict[str, object]:
+        """JSON-friendly evaluation (benchmark reports, CLI output)."""
+        now = self._clock() if now is None else now
+        good, total = (
+            (self._samples[-1][1], self._samples[-1][2])
+            if self._samples
+            else (0.0, 0.0)
+        )
+        return {
+            "slo": self.slo.name,
+            "kind": self.slo.kind,
+            "objective": self.slo.objective,
+            "good": good,
+            "total": total,
+            "compliance": (good / total) if total > 0 else None,
+            "alerts": [a.to_dict() for a in self.evaluate(now)],
+            "firing": bool(self.firing(now)),
+        }
+
+
+def availability_counts(
+    snapshot: Mapping[str, object]
+) -> tuple[float, float]:
+    """(good, total) for an availability SLO, from serving counters.
+
+    *Good* requests got an answer: executed batches plus degraded
+    fallback answers.  *Bad* requests got an exception: shed, expired,
+    or breaker-rejected without a fallback.  ``breaker_rejections``
+    counts every open-circuit rejection and ``fallbacks`` the subset
+    that was still answered, so the hard-failed remainder is their
+    difference — which the total below folds in without double count::
+
+        total = batches + shed + timeouts + breaker_rejections
+        good  = batches + fallbacks
+    """
+    batches = float(snapshot.get("batches", 0))  # type: ignore[arg-type]
+    shed = float(snapshot.get("shed", 0))  # type: ignore[arg-type]
+    timeouts = float(snapshot.get("timeouts", 0))  # type: ignore[arg-type]
+    breaker = float(snapshot.get("breaker_rejections", 0))  # type: ignore[arg-type]
+    fallbacks = float(snapshot.get("fallbacks", 0))  # type: ignore[arg-type]
+    total = batches + shed + timeouts + breaker
+    good = batches + fallbacks
+    return min(good, total), total
+
+
+def latency_counts(
+    latency: Histogram, threshold_s: float
+) -> tuple[float, float]:
+    """(good, total) for a latency SLO, from a latency histogram.
+
+    *Good* is the cumulative count at the largest bucket bound that
+    does not exceed ``threshold_s`` — the conservative reading (a
+    threshold between bounds undercounts good, never overcounts).
+    Pick a threshold that is an exact bucket bound (the default
+    buckets are ``log_buckets(1e-4, 100.0)``) for an exact count.
+    """
+    if threshold_s <= 0:
+        raise ValueError("latency threshold must be positive")
+    good = 0
+    for bound, cumulative in latency.cumulative_buckets():
+        if bound <= threshold_s:
+            good = cumulative
+        else:
+            break
+    return float(good), float(latency.count)
+
+
+__all__ = [
+    "SLODefinition",
+    "BurnRateWindow",
+    "BurnAlert",
+    "SLOMonitor",
+    "DEFAULT_WINDOWS",
+    "SLO_KINDS",
+    "availability_counts",
+    "latency_counts",
+]

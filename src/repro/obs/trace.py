@@ -15,7 +15,12 @@ attaches to the innermost open span *of the current thread* (a
 per-tracer ``threading.local`` stack — still no process-global state),
 which makes ``with`` nesting do the right thing in single-threaded code
 while worker threads pass their parent across the thread boundary by
-hand (see :meth:`repro.core.parallel.ScanEngine.scan`).
+hand (see :meth:`repro.core.parallel.ScanEngine.scan`).  Forked scan
+workers go one step further: the parent ships a :class:`TraceContext`
+(epoch + parent span id), the worker records into a local
+``Tracer.from_context(ctx)`` tracer, and the shipped span dicts are
+spliced back with :meth:`Tracer.graft` — so ``thread`` and ``process``
+backends produce structurally equivalent traces.
 
 Span timestamps come from :func:`time.perf_counter` relative to the
 tracer's construction, so exported traces start near zero and are
@@ -33,10 +38,39 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import IO, Iterator
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator
 
 #: Attribute value types that survive a JSONL round-trip unchanged.
 AttrValue = "str | int | float | bool | None"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Serializable handle for continuing a trace in another process.
+
+    Carries the parent tracer's epoch (``time.perf_counter`` is
+    CLOCK_MONOTONIC on Linux, so it is consistent across ``fork`` — a
+    worker tracer built from this context produces timestamps on the
+    *same* axis as the parent's spans) plus the span id the shipped
+    subtree should hang under.  Instances are plain frozen dataclasses:
+    picklable for process pools and JSON-friendly via
+    :meth:`to_dict`/:meth:`from_dict`.
+    """
+
+    epoch: float
+    parent_id: int | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {"epoch": self.epoch, "parent_id": self.parent_id}
+
+    @classmethod
+    def from_dict(cls, obj: dict[str, object]) -> "TraceContext":
+        parent = obj.get("parent_id")
+        return cls(
+            epoch=float(obj["epoch"]),  # type: ignore[arg-type]
+            parent_id=None if parent is None else int(parent),  # type: ignore[arg-type]
+        )
 
 
 class Span:
@@ -120,12 +154,78 @@ class Tracer:
     first.  Open spans export with ``dur_s == 0``.
     """
 
-    def __init__(self) -> None:
-        self._epoch = time.perf_counter()
+    def __init__(self, epoch: float | None = None) -> None:
+        self._epoch = time.perf_counter() if epoch is None else epoch
         self._spans: list[Span] = []
         self._lock = threading.Lock()
         self._next_id = 0
         self._stack = threading.local()
+
+    # -- cross-process continuity --------------------------------------------
+
+    def context(self, parent: Span | None = None) -> TraceContext:
+        """Serializable context for a worker-local continuation tracer.
+
+        Ship the returned :class:`TraceContext` across the process
+        boundary, build a tracer there with :meth:`from_context`, and
+        graft the recorded spans back with :meth:`graft`.
+        """
+        return TraceContext(
+            epoch=self._epoch,
+            parent_id=parent.span_id if parent is not None else None,
+        )
+
+    @classmethod
+    def from_context(cls, ctx: TraceContext) -> "Tracer":
+        """Worker-side tracer sharing the originating tracer's time axis."""
+        return cls(epoch=ctx.epoch)
+
+    def graft(
+        self,
+        shipped: "Iterable[Span | dict[str, object]]",
+        parent: Span | None = None,
+        **root_attrs: object,
+    ) -> list[Span]:
+        """Splice spans recorded by another tracer into this one.
+
+        ``shipped`` is what a worker sends back — :class:`Span` objects
+        or their :meth:`Span.to_dict` forms.  Span ids are re-allocated
+        from this tracer's sequence (ids are only unique per tracer);
+        parent links *within* the shipped set are remapped accordingly,
+        and shipped roots (spans whose parent is absent from the set)
+        are attached under ``parent`` and annotated with ``root_attrs``.
+        Timestamps are kept verbatim: both tracers share an epoch via
+        :meth:`context`, so no re-basing is needed.
+        """
+        incoming = [
+            sp if isinstance(sp, Span) else span_from_dict(sp) for sp in shipped
+        ]
+        grafted: list[Span] = []
+        with self._lock:
+            idmap: dict[int, int] = {}
+            for sp in incoming:
+                idmap[sp.span_id] = self._next_id
+                self._next_id += 1
+            for sp in incoming:
+                is_root = sp.parent_id is None or sp.parent_id not in idmap
+                if is_root:
+                    parent_id = parent.span_id if parent is not None else None
+                else:
+                    parent_id = idmap[sp.parent_id]  # type: ignore[index]
+                nsp = Span(
+                    sp.name,
+                    idmap[sp.span_id],
+                    parent_id,
+                    sp.start_s,
+                    sp.thread,
+                    dict(sp.attrs),
+                )
+                nsp.end_s = sp.end_s
+                if is_root and root_attrs:
+                    nsp.attrs.update(root_attrs)
+                self._spans.append(nsp)
+                grafted.append(nsp)
+        return grafted
 
     # -- recording -----------------------------------------------------------
 
@@ -248,6 +348,15 @@ class NullTracer:
     def spans(self) -> list[Span]:
         return []
 
+    def context(self, parent: object = None) -> None:
+        """No continuation context — workers see ``None`` and skip tracing."""
+        return None
+
+    def graft(
+        self, shipped: object, parent: object = None, **root_attrs: object
+    ) -> list[Span]:
+        return []
+
     def __len__(self) -> int:
         return 0
 
@@ -260,6 +369,20 @@ class NullTracer:
 
 #: Shared inert tracer — the default wherever tracing is optional.
 NULL_TRACER = NullTracer()
+
+
+def span_from_dict(obj: dict[str, object]) -> Span:
+    """Rebuild a :class:`Span` from its :meth:`Span.to_dict` form."""
+    sp = Span(
+        str(obj["name"]),
+        int(obj["span_id"]),  # type: ignore[arg-type]
+        None if obj["parent_id"] is None else int(obj["parent_id"]),  # type: ignore[arg-type]
+        float(obj["start_s"]),  # type: ignore[arg-type]
+        str(obj.get("thread", "")),
+        dict(obj.get("attrs", {})),  # type: ignore[arg-type]
+    )
+    sp.end_s = sp.start_s + float(obj["dur_s"])  # type: ignore[arg-type]
+    return sp
 
 
 def load_trace_jsonl(path_or_file: "str | IO[str]") -> list[Span]:
@@ -276,19 +399,9 @@ def load_trace_jsonl(path_or_file: "str | IO[str]") -> list[Span]:
             if not line:
                 continue
             try:
-                obj = json.loads(line)
-                sp = Span(
-                    str(obj["name"]),
-                    int(obj["span_id"]),
-                    None if obj["parent_id"] is None else int(obj["parent_id"]),
-                    float(obj["start_s"]),
-                    str(obj.get("thread", "")),
-                    dict(obj.get("attrs", {})),
-                )
-                sp.end_s = sp.start_s + float(obj["dur_s"])
+                spans.append(span_from_dict(json.loads(line)))
             except (KeyError, TypeError, json.JSONDecodeError) as exc:
                 raise ValueError(f"bad trace line {lineno}: {exc}") from exc
-            spans.append(sp)
         return spans
 
     if hasattr(path_or_file, "read"):
@@ -330,9 +443,11 @@ def render_tree(spans: list[Span]) -> str:
 
 __all__ = [
     "Span",
+    "TraceContext",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "span_from_dict",
     "load_trace_jsonl",
     "render_tree",
 ]

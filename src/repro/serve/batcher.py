@@ -30,6 +30,14 @@ request granularity:
 
 An engine-side failure is propagated to every future in the failed
 batch rather than killing the flush thread.
+
+When the engine carries an :class:`~repro.obs.access.AccessLog`, the
+batcher emits one ``source="batcher"`` record per *submitted* request —
+shed at submit, expired before or after execution, failed with the
+batch, or answered — with its queue wait and flush ``batch_id``; the
+engine's own ``source="engine"`` record covers the coalesced batch
+call.  A request answered by the engine's fallback path logs ``ok``
+here (it got an answer) while the engine record says ``fallback``.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from concurrent.futures import Future
 import numpy as np
 
 from repro.serve.admission import DeadlineExceeded, Overloaded
+from repro.serve.breaker import CircuitOpen
 from repro.serve.engine import ServingEngine
 
 
@@ -100,6 +109,8 @@ class MicroBatcher:
         self._rows: list[np.ndarray] = []
         self._futures: list[Future] = []
         self._expiries: list[float | None] = []
+        self._submits: list[float] = []
+        self._batch_seq = 0
         self._deadline = 0.0
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -118,6 +129,37 @@ class MicroBatcher:
         # Request-level counters land on the target's stable model; only
         # actual engine execution routes (and counts) canary traffic.
         return self.engine.registry.stats_for(self.target)
+
+    def _log(
+        self,
+        outcome: str,
+        submit_s: float,
+        queue_wait_s: float | None,
+        batch_id: int | None,
+        error: str | None = None,
+    ) -> None:
+        """One per-request access record (no-op without an engine log).
+
+        Fingerprint/route stay ``None``: routing happens inside the
+        engine call, whose ``source="engine"`` record attributes the
+        whole flush; these records attribute the *request's* fate.
+        """
+        log = self.engine.access_log
+        if log is None:
+            return
+        log.record(
+            source="batcher",
+            endpoint=str(self.target),
+            fingerprint=None,
+            route=None,
+            method=self.method,
+            rows=1,
+            outcome=outcome,
+            latency_s=time.perf_counter() - submit_s,
+            queue_wait_s=queue_wait_s,
+            batch_id=batch_id,
+            error=error,
+        )
 
     # -- client side ---------------------------------------------------------
 
@@ -142,17 +184,18 @@ class MicroBatcher:
                     "batcher is closed; its flush thread has stopped and "
                     "would never serve this request"
                 )
+            now = time.perf_counter()
             if (
                 self.max_pending is not None
                 and len(self._rows) >= self.max_pending
             ):
                 self._stats().count_shed()
+                self._log("shed", now, 0.0, None)
                 raise Overloaded(
                     f"micro-batch queue full ({self.max_pending} pending)",
                     depth=len(self._rows),
                     max_depth=self.max_pending,
                 )
-            now = time.perf_counter()
             if not self._rows:
                 # The flush window is anchored to the *oldest* request.
                 self._deadline = now + self.max_delay_s
@@ -161,6 +204,7 @@ class MicroBatcher:
             self._expiries.append(
                 None if deadline_s is None else now + deadline_s
             )
+            self._submits.append(now)
             self._stats().count_request()
             self._wake.notify()
         return future
@@ -184,10 +228,11 @@ class MicroBatcher:
 
     def _take_batch(
         self,
-    ) -> tuple[list[np.ndarray], list[Future], list[float | None]]:
-        rows, futures, expiries = self._rows, self._futures, self._expiries
-        self._rows, self._futures, self._expiries = [], [], []
-        return rows, futures, expiries
+    ) -> tuple[list[np.ndarray], list[Future], list[float | None], list[float]]:
+        rows, futures = self._rows, self._futures
+        expiries, submits = self._expiries, self._submits
+        self._rows, self._futures, self._expiries, self._submits = [], [], [], []
+        return rows, futures, expiries, submits
 
     def _wake_at(self) -> float:
         """Earliest moment the flush thread must act (window or deadline)."""
@@ -208,10 +253,10 @@ class MicroBatcher:
                         self._wake.wait(timeout=remaining)
                     else:
                         self._wake.wait()
-                rows, futures, expiries = self._take_batch()
+                rows, futures, expiries, submits = self._take_batch()
                 done = self._closed
             if rows:
-                self._execute(rows, futures, expiries)
+                self._execute(rows, futures, expiries, submits)
             if done:
                 return
 
@@ -220,16 +265,20 @@ class MicroBatcher:
         rows: list[np.ndarray],
         futures: list[Future],
         expiries: list[float | None],
-    ) -> tuple[list[np.ndarray], list[Future], list[float | None]]:
+        submits: list[float],
+        batch_id: int,
+    ) -> tuple[list[np.ndarray], list[Future], list[float | None], list[float]]:
         """Fail requests whose budget already ran out; return the survivors."""
         now = time.perf_counter()
         live_rows: list[np.ndarray] = []
         live_futures: list[Future] = []
         live_expiries: list[float | None] = []
+        live_submits: list[float] = []
         expired = 0
-        for row, future, expiry in zip(rows, futures, expiries):
+        for row, future, expiry, submit in zip(rows, futures, expiries, submits):
             if expiry is not None and now >= expiry:
                 expired += 1
+                self._log("deadline", submit, now - submit, batch_id)
                 future.set_exception(
                     DeadlineExceeded("request deadline expired before execution")
                 )
@@ -237,38 +286,68 @@ class MicroBatcher:
                 live_rows.append(row)
                 live_futures.append(future)
                 live_expiries.append(expiry)
+                live_submits.append(submit)
         if expired:
             self._stats().count_timeout(expired)
-        return live_rows, live_futures, live_expiries
+        return live_rows, live_futures, live_expiries, live_submits
+
+    @staticmethod
+    def _failure_outcome(exc: BaseException) -> str:
+        """Access-log outcome for an engine-side batch failure."""
+        if isinstance(exc, Overloaded):
+            return "shed"
+        if isinstance(exc, DeadlineExceeded):
+            return "deadline"
+        if isinstance(exc, CircuitOpen):
+            return "breaker"
+        return "error"
 
     def _execute(
         self,
         rows: list[np.ndarray],
         futures: list[Future],
         expiries: list[float | None],
+        submits: list[float],
     ) -> None:
-        rows, futures, expiries = self._reject_expired(rows, futures, expiries)
+        batch_id = self._batch_seq
+        self._batch_seq += 1
+        rows, futures, expiries, submits = self._reject_expired(
+            rows, futures, expiries, submits, batch_id
+        )
         if not rows:
             return  # every request expired: skip the predict call entirely
         # The flush span wraps coalescing plus the engine call (which
-        # records its own child serve_batch span on the same tracer).
+        # records its own child request/serve_batch spans on the same
+        # tracer).
         with self.engine.tracer.span(
-            "flush", rows=len(rows), method=self.method
+            "flush", rows=len(rows), method=self.method, batch=batch_id
         ):
+            exec_start = time.perf_counter()
             try:
                 X = np.vstack(rows)
                 out = getattr(self.engine, self.method)(self.target, X)
             except BaseException as exc:  # propagate, don't kill the thread
-                for f in futures:
+                outcome = self._failure_outcome(exc)
+                for f, submit in zip(futures, submits):
+                    self._log(
+                        outcome,
+                        submit,
+                        exec_start - submit,
+                        batch_id,
+                        error=type(exc).__name__ if outcome == "error" else None,
+                    )
                     f.set_exception(exc)
                 return
             now = time.perf_counter()
             late = 0
-            for i, (f, expiry) in enumerate(zip(futures, expiries)):
+            for i, (f, expiry, submit) in enumerate(
+                zip(futures, expiries, submits)
+            ):
                 if expiry is not None and now >= expiry:
                     # The answer exists but arrived past the caller's
                     # budget: deliver the timeout, not a late result.
                     late += 1
+                    self._log("deadline", submit, exec_start - submit, batch_id)
                     f.set_exception(
                         DeadlineExceeded(
                             "request deadline expired while its batch was "
@@ -276,6 +355,7 @@ class MicroBatcher:
                         )
                     )
                 else:
+                    self._log("ok", submit, exec_start - submit, batch_id)
                     f.set_result(out[i])
             if late:
                 self._stats().count_timeout(late)

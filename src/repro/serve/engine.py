@@ -54,6 +54,7 @@ import numpy as np
 from repro.core.compiled import CompiledTree, compile_tree
 from repro.core.tree import DecisionTree, _as_batch
 from repro.io.metrics import ServingStats
+from repro.obs.access import AccessLog
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.serve.admission import (
     AdmissionController,
@@ -244,12 +245,23 @@ class ModelRegistry:
         :attr:`MIN_PREFIX` chars — e.g. a historical 16-char truncated
         key — resolves to the full digest.
         """
+        return self.resolve_route(target, route_key)[0]
+
+    def resolve_route(
+        self, target: str, route_key: object = None
+    ) -> tuple[str, str]:
+        """Like :meth:`resolve`, also naming the route taken.
+
+        Returns ``(fingerprint, route)``: ``"stable"`` or ``"canary"``
+        for endpoint traffic, ``"direct"`` for raw fingerprint targets
+        — the per-request attribution the access log records.
+        """
         if self._rollout.has_endpoint(target):
-            return self._rollout.resolve(target, route_key)
+            return self._rollout.resolve_with_route(target, route_key)
         with self._lock:
             target = self._canonical_locked(target)
             if target in self._models:
-                return target
+                return target, "direct"
         raise KeyError(f"no endpoint or model registered as {target!r}")
 
     def _require_registered(self, fingerprint: str) -> str:
@@ -319,9 +331,15 @@ class ServingEngine:
     min_shard_rows:
         Minimum rows per shard before a batch is split.
     tracer:
-        Optional span recorder: each executed batch records one
+        Optional span recorder: every request records one ``request``
+        span (endpoint, method, outcome) whose id is the access log's
+        trace exemplar, and each executed batch records a nested
         ``serve_batch`` span (model, method, rows, shard count).
         Tracing never changes predictions.
+    access_log:
+        Optional :class:`~repro.obs.access.AccessLog`; when set, every
+        request — served, shed, expired, broken or failed — emits
+        exactly one structured record (see :mod:`repro.obs.access`).
     max_queue_depth:
         Admission-control bound on concurrently in-flight requests;
         ``None`` disables admission (the pre-hardening behaviour).  An
@@ -346,6 +364,7 @@ class ServingEngine:
         workers: int = 1,
         min_shard_rows: int = 8192,
         tracer: "Tracer | NullTracer | None" = None,
+        access_log: AccessLog | None = None,
         max_queue_depth: "int | AdmissionController | None" = None,
         breaker_policy: BreakerPolicy | None = None,
         fallback: str | None = None,
@@ -364,6 +383,7 @@ class ServingEngine:
         self.workers = workers
         self.min_shard_rows = min_shard_rows
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.access_log = access_log
         if isinstance(max_queue_depth, AdmissionController):
             self.admission: AdmissionController | None = max_queue_depth
         elif max_queue_depth is not None:
@@ -491,35 +511,79 @@ class ServingEngine:
             raise RuntimeError(
                 "serving engine is closed; create a new engine to serve"
             )
-        dl = as_deadline(deadline)
-        fingerprint = self.registry.resolve(target, route_key)
-        stats = self.registry.stats(fingerprint)
-        model = self.registry.get(fingerprint)
-        X = _as_batch(X)
-        self._validate_batch(fingerprint, model, X)
-        if self.admission is not None and not self.admission.try_acquire():
-            stats.count_shed()
-            raise Overloaded(
-                f"serve queue full ({self.admission.max_depth} in flight); "
-                f"request for {fingerprint!r} shed",
-                depth=self.admission.max_depth,
-                max_depth=self.admission.max_depth,
-            )
-        try:
-            if dl.expired:
-                stats.count_timeout()
-                raise DeadlineExceeded(
-                    f"deadline expired before executing request for "
-                    f"{fingerprint!r}"
-                )
-            breaker = self.breaker(fingerprint)
-            if breaker is not None and not breaker.allow():
-                stats.count_breaker_rejection()
-                return self._degrade(fingerprint, model, X, method)
-            return self._execute(fingerprint, X, method, dl, breaker, stats)
-        finally:
-            if self.admission is not None:
-                self.admission.release()
+        start = time.perf_counter()
+        outcome = "error"
+        error_name: str | None = None
+        fingerprint: str | None = None
+        route: str | None = None
+        rows = 0
+        with self.tracer.span(
+            "request", endpoint=str(target), method=method
+        ) as req_span:
+            try:
+                dl = as_deadline(deadline)
+                fingerprint, route = self.registry.resolve_route(target, route_key)
+                stats = self.registry.stats(fingerprint)
+                model = self.registry.get(fingerprint)
+                X = _as_batch(X)
+                rows = len(X)
+                self._validate_batch(fingerprint, model, X)
+                if self.admission is not None and not self.admission.try_acquire():
+                    stats.count_shed()
+                    outcome = "shed"
+                    raise Overloaded(
+                        f"serve queue full ({self.admission.max_depth} in "
+                        f"flight); request for {fingerprint!r} shed",
+                        depth=self.admission.max_depth,
+                        max_depth=self.admission.max_depth,
+                    )
+                try:
+                    if dl.expired:
+                        stats.count_timeout()
+                        outcome = "deadline"
+                        raise DeadlineExceeded(
+                            f"deadline expired before executing request for "
+                            f"{fingerprint!r}"
+                        )
+                    breaker = self.breaker(fingerprint)
+                    if breaker is not None and not breaker.allow():
+                        stats.count_breaker_rejection()
+                        # _degrade either answers (fallback) or raises
+                        # CircuitOpen, in which case "breaker" stands.
+                        outcome = "breaker"
+                        out = self._degrade(fingerprint, model, X, method)
+                        outcome = "fallback"
+                        return out
+                    out = self._execute(fingerprint, X, method, dl, breaker, stats)
+                    outcome = "ok"
+                    return out
+                finally:
+                    if self.admission is not None:
+                        self.admission.release()
+            except DeadlineExceeded:
+                outcome = "deadline"
+                raise
+            except BaseException as exc:
+                if outcome == "error":
+                    error_name = type(exc).__name__
+                raise
+            finally:
+                req_span.annotate(outcome=outcome, rows=rows)
+                if fingerprint is not None:
+                    req_span.annotate(model=fingerprint[:12], route=route)
+                if self.access_log is not None:
+                    self.access_log.record(
+                        source="engine",
+                        endpoint=str(target),
+                        fingerprint=fingerprint,
+                        route=route,
+                        method=method,
+                        rows=rows,
+                        outcome=outcome,
+                        latency_s=time.perf_counter() - start,
+                        trace_id=req_span.span_id if req_span.span_id >= 0 else None,
+                        error=error_name,
+                    )
 
     def _execute(
         self,

@@ -145,19 +145,31 @@ class RolloutManager:
 
     def resolve(self, name: str, route_key: object = None) -> str:
         """Fingerprint serving this request, per the weighted hash route."""
+        return self.resolve_with_route(name, route_key)[0]
+
+    def resolve_with_route(
+        self, name: str, route_key: object = None
+    ) -> tuple[str, str]:
+        """Like :meth:`resolve`, also naming the side taken.
+
+        Returns ``(fingerprint, route)`` with ``route`` one of
+        ``"stable"`` / ``"canary"`` — the per-request attribution the
+        access log records, which the aggregate ``stable_routes`` /
+        ``canary_routes`` counters cannot provide.
+        """
         with self._lock:
             ep = self._require(name)
             if ep.canary is None or ep.canary_weight <= 0.0:
                 ep.stable_routes += 1
-                return ep.stable
+                return ep.stable, "stable"
             if route_key is None:
                 route_key = f"\x00seq:{ep._seq}"
                 ep._seq += 1
             if route_fraction(name, str(route_key)) < ep.canary_weight:
                 ep.canary_routes += 1
-                return ep.canary
+                return ep.canary, "canary"
             ep.stable_routes += 1
-            return ep.stable
+            return ep.stable, "stable"
 
     def peek(self, name: str) -> str:
         """The stable fingerprint of ``name``, without counting a route."""

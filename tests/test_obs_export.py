@@ -18,6 +18,7 @@ from repro.obs.export import (
 from repro.obs.metrics import MetricsRegistry
 
 GOLDEN = Path(__file__).parent / "data" / "golden_metrics.prom"
+DATA = Path(__file__).parent / "data"
 
 
 def _golden_registry() -> MetricsRegistry:
@@ -63,6 +64,49 @@ class TestPrometheusText:
         assert 'h_seconds_bucket{le="2"} 2' in text
         assert 'h_seconds_bucket{le="+Inf"} 3' in text
         assert "h_seconds_count 3" in text
+
+
+class TestEscaping:
+    """One golden file per escape character, label values and HELP text.
+
+    The exposition format escapes ``\\``, ``"`` and newline in label
+    values but only ``\\`` and newline in HELP text — a raw ``"`` in
+    HELP is legal and must pass through unescaped.
+    """
+
+    @pytest.mark.parametrize(
+        "golden_name, value",
+        [
+            ("golden_escape_backslash.prom", "dir\\path"),
+            ("golden_escape_quote.prom", 'say "hi"'),
+            ("golden_escape_newline.prom", "line1\nline2"),
+        ],
+    )
+    def test_label_value_escape_golden(self, golden_name, value):
+        reg = MetricsRegistry()
+        reg.gauge("demo_escape", "Escape demo.", {"text": value}).set(1)
+        assert to_prometheus(reg) == (DATA / golden_name).read_text()
+
+    def test_help_text_escape_golden(self):
+        reg = MetricsRegistry()
+        reg.gauge(
+            "demo_help", 'Path "C:\\tmp"\nsecond line.', {"k": "v"}
+        ).set(1)
+        assert to_prometheus(reg) == (DATA / "golden_escape_help.prom").read_text()
+
+    def test_help_newline_never_splits_line(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "before\nafter").inc()
+        text = to_prometheus(reg)
+        assert "# HELP c_total before\\nafter\n" in text
+        # Every line must still be a comment or a sample.
+        for line in text.splitlines():
+            assert line.startswith("#") or line.startswith("c_total")
+
+    def test_label_round_trips_all_escapes_together(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", labels={"text": 'a"b\\c\nd'}).set(1)
+        assert 'text="a\\"b\\\\c\\nd"' in to_prometheus(reg)
 
 
 class TestWriteMetrics:

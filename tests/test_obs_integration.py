@@ -202,3 +202,91 @@ class TestCliRoundTrip:
         assert "p50_latency_ms" in out
         assert "p90_latency_ms" in out
         assert "p99_latency_ms" in out
+
+
+needs_fork = pytest.mark.skipif(
+    not __import__(
+        "repro.core.parallel", fromlist=["process_backend_available"]
+    ).process_backend_available(),
+    reason="fork start method unavailable",
+)
+
+
+@needs_fork
+class TestProcessBackendContinuity:
+    """Forked scan workers' spans are shipped home and grafted."""
+
+    @pytest.fixture(scope="class")
+    def traced(self, dataset, config):
+        tracer = Tracer()
+        cfg = config.with_(scan_workers=4, scan_backend="process")
+        result = CMPSBuilder(cfg, tracer=tracer).build(dataset)
+        return tracer, result
+
+    def test_bit_identical_to_untraced(self, traced, dataset, config):
+        _, result = traced
+        cfg = config.with_(scan_workers=4, scan_backend="process")
+        plain = CMPSBuilder(cfg).build(dataset)
+        assert tree_to_json(plain.tree) == tree_to_json(result.tree)
+
+    def test_worker_spans_carry_child_pids(self, traced):
+        import os
+
+        tracer, _ = traced
+        batches = [sp for sp in tracer.spans() if sp.name == "chunk_batch"]
+        assert batches
+        pids = {sp.attrs["pid"] for sp in batches}
+        assert os.getpid() not in pids
+
+    def test_worker_spans_graft_under_scan_spans(self, traced):
+        tracer, _ = traced
+        by_id = {sp.span_id: sp for sp in tracer.spans()}
+        for sp in tracer.spans():
+            if sp.name == "chunk_batch":
+                assert by_id[sp.parent_id].name == "scan"
+            if sp.name == "kernel":
+                assert by_id[sp.parent_id].name == "chunk_batch"
+
+    def test_kernel_spans_shipped_when_native(self, traced):
+        from repro.core import native_scan
+
+        tracer, _ = traced
+        kernels = [sp for sp in tracer.spans() if sp.name == "kernel"]
+        if native_scan.available():
+            assert kernels
+            for sp in kernels:
+                assert sp.attrs["calls"] > 0
+        else:
+            assert kernels == []
+
+    def test_cross_check_consistent(self, traced):
+        tracer, result = traced
+        summary = summarize_trace(tracer.spans())
+        assert summary.consistent
+        (build,) = summary.builds
+        assert build.counted_scans == result.stats.io.scans
+        # Every chunk_batch landed under a worker pid bucket.
+        n_batches = sum(
+            1 for sp in tracer.spans() if sp.name == "chunk_batch"
+        )
+        assert sum(build.worker_batches_per_pid.values()) == n_batches
+
+    def test_structurally_equivalent_to_thread_backend(self, dataset, config):
+        def shape(backend):
+            tracer = Tracer()
+            cfg = config.with_(scan_workers=4, scan_backend=backend)
+            CMPSBuilder(cfg, tracer=tracer).build(dataset)
+            names = {}
+            for sp in tracer.spans():
+                if sp.name != "kernel":  # kernel spans need native counts
+                    names[sp.name] = names.get(sp.name, 0) + 1
+            return names
+
+        assert shape("thread") == shape("process")
+
+    def test_jsonl_round_trip_keeps_graft(self, traced, tmp_path):
+        tracer, _ = traced
+        path = tmp_path / "proc_trace.jsonl"
+        tracer.write_jsonl(str(path))
+        loaded = load_trace_jsonl(str(path))
+        assert summarize_trace(loaded).consistent

@@ -1,0 +1,293 @@
+"""Tests for repro.obs.slo: burn-rate math, firing logic, adapters.
+
+Every burn rate asserted here is hand-computed from the definition
+``burn = ((total - good) / total) / (1 - objective)`` over windowed
+cumulative-sample differences, against an injected fake clock — no
+wall-clock dependence anywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_WINDOWS,
+    BurnRateWindow,
+    MetricsRegistry,
+    SLODefinition,
+    SLOMonitor,
+    availability_counts,
+    latency_counts,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def _monitor(objective=0.99, windows=None, **slo_kwargs):
+    clock = FakeClock()
+    slo = SLODefinition(name="avail", objective=objective, **slo_kwargs)
+    mon = SLOMonitor(
+        slo, windows=windows or DEFAULT_WINDOWS, clock=clock
+    )
+    return mon, clock
+
+
+class TestDefinitions:
+    def test_error_budget(self):
+        slo = SLODefinition(name="x", objective=0.999)
+        assert slo.error_budget == pytest.approx(0.001)
+
+    @pytest.mark.parametrize("objective", [0.0, 1.0, -0.5, 1.5])
+    def test_objective_must_be_open_interval(self, objective):
+        with pytest.raises(ValueError, match="objective"):
+            SLODefinition(name="x", objective=objective)
+
+    def test_name_required(self):
+        with pytest.raises(ValueError, match="name"):
+            SLODefinition(name="", objective=0.99)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLODefinition(name="x", objective=0.99, kind="durability")
+
+    def test_latency_kind_needs_threshold(self):
+        with pytest.raises(ValueError, match="latency_threshold_s"):
+            SLODefinition(name="x", objective=0.99, kind="latency")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"long_s": 0, "short_s": 1, "threshold": 1},
+            {"long_s": 60, "short_s": 120, "threshold": 1},
+            {"long_s": 60, "short_s": 30, "threshold": 0},
+        ],
+    )
+    def test_window_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BurnRateWindow(**kwargs)
+
+    def test_monitor_needs_windows(self):
+        with pytest.raises(ValueError, match="window"):
+            SLOMonitor(SLODefinition(name="x", objective=0.99), windows=())
+
+
+class TestBurnRateMath:
+    def test_hand_computed_burn(self):
+        # objective 0.99 -> budget 0.01.  Over the window: 100 requests,
+        # 5 bad -> bad_rate 0.05 -> burn 5.0.
+        mon, clock = _monitor(objective=0.99)
+        mon.observe(0, 0)
+        clock.advance(300)
+        mon.observe(95, 100)
+        assert mon.burn_rate(600) == pytest.approx(5.0)
+
+    def test_windowed_difference_excludes_old_errors(self):
+        # All the badness is older than the window: recent burn is 0.
+        mon, clock = _monitor(objective=0.99)
+        mon.observe(0, 0)  # zero point at t=0
+        clock.advance(1)
+        mon.observe(50, 100)  # 50 bad by t=1
+        clock.advance(1000)
+        mon.observe(150, 200)  # 100 good since
+        assert mon.burn_rate(500) == pytest.approx(0.0)
+        # The full-history window still sees them: 50 bad of 200.
+        assert mon.burn_rate(2000) == pytest.approx(0.25 / 0.01)
+
+    def test_baseline_is_youngest_sample_at_or_before_cutoff(self):
+        mon, clock = _monitor(objective=0.9)  # budget 0.1
+        mon.observe(0, 0)  # t=0
+        clock.advance(100)
+        mon.observe(100, 100)  # t=100, all good
+        clock.advance(100)
+        mon.observe(100, 110)  # t=200, 10 bad in last 100s
+        # Window of exactly 100s at t=200: baseline is the t=100 sample,
+        # so the delta is 10 requests, all bad -> burn 1.0 / 0.1.
+        assert mon.burn_rate(100) == pytest.approx(10.0)
+
+    def test_zero_traffic_window_burns_nothing(self):
+        mon, clock = _monitor()
+        assert mon.burn_rate(3600) == 0.0
+        mon.observe(10, 10)
+        clock.advance(7200)
+        # No new samples: window delta is (0, 0).
+        mon.observe(10, 10)
+        assert mon.burn_rate(3600) == 0.0
+
+    def test_total_failure_burns_full_inverse_budget(self):
+        mon, clock = _monitor(objective=0.999)
+        mon.observe(0, 0)
+        clock.advance(60)
+        mon.observe(0, 1000)
+        assert mon.burn_rate(120) == pytest.approx(1000.0)
+
+
+class TestObserveValidation:
+    def test_time_backwards_raises(self):
+        mon, clock = _monitor()
+        mon.observe(1, 1, now=100.0)
+        with pytest.raises(ValueError, match="backwards"):
+            mon.observe(2, 2, now=50.0)
+
+    def test_decreasing_counts_raise(self):
+        mon, clock = _monitor()
+        mon.observe(5, 10)
+        clock.advance(1)
+        with pytest.raises(ValueError, match="decreased"):
+            mon.observe(4, 10)
+        with pytest.raises(ValueError, match="decreased"):
+            mon.observe(5, 9)
+
+    def test_good_above_total_raises(self):
+        mon, _ = _monitor()
+        with pytest.raises(ValueError, match="good <= total"):
+            mon.observe(11, 10)
+
+    def test_negative_counts_raise(self):
+        mon, _ = _monitor()
+        with pytest.raises(ValueError):
+            mon.observe(-1, 10)
+
+
+class TestFiringLogic:
+    WINDOWS = (BurnRateWindow(long_s=3600.0, short_s=300.0, threshold=10.0),)
+
+    def test_fires_only_when_both_windows_exceed(self):
+        # Sustained badness: both windows see burn 20 -> firing.
+        mon, clock = _monitor(objective=0.99, windows=self.WINDOWS)
+        mon.observe(0, 0)
+        for _ in range(24):  # 2 hours of steady 20% errors
+            clock.advance(300)
+            last = mon._samples[-1]
+            mon.observe(last[1] + 80, last[2] + 100)
+        (alert,) = mon.evaluate()
+        assert alert.long_burn == pytest.approx(20.0)
+        assert alert.short_burn == pytest.approx(20.0)
+        assert alert.firing
+
+    def test_recovered_incident_does_not_fire(self):
+        # The long window still carries the burn, but the short window
+        # has recovered: no page (the "is it still happening?" guard).
+        mon, clock = _monitor(objective=0.99, windows=self.WINDOWS)
+        mon.observe(0, 0)
+        clock.advance(300)
+        mon.observe(0, 500)  # total outage, 5 minutes
+        for _ in range(6):  # 30 clean minutes
+            clock.advance(300)
+            last = mon._samples[-1]
+            mon.observe(last[1] + 100, last[2] + 100)
+        (alert,) = mon.evaluate()
+        assert alert.long_burn > self.WINDOWS[0].threshold
+        assert alert.short_burn == pytest.approx(0.0)
+        assert not alert.firing
+        assert mon.firing() == []
+
+    def test_snapshot_shape(self):
+        mon, clock = _monitor(objective=0.99, windows=self.WINDOWS)
+        mon.observe(0, 0)
+        clock.advance(300)
+        mon.observe(80, 100)  # burn 20, comfortably past threshold 10
+        snap = mon.snapshot()
+        assert snap["slo"] == "avail"
+        assert snap["kind"] == "availability"
+        assert snap["compliance"] == pytest.approx(0.8)
+        assert snap["good"] == 80 and snap["total"] == 100
+        (alert,) = snap["alerts"]
+        assert alert["threshold"] == 10.0
+        assert alert["firing"] is True
+        assert snap["firing"] is True
+
+    def test_empty_snapshot(self):
+        mon, _ = _monitor(windows=self.WINDOWS)
+        snap = mon.snapshot()
+        assert snap["compliance"] is None
+        assert snap["firing"] is False
+
+
+class TestAdapters:
+    def test_availability_counts_mapping(self):
+        snap = {
+            "batches": 100,
+            "shed": 20,
+            "timeouts": 5,
+            "breaker_rejections": 10,
+            "fallbacks": 4,
+        }
+        good, total = availability_counts(snap)
+        assert total == 135  # batches + shed + timeouts + breaker
+        assert good == 104  # batches + fallbacks (answered requests)
+
+    def test_availability_counts_clamped_to_total(self):
+        # Degenerate snapshot (more fallbacks than rejections) must not
+        # produce good > total.
+        good, total = availability_counts({"batches": 1, "fallbacks": 5})
+        assert good == total == 1
+
+    def test_observe_stats_feeds_monitor(self):
+        mon, clock = _monitor(objective=0.99)
+        mon.observe_stats({"batches": 0})
+        clock.advance(300)
+        mon.observe_stats({"batches": 99, "shed": 1})
+        assert mon.burn_rate(600) == pytest.approx(1.0)
+
+    def test_latency_counts_exact_at_bucket_bound(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram(
+            "lat", "x", {}, bounds=(0.01, 0.02, 0.04)
+        )
+        for v in (0.005, 0.015, 0.03, 1.0):
+            hist.observe(v)
+        good, total = latency_counts(hist, 0.02)
+        assert total == 4
+        assert good == 2  # <= 0.02: the 0.005 and 0.015 observations
+
+    def test_latency_counts_conservative_between_bounds(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat2", "x", {}, bounds=(0.01, 0.04))
+        hist.observe(0.02)  # lands in the (0.01, 0.04] bucket
+        good, total = latency_counts(hist, 0.03)
+        # 0.02 <= 0.03 in truth, but the largest usable bound is 0.01:
+        # the conservative reading undercounts good, never overcounts.
+        assert (good, total) == (0.0, 1.0)
+
+    def test_latency_counts_rejects_bad_threshold(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat3", "x", {})
+        with pytest.raises(ValueError, match="positive"):
+            latency_counts(hist, 0.0)
+
+    def test_observe_histogram_needs_latency_slo(self):
+        mon, _ = _monitor()  # availability kind
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat4", "x", {})
+        with pytest.raises(ValueError, match="latency"):
+            mon.observe_histogram(hist)
+
+    def test_observe_histogram_latency_slo(self):
+        clock = FakeClock()
+        mon = SLOMonitor(
+            SLODefinition(
+                name="lat-slo",
+                objective=0.9,
+                kind="latency",
+                latency_threshold_s=0.02,
+            ),
+            clock=clock,
+        )
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat5", "x", {}, bounds=(0.01, 0.02, 0.04))
+        mon.observe_histogram(hist)
+        clock.advance(300)
+        for v in (0.005, 0.03):
+            hist.observe(v)
+        mon.observe_histogram(hist)
+        # 1 of 2 within 20ms -> bad_rate 0.5 -> burn 5.0 on a 0.1 budget.
+        assert mon.burn_rate(600) == pytest.approx(5.0)

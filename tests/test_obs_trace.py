@@ -11,9 +11,11 @@ from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
     Span,
+    TraceContext,
     Tracer,
     load_trace_jsonl,
     render_tree,
+    span_from_dict,
 )
 
 
@@ -207,3 +209,80 @@ class TestNullTracer:
 
     def test_render_placeholder(self):
         assert "disabled" in NullTracer().render()
+
+
+class TestContinuity:
+    def test_context_round_trips_via_dict_and_pickle(self):
+        import pickle
+
+        tracer = Tracer()
+        with tracer.span("scan") as sp:
+            ctx = tracer.context(sp)
+        assert ctx.parent_id == sp.span_id
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_worker_tracer_shares_time_axis(self):
+        parent = Tracer()
+        worker = Tracer.from_context(parent.context())
+        with parent.span("a"):
+            pass
+        with worker.span("b"):
+            pass
+        # Same epoch: the worker span starts after the parent span did.
+        assert worker.spans()[0].start_s >= parent.spans()[0].start_s
+
+    def test_graft_remaps_ids_and_parents(self):
+        parent = Tracer()
+        with parent.span("scan") as scan:
+            pass
+        worker = Tracer.from_context(parent.context(scan))
+        with worker.span("chunk_batch"):
+            with worker.span("kernel"):
+                pass
+        shipped = [sp.to_dict() for sp in worker.spans()]
+        grafted = parent.graft(shipped, parent=scan, worker=3)
+        spans = {sp.name: sp for sp in parent.spans()}
+        batch, kernel = spans["chunk_batch"], spans["kernel"]
+        # Fresh ids from the parent's sequence, no collision with scan.
+        assert len({sp.span_id for sp in parent.spans()}) == 3
+        assert batch.parent_id == scan.span_id
+        assert kernel.parent_id == batch.span_id
+        # root_attrs land on the shipped root only.
+        assert batch.attrs["worker"] == 3
+        assert "worker" not in kernel.attrs
+        assert [sp.name for sp in grafted] == ["chunk_batch", "kernel"]
+
+    def test_graft_without_parent_makes_roots(self):
+        tracer = Tracer()
+        worker = Tracer()
+        with worker.span("lonely"):
+            pass
+        (grafted,) = tracer.graft(worker.spans())
+        assert grafted.parent_id is None
+
+    def test_graft_keeps_timestamps_verbatim(self):
+        tracer = Tracer()
+        worker = Tracer.from_context(tracer.context())
+        with worker.span("w"):
+            pass
+        orig = worker.spans()[0]
+        (grafted,) = tracer.graft([orig.to_dict()])
+        assert grafted.start_s == pytest.approx(orig.start_s)
+        assert grafted.duration_s == pytest.approx(orig.duration_s)
+
+    def test_span_from_dict_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("x", key="v"):
+            pass
+        sp = tracer.spans()[0]
+        back = span_from_dict(sp.to_dict())
+        assert back.name == sp.name
+        assert back.span_id == sp.span_id
+        assert back.attrs == sp.attrs
+        assert back.duration_s == pytest.approx(sp.duration_s)
+
+    def test_null_tracer_context_and_graft_are_noops(self):
+        nt = NullTracer()
+        assert nt.context() is None
+        assert nt.graft([{"span_id": 0}]) == []
