@@ -1,0 +1,200 @@
+"""Benchmark: one-pass streaming training vs the two-pass batch builder.
+
+Standalone script (not a pytest benchmark), the perf gate for the
+streaming subsystem.  Three claims are measured and asserted:
+
+1. **Passes** — the :class:`~repro.stream.StreamingTrainer` sees every
+   record exactly once, while the batch CMP-S builder rescans the table
+   once per level (asserted: batch scans > 1, streaming records
+   consumed == dataset size).
+2. **Memory** — open-leaf sketch bytes are ledgered; with
+   ``--memory-budget`` set, the post-spill high-water mark must stay
+   under the budget (asserted when the flag is given).
+3. **Accuracy** — the one-pass tree's held-out accuracy must stay
+   within ``--accuracy-gap`` of the batch tree's (asserted always;
+   the ε-derived per-split bound is checked separately by the
+   ``repro.verify.stream`` battery in the test suite).
+
+CI runs::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py \
+        --records 600000 --accuracy-gap 0.12 --out BENCH_stream.json
+
+Wall clocks are reported for both builds but never gated — machine load
+makes them unreliable in shared CI; the pass/memory/accuracy claims are
+load-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import BuilderConfig
+from repro.core.cmp_s import CMPSBuilder
+from repro.data.synthetic import generate_agrawal
+from repro.stream import StreamingTrainer
+
+
+def run(args) -> tuple[dict[str, object], bool]:
+    dataset = generate_agrawal(args.function, args.records, seed=args.seed)
+    holdout = generate_agrawal(
+        args.function, args.holdout_records, seed=args.seed + 1
+    )
+    config = BuilderConfig(
+        n_intervals=args.intervals,
+        max_depth=args.depth,
+        min_records=20,
+        seed=args.seed,
+    )
+    report: dict[str, object] = {
+        "benchmark": "stream",
+        "function": args.function,
+        "records": args.records,
+        "holdout_records": args.holdout_records,
+        "intervals": args.intervals,
+        "depth": args.depth,
+        "eps": args.eps,
+        "chunk": args.chunk,
+        "memory_budget_bytes": args.memory_budget,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+    ok = True
+
+    # --- One-pass streaming build. ----------------------------------------
+    trainer = StreamingTrainer(
+        dataset.schema,
+        config,
+        eps=args.eps,
+        memory_budget_bytes=args.memory_budget,
+    )
+    start = time.perf_counter()
+    streamed = trainer.fit(dataset, chunk_size=args.chunk)
+    stream_wall = time.perf_counter() - start
+    stream_acc = float(np.mean(streamed.tree.predict(holdout.X) == holdout.y))
+    one_pass = streamed.n_records == dataset.n_records
+    ok &= one_pass
+    report["streaming"] = {
+        "wall_seconds": round(stream_wall, 3),
+        "records_consumed": streamed.n_records,
+        "one_pass": one_pass,
+        "holdout_accuracy": round(stream_acc, 4),
+        "leaves": streamed.tree.n_leaves,
+        "sketch_bytes_peak": streamed.sketch_bytes_peak,
+        "ledger_peak_bytes": streamed.stats.memory.peak,
+        "ledger_balanced": streamed.stats.memory.current == 0,
+        "spilled_nodes": len(streamed.spilled_nodes),
+        "declined_nodes": len(streamed.declined_nodes),
+        "records_per_second": int(args.records / max(stream_wall, 1e-9)),
+    }
+    ok &= streamed.stats.memory.current == 0
+    print(
+        f"streaming: {stream_wall:.2f}s acc={stream_acc:.4f} "
+        f"sketch_peak={streamed.sketch_bytes_peak / 1e6:.2f}MB "
+        f"spills={len(streamed.spilled_nodes)} "
+        f"declines={len(streamed.declined_nodes)}"
+    )
+    if args.memory_budget:
+        under = streamed.sketch_bytes_peak <= args.memory_budget
+        ok &= under
+        if not under:
+            print(
+                f"FAIL: sketch peak {streamed.sketch_bytes_peak} exceeds "
+                f"budget {args.memory_budget}",
+                file=sys.stderr,
+            )
+
+    # --- Two-pass (per-level rescan) batch build. --------------------------
+    start = time.perf_counter()
+    batch = CMPSBuilder(config).build(dataset)
+    batch_wall = time.perf_counter() - start
+    batch_acc = float(np.mean(batch.tree.predict(holdout.X) == holdout.y))
+    multi_scan = batch.stats.io.scans > 1
+    ok &= multi_scan
+    report["batch"] = {
+        "wall_seconds": round(batch_wall, 3),
+        "holdout_accuracy": round(batch_acc, 4),
+        "scans": batch.stats.io.scans,
+        "multi_scan": multi_scan,
+        "leaves": batch.tree.n_leaves,
+        "ledger_peak_bytes": batch.stats.memory.peak,
+        "records_per_second": int(args.records / max(batch_wall, 1e-9)),
+    }
+    print(
+        f"batch: {batch_wall:.2f}s acc={batch_acc:.4f} "
+        f"scans={batch.stats.io.scans}"
+    )
+
+    # --- The trade-off, quantified. ----------------------------------------
+    gap = batch_acc - stream_acc
+    within = gap <= args.accuracy_gap
+    ok &= within
+    # Deliberately direction-neutral names: the bench-history gate infers
+    # polarity from substrings ("accuracy" must not fall, "wall" must not
+    # rise), and neither applies to a signed gap or a ratio of two walls.
+    report["gap_batch_minus_stream"] = round(gap, 4)
+    report["gap_limit"] = args.accuracy_gap
+    report["batch_over_stream_ratio"] = round(
+        batch_wall / max(stream_wall, 1e-9), 3
+    )
+    print(
+        f"gap: batch-streaming accuracy {gap:+.4f} "
+        f"(limit {args.accuracy_gap}) wall x{report['batch_over_stream_ratio']}"
+    )
+    if not within:
+        print(
+            f"FAIL: accuracy gap {gap:.4f} exceeds {args.accuracy_gap}",
+            file=sys.stderr,
+        )
+
+    report["ok"] = ok
+    return report, ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=600_000)
+    parser.add_argument("--holdout-records", type=int, default=100_000)
+    parser.add_argument("--function", default="F2")
+    parser.add_argument("--intervals", type=int, default=32)
+    parser.add_argument("--depth", type=int, default=8)
+    parser.add_argument("--eps", type=float, default=0.02)
+    parser.add_argument("--chunk", type=int, default=4096)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="streaming sketch budget; 0 = unbounded (no spill gate)",
+    )
+    parser.add_argument(
+        "--accuracy-gap",
+        type=float,
+        default=0.12,
+        metavar="X",
+        help="fail if batch beats streaming held-out accuracy by more",
+    )
+    parser.add_argument("--out", default="BENCH_stream.json", metavar="PATH")
+    args = parser.parse_args(argv)
+
+    report, ok = run(args)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not ok:
+        print("bench_stream: FAILED (see report)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

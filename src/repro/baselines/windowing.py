@@ -77,6 +77,11 @@ class WindowingBuilder(TreeBuilder):
         best_tree: DecisionTree | None = None
         best_errors = n + 1
         for iteration in range(self.max_iterations):
+            # Release the previous window's entry before re-allocating the
+            # grown one: the ledger must hold exactly one live window at a
+            # time, so current stays balanced and peak equals the largest
+            # single window (release is idempotent on iteration 0).
+            stats.memory.release("window/records")
             stats.memory.allocate(
                 "window/records", window_X.nbytes + 8 * len(window_y)
             )

@@ -423,6 +423,42 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common(p)
 
+    p = sub.add_parser(
+        "stream-demo",
+        help="One-pass streaming training + sliding-window hot-swap refresh "
+        "on a concept-drifting Agrawal stream",
+    )
+    p.add_argument(
+        "--segments",
+        nargs="+",
+        default=["F2:8000", "F5:8000"],
+        metavar="FN:N",
+        help="drift segments as function:records pairs, in stream order",
+    )
+    p.add_argument("--chunk", type=int, default=500, metavar="N")
+    p.add_argument("--window", type=int, default=4000, metavar="N")
+    p.add_argument("--refresh-every", type=int, default=2000, metavar="N")
+    p.add_argument("--eps", type=float, default=0.02)
+    p.add_argument(
+        "--memory-budget",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="sketch memory budget for the one-pass trainer (0 = unbounded)",
+    )
+    p.add_argument(
+        "--battery",
+        type=int,
+        default=0,
+        metavar="SEEDS",
+        help="also run the N-seed streaming differential battery "
+        "(every sketch split vs the exact oracle)",
+    )
+    p.add_argument("--intervals", type=int, default=32)
+    p.add_argument("--max-depth", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    _add_obs(p)
+
     args = parser.parse_args(argv)
 
     if args.command == "table1":
@@ -766,6 +802,107 @@ def main(argv: list[str] | None = None) -> int:
         )
         _write_obs(args, tracer, registry)
         return 0 if summary.ok else 1
+    if args.command == "stream-demo":
+        from repro.data.synthetic import drift_boundaries, generate_drift
+        from repro.serve.engine import ModelRegistry, ServingEngine
+        from repro.stream import SlidingWindowRefresher, StreamingTrainer
+
+        try:
+            segments = tuple(
+                (part.split(":")[0], int(part.split(":")[1]))
+                for part in args.segments
+            )
+        except (IndexError, ValueError):
+            parser.error("--segments entries must look like F2:8000")
+        config = BuilderConfig(
+            n_intervals=args.intervals,
+            max_depth=args.max_depth,
+            min_records=20,
+            seed=args.seed,
+        )
+        tracer, registry = _obs_objects(args)
+        stream = generate_drift(segments, seed=args.seed)
+        bounds = drift_boundaries(segments)
+
+        # Static baseline: one-pass tree trained on the first window only.
+        static_trainer = StreamingTrainer(
+            stream.schema,
+            config,
+            eps=args.eps,
+            memory_budget_bytes=args.memory_budget,
+            metrics=registry,
+            tracer=tracer,
+        )
+        first = min(args.window, stream.n_records)
+        static = static_trainer.fit_stream(
+            iter([(stream.X[:first], stream.y[:first])])
+        )
+
+        # Refreshed: sliding window, hot-swapped into a live endpoint.
+        reg = ModelRegistry()
+        engine = ServingEngine(reg, tracer=tracer)
+        refresher = SlidingWindowRefresher(
+            reg,
+            "stream-demo",
+            stream.schema,
+            window_records=args.window,
+            refresh_every=args.refresh_every,
+            config=config,
+            eps=args.eps,
+            metrics=registry,
+            tracer=tracer,
+        )
+        # Prequential replay: score each chunk before absorbing it.
+        static_hits = np.zeros(len(bounds))
+        refresh_hits = np.zeros(len(bounds))
+        seen = np.zeros(len(bounds))
+        for start in range(0, stream.n_records, args.chunk):
+            stop = min(start + args.chunk, stream.n_records)
+            Xc, yc = stream.X[start:stop], stream.y[start:stop]
+            seg = next(i for i, b in enumerate(bounds) if start < b)
+            if start >= first:
+                static_hits[seg] += float(
+                    np.sum(static.tree.predict(Xc) == yc)
+                )
+                if refresher.history:
+                    refresh_hits[seg] += float(
+                        np.sum(engine.predict("stream-demo", Xc) == yc)
+                    )
+                seen[seg] += len(yc)
+            refresher.observe(Xc, yc)
+        rows = []
+        for i, (function, _) in enumerate(segments):
+            rows.append(
+                {
+                    "segment": f"{i}:{function}",
+                    "records": int(seen[i]),
+                    "static_acc": round(static_hits[i] / max(seen[i], 1), 4),
+                    "refresh_acc": round(refresh_hits[i] / max(seen[i], 1), 4),
+                }
+            )
+        print(format_table(rows))
+        print(
+            f"refreshes: {len(refresher.history)}  "
+            f"endpoint version: {reg.endpoint_version('stream-demo')}  "
+            f"static sketch peak: {static.sketch_bytes_peak} bytes"
+        )
+        exit_code = 0
+        if args.battery:
+            from repro.verify.stream import run_stream_battery
+
+            report = run_stream_battery(
+                n_seeds=args.battery, config=config, eps=args.eps
+            )
+            print(format_table(report.rows))
+            for finding in report.findings:
+                print(finding, file=sys.stderr)
+            print(
+                f"battery: {len(report.rows)} runs, {report.n_splits} splits, "
+                f"{'OK' if report.ok else 'FAILED'}"
+            )
+            exit_code = 0 if report.ok else 1
+        _write_obs(args, tracer, registry)
+        return exit_code
     if args.command == "demo":
         if args.resume and not args.checkpoint:
             parser.error("--resume requires --checkpoint")

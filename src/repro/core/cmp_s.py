@@ -174,22 +174,33 @@ class CMPSBuilder(TreeBuilder):
             rng = np.random.default_rng(cfg.seed)
 
             # --- Scan 1: quantiling pass (root grid + class totals). ------
-            # Reservoir sampling consumes records in stream order, so this
-            # scan stays serial under every worker count.
-            reservoirs = {
-                j: ReservoirSampler(cfg.reservoir_capacity, rng) for j in cont
-            }
+            # Summaries consume records in stream order, so this scan
+            # stays serial under every worker count.  Both interval
+            # sources expose .extend(values) / .edges(q): the reservoir
+            # is the paper's uniform sample; the sketch is the streaming
+            # alternative with a deterministic rank-error bound
+            # (config.interval_source, PAPERS.md streaming split work).
+            if cfg.interval_source == "sketch":
+                from repro.stream.sketch import QuantileSketch
+
+                summaries: dict[int, object] = {
+                    j: QuantileSketch(cfg.sketch_eps) for j in cont
+                }
+            else:
+                summaries = {
+                    j: ReservoirSampler(cfg.reservoir_capacity, rng)
+                    for j in cont
+                }
             totals = np.zeros(c, dtype=np.float64)
             with stats.phase("scan"):
                 for chunk in table.scan():
                     totals += np.bincount(chunk.y, minlength=c)
                     for j in cont:
-                        reservoirs[j].extend(chunk.X[:, j])
+                        summaries[j].extend(chunk.X[:, j])
             root_edges = {
-                j: equal_depth_edges(reservoirs[j].sample(), cfg.n_intervals)
-                for j in cont
+                j: summaries[j].edges(cfg.n_intervals) for j in cont
             }
-            del reservoirs
+            del summaries
             root = account.new_node(0, totals)
 
             nid = np.zeros(n, dtype=np.int64)

@@ -40,6 +40,52 @@ import numpy as np
 from repro.core.gini import gini_partition
 
 
+def sketch_count_slack(rank_error: float, n: float) -> float:
+    """Gini slack from evaluating a candidate with ε-approximate counts.
+
+    Moving one record across a partition changes ``gini^D`` by at most
+    ``2 / N`` (the same Lipschitz fact behind the paper's footnote 1), so
+    a cumulative class-count vector whose total L1 error is at most
+    ``rank_error`` perturbs the partition gini by at most
+    ``2 * rank_error / N``.  This is the term a quantile sketch's rank
+    error ε contributes each time a candidate threshold is *scored*.
+    """
+    if n <= 0:
+        return 0.0
+    return 2.0 * float(rank_error) / float(n)
+
+
+def sketch_split_slack(
+    eps: float, q: int, n_classes: int = 2, safety: float = 1.0
+) -> float:
+    """Analytic bound on ``achieved - oracle`` for a sketch-chosen split.
+
+    The chain (mirroring the differential harness's footnote-1 argument,
+    with the sketch's rank error ε threaded through):
+
+    * the winner's achieved gini differs from its sketch score by at
+      most ``2 * c * eps`` (per-class rank errors sum over ``c``
+      classes — :func:`sketch_count_slack` with ``rank_error =
+      c * eps * N``);
+    * the winner's score is minimal over every candidate of every
+      attribute, including the candidates bracketing the oracle's true
+      optimum;
+    * the oracle's optimum sits inside one interval of its attribute's
+      sketch-quantile grid; that interval holds at most
+      ``(1/q + 2 * c * eps)`` of the records (equal-depth up to the
+      sketch's rank error), so footnote 1 bounds the interior undershoot
+      by twice that; scoring that boundary costs another
+      ``2 * c * eps``.
+
+    Total: ``2/q + 8 * c * eps``, scaled by ``safety``.  The
+    verification harness replaces the analytic ``1/q + 2 c eps``
+    interval population with the *measured* non-atomic population of the
+    recorded candidate grid, which is both tighter and exact.
+    """
+    ce = float(n_classes) * float(eps)
+    return float(safety) * (2.0 / float(q) + 8.0 * ce)
+
+
 def gini_gradient(x: np.ndarray, totals: np.ndarray) -> np.ndarray:
     """Gradient of ``gini^D(S, a <= v)`` along every class (Equation 4).
 

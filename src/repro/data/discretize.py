@@ -172,6 +172,21 @@ class Discretizer:
         """Build an equal-width discretizer with ``q`` intervals."""
         return cls(equal_width_edges(values, q))
 
+    @classmethod
+    def from_sketch(cls, sketch, q: int) -> "Discretizer":
+        """Interval structure from a one-pass mergeable quantile sketch.
+
+        The streaming alternative to :meth:`equal_depth`: the edges are
+        the sketch's equal-depth quantiles (every one an actual data
+        value, so each boundary remains a realizable ``a <= edge``
+        split), and the grid's deviation from true equal depth is
+        bounded by the sketch's explicit rank error — see
+        :meth:`repro.stream.sketch.QuantileSketch.rank_error_bound` and
+        :func:`repro.core.estimation.sketch_split_slack` for how that ε
+        feeds the estimator-bound chain.
+        """
+        return cls(sketch.edges(q))
+
     @property
     def n_intervals(self) -> int:
         """Number of intervals (``len(edges) + 1``)."""

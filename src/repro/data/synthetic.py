@@ -294,3 +294,52 @@ def generate_function_f(
 ) -> Dataset:
     """Shorthand for the paper's Function f workload (§2.3, Figure 18)."""
     return generate_agrawal("Ff", n_records, seed=seed, perturbation=perturbation)
+
+
+def generate_drift(
+    segments: tuple[tuple[str, int], ...],
+    seed: int = 0,
+    perturbation: float = 0.05,
+) -> Dataset:
+    """Time-varying Agrawal stream: the labelling concept flips per segment.
+
+    ``segments`` is a sequence of ``(function, n_records)`` pairs; all
+    covariates are drawn upfront from one generator stream, so for a
+    fixed seed the attribute rows are *identical* regardless of how the
+    stream is cut into segments — only the labelling concept drifts.
+    Each segment's records are labelled by its own function.  Row order
+    is time order — segment ``i`` occupies rows
+    ``[sum(n_0..n_{i-1}), sum(n_0..n_i))`` — which is what the
+    sliding-window refresh tests replay as a stream.
+    """
+    if not segments:
+        raise ValueError("segments must be non-empty")
+    for function, n_records in segments:
+        if function not in FUNCTIONS:
+            raise ValueError(
+                f"unknown function {function!r}; expected one of "
+                f"{sorted(FUNCTIONS)}"
+            )
+        if n_records <= 0:
+            raise ValueError("every segment needs a positive record count")
+    rng = np.random.default_rng(seed)
+    total = sum(n for _, n in segments)
+    X = _raw_attributes(total, rng)
+    y = np.empty(total, dtype=np.int64)
+    start = 0
+    for function, n_records in segments:
+        stop = start + n_records
+        in_group_a = FUNCTIONS[function](X[start:stop])
+        y[start:stop] = np.where(in_group_a, GROUP_A, GROUP_B)
+        start = stop
+    return Dataset(_perturb(X, perturbation, rng), y, AGRAWAL_SCHEMA)
+
+
+def drift_boundaries(segments: tuple[tuple[str, int], ...]) -> list[int]:
+    """Cumulative row offsets of each segment boundary (ends exclusive)."""
+    bounds: list[int] = []
+    total = 0
+    for _, n_records in segments:
+        total += n_records
+        bounds.append(total)
+    return bounds

@@ -88,6 +88,10 @@ class AccessRecord:
     trace_id: int | None = None
     #: Exception class name for ``error`` outcomes.
     error: str | None = None
+    #: Sticky routing key the caller supplied (``None`` for keyless
+    #: requests) — lets hot-swap tests assert per-key version monotonicity
+    #: straight from the log.
+    route_key: str | None = None
 
     def to_dict(self) -> dict[str, object]:
         """JSON-serializable form (one JSONL line)."""
@@ -114,6 +118,7 @@ class AccessRecord:
             batch_id=obj.get("batch_id"),  # type: ignore[arg-type]
             trace_id=obj.get("trace_id"),  # type: ignore[arg-type]
             error=obj.get("error"),  # type: ignore[arg-type]
+            route_key=obj.get("route_key"),  # type: ignore[arg-type]
         )
 
 
@@ -155,6 +160,7 @@ class AccessLog:
         batch_id: int | None = None,
         trace_id: int | None = None,
         error: str | None = None,
+        route_key: str | None = None,
     ) -> AccessRecord:
         """Append one request record (and update bound RED metrics)."""
         if outcome not in OUTCOMES:
@@ -173,6 +179,7 @@ class AccessLog:
             batch_id=batch_id,
             trace_id=trace_id,
             error=error,
+            route_key=route_key,
         )
         with self._lock:
             self._records.append(rec)

@@ -223,6 +223,46 @@ class ModelRegistry:
         """Canary becomes stable in one atomic flip; returns the old stable."""
         return self._rollout.promote(name)
 
+    def hot_swap(
+        self,
+        name: str,
+        model: "DecisionTree | CompiledTree | object",
+        *,
+        canary_weight: float = 1.0,
+        retire: bool = True,
+    ) -> str:
+        """Register ``model`` and make it endpoint ``name``'s stable version.
+
+        The zero-downtime refresh primitive: the first call creates the
+        endpoint; every later call goes through the rollout path —
+        register, canary at ``canary_weight``, promote — so the stable
+        pointer flips atomically and no request ever observes an
+        endpoint without a model.  With ``retire`` (the default) the
+        displaced stable is unregistered afterwards, honouring drain
+        semantics: removal is deferred while leased requests are in
+        flight and skipped entirely if another endpoint still routes to
+        it.  Returns the new fingerprint.
+        """
+        fingerprint = self.register(model)
+        if not self._rollout.has_endpoint(name):
+            self._rollout.deploy(name, fingerprint)
+            return fingerprint
+        old = self._rollout.peek(name)
+        if old == fingerprint:
+            return fingerprint
+        self._rollout.set_canary(name, fingerprint, canary_weight)
+        self._rollout.promote(name)
+        if retire:
+            try:
+                self.unregister(old)
+            except ModelInUseError:
+                pass  # another endpoint still serves the displaced model
+        return fingerprint
+
+    def endpoint_version(self, name: str) -> int:
+        """Monotone stable-version counter of endpoint ``name``."""
+        return self._rollout.version(name)
+
     def rollback(self, name: str) -> str:
         """Drop the canary in one atomic flip; returns its fingerprint."""
         return self._rollout.rollback(name)
@@ -583,6 +623,7 @@ class ServingEngine:
                         latency_s=time.perf_counter() - start,
                         trace_id=req_span.span_id if req_span.span_id >= 0 else None,
                         error=error_name,
+                        route_key=None if route_key is None else str(route_key),
                     )
 
     def _execute(

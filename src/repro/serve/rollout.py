@@ -54,6 +54,10 @@ class Endpoint:
     stable: str
     canary: str | None = None
     canary_weight: float = 0.0
+    #: Monotone counter, bumped whenever the stable fingerprint changes
+    #: (repoint or promote).  Lets a client observing an endpoint over
+    #: time assert it never travels backwards through model versions.
+    version: int = 1
     #: Requests routed to each version (cumulative, for tests/metrics).
     stable_routes: int = 0
     canary_routes: int = 0
@@ -67,6 +71,7 @@ class Endpoint:
             "stable": self.stable,
             "canary": self.canary,
             "canary_weight": self.canary_weight,
+            "version": self.version,
             "stable_routes": self.stable_routes,
             "canary_routes": self.canary_routes,
         }
@@ -96,8 +101,9 @@ class RolloutManager:
             ep = self._endpoints.get(name)
             if ep is None:
                 self._endpoints[name] = Endpoint(name=name, stable=fingerprint)
-            else:
+            elif ep.stable != fingerprint:
                 ep.stable = fingerprint
+                ep.version += 1
 
     def set_canary(self, name: str, fingerprint: str, weight: float) -> None:
         """Start (or retune) a canary on ``name`` at traffic ``weight``."""
@@ -122,6 +128,7 @@ class RolloutManager:
             ep.stable = ep.canary
             ep.canary = None
             ep.canary_weight = 0.0
+            ep.version += 1
             return old
 
     def rollback(self, name: str) -> str:
@@ -175,6 +182,11 @@ class RolloutManager:
         """The stable fingerprint of ``name``, without counting a route."""
         with self._lock:
             return self._require(name).stable
+
+    def version(self, name: str) -> int:
+        """Current stable-version counter of ``name``."""
+        with self._lock:
+            return self._require(name).version
 
     # -- introspection -------------------------------------------------------
 

@@ -1,0 +1,35 @@
+"""Streaming split computation: one-pass sketches, bounded-memory training,
+and sliding-window hot-swap refresh.
+
+The streaming counterpart of the batch CMP-S builder (ROADMAP: online
+learning pillar).  :mod:`repro.stream.sketch` provides mergeable
+quantile and heavy-hitter summaries with explicit error bounds;
+:mod:`repro.stream.trainer` grows trees from a single pass over the
+record stream under a memory budget; :mod:`repro.stream.refresh` keeps a
+served model fresh on non-stationary streams by re-fitting on a sliding
+window and hot-swapping through the registry's rollout path.  Every
+sketch-chosen split is verifiable against the exact oracle within an
+ε-derived bound — see :mod:`repro.verify.stream`.
+"""
+
+from repro.stream.refresh import RefreshEvent, SlidingWindowRefresher
+from repro.stream.sketch import HeavyHitterSketch, QuantileSketch
+from repro.stream.trainer import (
+    SKETCH_LEDGER_PREFIX,
+    SplitMeta,
+    StreamingResult,
+    StreamingTrainer,
+    stream_chunks,
+)
+
+__all__ = [
+    "HeavyHitterSketch",
+    "SKETCH_LEDGER_PREFIX",
+    "QuantileSketch",
+    "RefreshEvent",
+    "SlidingWindowRefresher",
+    "SplitMeta",
+    "StreamingResult",
+    "StreamingTrainer",
+    "stream_chunks",
+]

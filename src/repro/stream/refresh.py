@@ -1,0 +1,257 @@
+"""Sliding-window incremental refresh with zero-downtime hot swap.
+
+Supersedes the ``baselines/windowing.py`` seed: instead of rebuilding a
+tree in place and handing the caller a new object, the
+:class:`SlidingWindowRefresher` keeps the last ``window_records``
+records of a non-stationary stream, periodically re-fits a tree on the
+window with the one-pass :class:`~repro.stream.trainer.StreamingTrainer`,
+and **hot-swaps** the result into a live
+:class:`~repro.serve.engine.ModelRegistry` endpoint through the rollout
+path (register → canary → atomic promote → drain-aware retire of the
+displaced version).  Serving traffic addressing the endpoint name never
+observes a missing model, and the displaced tree is only dropped once
+its in-flight requests drain.
+
+Two driving modes share the same ingest/refresh core:
+
+* **synchronous** — :meth:`observe` re-fits inline whenever
+  ``refresh_every`` new records have arrived since the last fit
+  (deterministic; what the drift regression tests use);
+* **background** — :meth:`start` launches a trainer thread that wakes on
+  arrivals and performs the same re-fit off the caller's thread (what a
+  live serving deployment uses; the hot-swap test drives sustained
+  traffic against it).
+
+Observability: each refresh runs under a ``stream_refresh`` tracer span
+and updates ``cmp_stream_window_records`` / ``cmp_stream_sketch_bytes``
+gauges plus the ``cmp_stream_refreshes_total`` counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import BuilderConfig
+from repro.data.schema import Schema
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+from repro.serve.engine import ModelRegistry
+from repro.stream.trainer import StreamingTrainer
+
+
+@dataclass(frozen=True)
+class RefreshEvent:
+    """One completed refresh: which model now serves the endpoint."""
+
+    #: Refresh sequence number (1-based).
+    seq: int
+    #: Fingerprint hot-swapped into the endpoint.
+    fingerprint: str
+    #: Endpoint version counter after the swap.
+    version: int
+    #: Records in the training window at fit time.
+    window_records: int
+    #: Peak sketch bytes of the one-pass fit.
+    sketch_bytes: int
+
+
+class SlidingWindowRefresher:
+    """Keep a bounded window of a stream; re-fit and hot-swap periodically.
+
+    Parameters
+    ----------
+    registry:
+        Live model registry to swap into.
+    endpoint:
+        Endpoint name served to clients (created on the first refresh).
+    schema:
+        Stream record schema.
+    window_records:
+        Sliding-window size; older records are evicted.
+    refresh_every:
+        New records between re-fits.
+    config / eps / grace_records:
+        Passed to the per-refresh :class:`StreamingTrainer`.
+    metrics / tracer:
+        Optional observability sinks (see module docstring).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        endpoint: str,
+        schema: Schema,
+        *,
+        window_records: int,
+        refresh_every: int,
+        config: BuilderConfig | None = None,
+        eps: float = 0.02,
+        grace_records: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer=None,
+    ) -> None:
+        if window_records < 1:
+            raise ValueError("window_records must be positive")
+        if refresh_every < 1:
+            raise ValueError("refresh_every must be positive")
+        self.registry = registry
+        self.endpoint = endpoint
+        self.schema = schema
+        self.window_records = int(window_records)
+        self.refresh_every = int(refresh_every)
+        self.config = config
+        self.eps = float(eps)
+        self.grace_records = grace_records
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._window: list[tuple[np.ndarray, np.ndarray]] = []
+        self._window_n = 0
+        self._since_refresh = 0
+        self._history: list[RefreshEvent] = []
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- ingest --------------------------------------------------------------
+
+    def observe(self, X: np.ndarray, y: np.ndarray) -> bool:
+        """Absorb a chunk; re-fit when due.  Returns True if it refreshed.
+
+        With a background thread running (:meth:`start`), a due refresh
+        is signalled to the thread instead of running inline.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if len(X) != len(y):
+            raise ValueError("chunk X and y must align")
+        due = False
+        with self._lock:
+            if len(y):
+                self._window.append((X, y))
+                self._window_n += len(y)
+                self._since_refresh += len(y)
+                self._trim_locked()
+            due = self._since_refresh >= self.refresh_every
+            if due:
+                self._since_refresh = 0
+        if not due:
+            return False
+        if self._thread is not None:
+            self._wake.set()
+            return False
+        self.refresh()
+        return True
+
+    def _trim_locked(self) -> None:
+        while self._window_n > self.window_records and len(self._window) > 1:
+            extra = self._window_n - self.window_records
+            head_X, head_y = self._window[0]
+            if len(head_y) <= extra:
+                self._window.pop(0)
+                self._window_n -= len(head_y)
+            else:
+                self._window[0] = (head_X[extra:], head_y[extra:])
+                self._window_n -= extra
+
+    # -- refresh -------------------------------------------------------------
+
+    def refresh(self) -> RefreshEvent | None:
+        """Re-fit on the current window and hot-swap the endpoint.
+
+        Returns the :class:`RefreshEvent`, or ``None`` when the window
+        is empty or degenerate (single class with no splits possible is
+        still fine — a single-leaf tree serves the prior).
+        """
+        with self._lock:
+            if not self._window:
+                return None
+            X = np.concatenate([c[0] for c in self._window])
+            y = np.concatenate([c[1] for c in self._window])
+        with self.tracer.span(
+            "stream_refresh", endpoint=self.endpoint, window=len(y)
+        ):
+            trainer = StreamingTrainer(
+                self.schema,
+                self.config,
+                eps=self.eps,
+                grace_records=self.grace_records,
+                metrics=self.metrics,
+            )
+            result = trainer.fit_stream(iter([(X, y)]))
+            fingerprint = self.registry.hot_swap(self.endpoint, result.tree)
+            version = self.registry.endpoint_version(self.endpoint)
+        with self._lock:
+            event = RefreshEvent(
+                seq=len(self._history) + 1,
+                fingerprint=fingerprint,
+                version=version,
+                window_records=len(y),
+                sketch_bytes=result.sketch_bytes_peak,
+            )
+            self._history.append(event)
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "cmp_stream_window_records",
+                "Records currently held in the sliding refresh window.",
+            ).set(float(len(y)))
+            self.metrics.gauge(
+                "cmp_stream_sketch_bytes",
+                "Peak sketch bytes of the most recent window re-fit.",
+            ).set(float(result.sketch_bytes_peak))
+            self.metrics.counter(
+                "cmp_stream_refreshes_total",
+                "Sliding-window re-fit + hot-swap cycles completed.",
+            ).inc()
+        return event
+
+    # -- background driving --------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the background refresh thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._worker, name=f"refresh:{self.endpoint}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, *, final_refresh: bool = False) -> None:
+        """Stop the background thread; optionally run one last refresh."""
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            self._wake.set()
+            thread.join(timeout=30.0)
+            self._thread = None
+        if final_refresh:
+            self.refresh()
+
+    def _worker(self) -> None:
+        while True:
+            self._wake.wait()
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            self.refresh()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def history(self) -> list[RefreshEvent]:
+        """Completed refreshes, oldest first (copy)."""
+        with self._lock:
+            return list(self._history)
+
+    @property
+    def window_size(self) -> int:
+        """Records currently held in the window."""
+        with self._lock:
+            return self._window_n
+
+
+__all__ = ["RefreshEvent", "SlidingWindowRefresher"]

@@ -1,0 +1,457 @@
+"""Mergeable one-pass sketches for streaming split computation.
+
+CMP's equal-depth discretizer needs a full pre-pass (or a reservoir
+sample) over a node's records before it can lay an interval grid.  Ta &
+Vu show that near-optimal decision-tree splits are computable from a
+*single* pass with sublinear memory, by replacing the exact quantiling
+pass with a mergeable quantile sketch whose rank error is explicitly
+bounded.  This module provides the two sketch families the streaming
+trainer builds on:
+
+:class:`QuantileSketch`
+    A deterministic KLL/MRL-style multi-level compactor for continuous
+    values.  Items live in levels; an item at level ``l`` represents
+    ``2**l`` original records.  When a level reaches ``capacity`` items
+    it is sorted and every other item is promoted to the next level with
+    doubled weight (alternating the kept parity between compactions).
+    One compaction at level ``l`` shifts the weighted rank of *any*
+    threshold by at most ``2**l``, so the sketch maintains an **exact,
+    queryable error bound**: ``rank_error_bound() = sum over levels of
+    compactions[l] * 2**l``.  The per-level capacity is sized from the
+    target ``eps`` so that the bound stays below ``eps * n`` for any
+    stream up to ``2**32`` records (see ``_LOG_CAP``).  Every retained
+    item is an actual data value, so sketch quantiles are realizable
+    split thresholds — the same property ``equal_depth_edges`` gives the
+    batch builders.
+
+:class:`HeavyHitterSketch`
+    A Misra-Gries summary of one categorical attribute keeping
+    *per-class* counts per category code.  With ``capacity`` at or above
+    the attribute's cardinality it is exact (the common case for schema
+    attributes, whose cardinality is known); below that it degrades
+    gracefully with a queryable ``error_bound()`` on any code's total.
+
+Both sketches merge associatively (error bounds add), serialize to
+plain dicts, and report ``nbytes()`` for the memory ledger.  Determinism
+matters: no randomness is used anywhere, so a sketch built from a given
+stream order is exactly reproducible — the property the verification
+harness relies on to replay sketch-chosen splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Capacity is sized as ``ceil(_LOG_CAP / eps)``: the deterministic
+#: compactor's rank error after ``n`` items is at most
+#: ``(levels + 1) * n / capacity`` with ``levels <= log2(n)``, so this
+#: constant guarantees ``rank_error_bound() <= eps * n`` for any stream
+#: of up to ``2**32`` records.
+_LOG_CAP = 34.0
+
+#: Fixed per-instance overhead charged by ``nbytes`` (object headers,
+#: counters, bookkeeping floats).
+_FIXED_OVERHEAD = 256
+
+
+class QuantileSketch:
+    """Deterministic mergeable quantile sketch with a queryable ε bound.
+
+    Parameters
+    ----------
+    eps:
+        Target rank-error fraction: after any prefix of the stream,
+        ``rank_error_bound() <= eps * n_seen`` is guaranteed (for
+        streams up to ``2**32`` records).
+    capacity:
+        Per-level item capacity; derived from ``eps`` when omitted.
+        Merging requires equal capacities.
+    """
+
+    def __init__(self, eps: float = 0.02, capacity: int | None = None) -> None:
+        if not 0.0 < eps < 1.0:
+            raise ValueError("eps must be in (0, 1)")
+        if capacity is None:
+            capacity = max(16, int(np.ceil(_LOG_CAP / eps)))
+        if capacity < 4:
+            raise ValueError("capacity must be at least 4")
+        # An odd capacity would strand the parity schedule; keep it even.
+        capacity += capacity % 2
+        self.eps = float(eps)
+        self.capacity = int(capacity)
+        self._levels: list[np.ndarray] = [np.empty(0, dtype=np.float64)]
+        self._compactions: list[int] = [0]
+        self._parity: list[int] = [0]
+        self._n_seen = 0
+        self._n_nan = 0
+        self._min = np.inf
+        self._max = -np.inf
+
+    # -- ingestion -----------------------------------------------------------
+
+    def update(self, value: float) -> None:
+        """Offer one value (NaN is counted and ignored)."""
+        self.extend(np.asarray([value], dtype=np.float64))
+
+    def extend(self, values: np.ndarray) -> None:
+        """Offer a batch of values (vectorized; NaNs counted and dropped)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if len(values) == 0:
+            return
+        finite = values[~np.isnan(values)]
+        self._n_nan += len(values) - len(finite)
+        if len(finite) == 0:
+            return
+        self._n_seen += len(finite)
+        self._min = min(self._min, float(finite.min()))
+        self._max = max(self._max, float(finite.max()))
+        self._levels[0] = np.concatenate([self._levels[0], finite])
+        self._cascade()
+
+    def _cascade(self) -> None:
+        level = 0
+        while level < len(self._levels):
+            if len(self._levels[level]) >= self.capacity:
+                self._compact(level)
+            level += 1
+
+    def _compact(self, level: int) -> None:
+        """Promote half of one level's items with doubled weight.
+
+        The buffer is sorted; with an odd item count the smallest item
+        stays behind at its original weight so total weight is exactly
+        preserved.  The kept parity alternates between compactions,
+        which keeps the worst-case shift of any threshold's weighted
+        rank at exactly ``2**level`` per compaction (and lets errors of
+        consecutive compactions partially cancel in practice).
+        """
+        buf = np.sort(self._levels[level])
+        if len(buf) % 2:
+            keep, buf = buf[:1], buf[1:]
+        else:
+            keep = buf[:0]
+        promoted = buf[self._parity[level] :: 2]
+        self._parity[level] ^= 1
+        self._compactions[level] += 1
+        self._levels[level] = keep
+        if level + 1 == len(self._levels):
+            self._levels.append(np.empty(0, dtype=np.float64))
+            self._compactions.append(0)
+            self._parity.append(0)
+        self._levels[level + 1] = np.concatenate(
+            [self._levels[level + 1], promoted]
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def n_seen(self) -> int:
+        """Finite values offered so far (NaNs excluded)."""
+        return self._n_seen
+
+    @property
+    def n_nan(self) -> int:
+        """NaN values offered (counted, never stored)."""
+        return self._n_nan
+
+    @property
+    def vmin(self) -> float:
+        """Exact minimum of the stream (``inf`` when empty)."""
+        return self._min
+
+    @property
+    def vmax(self) -> float:
+        """Exact maximum of the stream (``-inf`` when empty)."""
+        return self._max
+
+    def rank(self, thresholds: "np.ndarray | float") -> np.ndarray:
+        """Estimated count of stream values ``<= t`` for each threshold.
+
+        Matches the ``a <= C`` split convention.  The estimate is within
+        :meth:`rank_error_bound` of the exact count, uniformly over
+        thresholds.
+        """
+        t = np.atleast_1d(np.asarray(thresholds, dtype=np.float64))
+        out = np.zeros(len(t), dtype=np.float64)
+        for level, items in enumerate(self._levels):
+            if len(items):
+                out += (2**level) * np.searchsorted(
+                    np.sort(items), t, side="right"
+                )
+        return out
+
+    def rank_error_bound(self) -> float:
+        """Exact deterministic bound on ``|rank(t) - true_rank(t)|``.
+
+        One compaction at level ``l`` shifts any threshold's weighted
+        rank by at most ``2**l``; errors add over compactions, and
+        merge folds both operands' counters in, so the bound is valid
+        after any interleaving of ``extend`` and ``merge``.
+        """
+        return float(
+            sum(c * (2**level) for level, c in enumerate(self._compactions))
+        )
+
+    def _weighted_items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All retained items with weights, sorted by value."""
+        vals: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        for level, items in enumerate(self._levels):
+            if len(items):
+                vals.append(items)
+                weights.append(np.full(len(items), float(2**level)))
+        if not vals:
+            return np.empty(0), np.empty(0)
+        v = np.concatenate(vals)
+        w = np.concatenate(weights)
+        order = np.argsort(v, kind="stable")
+        return v[order], w[order]
+
+    def quantile(self, p: float) -> float:
+        """Smallest retained value whose weighted CDF reaches ``p``."""
+        return float(self.quantiles(np.asarray([p]))[0])
+
+    def quantiles(self, probs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`quantile` (inverted-CDF convention)."""
+        if self._n_seen == 0:
+            raise ValueError("cannot query quantiles of an empty sketch")
+        probs = np.asarray(probs, dtype=np.float64)
+        v, w = self._weighted_items()
+        cum = np.cumsum(w)
+        total = cum[-1]
+        targets = np.clip(probs * total, 0.0, total)
+        idx = np.searchsorted(cum, targets, side="left")
+        return v[np.minimum(idx, len(v) - 1)]
+
+    def edges(self, q: int) -> np.ndarray:
+        """Equal-depth inner edges estimated from the sketch.
+
+        Same contract as :func:`repro.data.discretize.equal_depth_edges`:
+        up to ``q - 1`` strictly increasing edges, every edge an actual
+        data value strictly below the stream maximum (so each boundary
+        is a realizable ``a <= edge`` split).
+        """
+        if q < 1:
+            raise ValueError("q must be >= 1")
+        if self._n_seen == 0:
+            return np.empty(0, dtype=np.float64)
+        if q == 1:
+            return np.empty(0, dtype=np.float64)
+        probs = np.arange(1, q) / q
+        edges = np.unique(self.quantiles(probs))
+        return edges[edges < self._max]
+
+    # -- merge ---------------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Return a new sketch summarizing both streams.
+
+        Error bounds add (then grow by whatever cascade compactions the
+        merge itself triggers), so the merged ``rank_error_bound`` stays
+        valid.  Merging is associative and commutative up to the ε
+        guarantee — the property tests pin this down.
+        """
+        if self.capacity != other.capacity:
+            raise ValueError(
+                "cannot merge sketches of different capacities "
+                f"({self.capacity} vs {other.capacity})"
+            )
+        out = QuantileSketch(eps=min(self.eps, other.eps), capacity=self.capacity)
+        depth = max(len(self._levels), len(other._levels))
+        out._levels = []
+        out._compactions = []
+        out._parity = []
+        for level in range(depth):
+            a = self._levels[level] if level < len(self._levels) else None
+            b = other._levels[level] if level < len(other._levels) else None
+            parts = [x for x in (a, b) if x is not None and len(x)]
+            out._levels.append(
+                np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+            )
+            out._compactions.append(
+                (self._compactions[level] if level < len(self._compactions) else 0)
+                + (other._compactions[level] if level < len(other._compactions) else 0)
+            )
+            out._parity.append(
+                self._parity[level] if level < len(self._parity) else 0
+            )
+        out._n_seen = self._n_seen + other._n_seen
+        out._n_nan = self._n_nan + other._n_nan
+        out._min = min(self._min, other._min)
+        out._max = max(self._max, other._max)
+        out._cascade()
+        return out
+
+    # -- accounting / serialization ------------------------------------------
+
+    def nbytes(self) -> int:
+        """Bytes retained by the sketch (for the memory ledger)."""
+        return _FIXED_OVERHEAD + sum(level.nbytes for level in self._levels)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable snapshot (exact round-trip)."""
+        return {
+            "kind": "quantile",
+            "eps": self.eps,
+            "capacity": self.capacity,
+            "levels": [level.tolist() for level in self._levels],
+            "compactions": list(self._compactions),
+            "parity": list(self._parity),
+            "n_seen": self._n_seen,
+            "n_nan": self._n_nan,
+            "min": None if not np.isfinite(self._min) else self._min,
+            "max": None if not np.isfinite(self._max) else self._max,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict[str, object]) -> "QuantileSketch":
+        if obj.get("kind") != "quantile":
+            raise ValueError(f"not a quantile-sketch dict: {obj.get('kind')!r}")
+        out = cls(eps=float(obj["eps"]), capacity=int(obj["capacity"]))  # type: ignore[arg-type]
+        out._levels = [
+            np.asarray(level, dtype=np.float64) for level in obj["levels"]  # type: ignore[union-attr]
+        ]
+        out._compactions = [int(c) for c in obj["compactions"]]  # type: ignore[union-attr]
+        out._parity = [int(p) for p in obj["parity"]]  # type: ignore[union-attr]
+        out._n_seen = int(obj["n_seen"])  # type: ignore[arg-type]
+        out._n_nan = int(obj["n_nan"])  # type: ignore[arg-type]
+        out._min = np.inf if obj["min"] is None else float(obj["min"])  # type: ignore[arg-type]
+        out._max = -np.inf if obj["max"] is None else float(obj["max"])  # type: ignore[arg-type]
+        return out
+
+
+class HeavyHitterSketch:
+    """Misra-Gries per-class category counts for one categorical attribute.
+
+    Exact while the number of distinct codes stays within ``capacity``
+    (``error_bound() == 0``); beyond that, the classic decrement step
+    evicts the lightest entries and any reported total may undercount
+    the true total by at most ``error_bound()`` (absent codes have true
+    totals at most the same bound).  Per-class counts are scaled down
+    proportionally on decrement, so the class *mix* of surviving heavy
+    codes stays representative.
+    """
+
+    def __init__(self, capacity: int, n_classes: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if n_classes < 2:
+            raise ValueError("n_classes must be at least 2")
+        self.capacity = int(capacity)
+        self.n_classes = int(n_classes)
+        self._counts: dict[int, np.ndarray] = {}
+        self._decrements = 0.0
+        self._n_seen = 0
+
+    def extend(self, codes: np.ndarray, labels: np.ndarray) -> None:
+        """Offer a batch of (category code, class label) pairs."""
+        codes = np.asarray(codes)
+        labels = np.asarray(labels)
+        if len(codes) != len(labels):
+            raise ValueError("codes and labels must align")
+        if len(codes) == 0:
+            return
+        int_codes = codes.astype(np.int64)
+        self._n_seen += len(codes)
+        uniq, inverse = np.unique(int_codes, return_inverse=True)
+        for i, code in enumerate(uniq):
+            mask = inverse == i
+            delta = np.bincount(
+                labels[mask], minlength=self.n_classes
+            ).astype(np.float64)
+            entry = self._counts.get(int(code))
+            if entry is not None:
+                entry += delta
+            else:
+                self._counts[int(code)] = delta
+        self._shrink()
+
+    def _shrink(self) -> None:
+        """Misra-Gries decrement until at most ``capacity`` entries remain."""
+        while len(self._counts) > self.capacity:
+            totals = {code: v.sum() for code, v in self._counts.items()}
+            m = min(totals.values())
+            self._decrements += m
+            survivors: dict[int, np.ndarray] = {}
+            for code, v in self._counts.items():
+                total = totals[code]
+                if total > m:
+                    survivors[code] = v * ((total - m) / total)
+            self._counts = survivors
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def n_seen(self) -> int:
+        """Pairs offered so far."""
+        return self._n_seen
+
+    def counts(self) -> dict[int, np.ndarray]:
+        """Copy of the retained ``code -> per-class counts`` table."""
+        return {code: v.copy() for code, v in self._counts.items()}
+
+    def matrix(self, n_categories: int) -> np.ndarray:
+        """Dense ``(n_categories, n_classes)`` count matrix."""
+        out = np.zeros((n_categories, self.n_classes), dtype=np.float64)
+        for code, v in self._counts.items():
+            if 0 <= code < n_categories:
+                out[code] = v
+        return out
+
+    def error_bound(self) -> float:
+        """Max undercount of any code's total (0 while exact)."""
+        return self._decrements
+
+    def merge(self, other: "HeavyHitterSketch") -> "HeavyHitterSketch":
+        """Return a new sketch summarizing both streams (bounds add)."""
+        if self.n_classes != other.n_classes:
+            raise ValueError("cannot merge sketches over different class counts")
+        out = HeavyHitterSketch(
+            min(self.capacity, other.capacity), self.n_classes
+        )
+        out._n_seen = self._n_seen + other._n_seen
+        out._decrements = self._decrements + other._decrements
+        merged: dict[int, np.ndarray] = {
+            code: v.copy() for code, v in self._counts.items()
+        }
+        for code, v in other._counts.items():
+            if code in merged:
+                merged[code] = merged[code] + v
+            else:
+                merged[code] = v.copy()
+        out._counts = merged
+        out._shrink()
+        return out
+
+    # -- accounting / serialization ------------------------------------------
+
+    def nbytes(self) -> int:
+        """Bytes retained (for the memory ledger)."""
+        return _FIXED_OVERHEAD + len(self._counts) * (8 + 8 * self.n_classes)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable snapshot (exact round-trip)."""
+        return {
+            "kind": "heavy_hitter",
+            "capacity": self.capacity,
+            "n_classes": self.n_classes,
+            "counts": {str(code): v.tolist() for code, v in self._counts.items()},
+            "decrements": self._decrements,
+            "n_seen": self._n_seen,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict[str, object]) -> "HeavyHitterSketch":
+        if obj.get("kind") != "heavy_hitter":
+            raise ValueError(f"not a heavy-hitter dict: {obj.get('kind')!r}")
+        out = cls(int(obj["capacity"]), int(obj["n_classes"]))  # type: ignore[arg-type]
+        out._counts = {
+            int(code): np.asarray(v, dtype=np.float64)
+            for code, v in obj["counts"].items()  # type: ignore[union-attr]
+        }
+        out._decrements = float(obj["decrements"])  # type: ignore[arg-type]
+        out._n_seen = int(obj["n_seen"])  # type: ignore[arg-type]
+        return out
+
+
+__all__ = ["QuantileSketch", "HeavyHitterSketch"]

@@ -1,0 +1,597 @@
+"""One-pass, bounded-memory CMP-S tree growth from a record stream.
+
+The batch CMP-S builder rescans the table once per tree level.  The
+:class:`StreamingTrainer` sees every record **exactly once**: records
+flow through the partially built tree to its open leaves, each open leaf
+summarizes its arrivals with mergeable sketches
+(:mod:`repro.stream.sketch`), and once a leaf has absorbed enough
+records its split is chosen *from the sketches alone*:
+
+* per continuous attribute, one :class:`~repro.stream.sketch.QuantileSketch`
+  **per class**; merging them across classes yields the candidate grid
+  (equal-depth quantiles of the leaf's records, every candidate an
+  actual data value), and the per-class sketches' rank queries yield the
+  approximate class histogram left of each candidate;
+* per categorical attribute, one
+  :class:`~repro.stream.sketch.HeavyHitterSketch` carrying per-class
+  counts, fed to the same Breiman-ordering subset search every batch
+  builder uses (exact whenever the sketch capacity covers the
+  attribute's cardinality — the default for schema attributes);
+* the winner is the minimum approximate gini over all candidates, with
+  the builders' usual ``(score, attr)`` tie ordering.
+
+Because the sketches carry explicit rank-error bounds, every chosen
+split is within an ε-derived bound of the exact oracle *on the records
+the leaf actually absorbed* — the invariant
+:mod:`repro.verify.stream` checks split by split.  The trainer records
+the full provenance (:class:`SplitMeta`: candidate grids, rank-error
+bounds, member rows) needed to replay that check.
+
+Memory is governed by the PR 1 ledger: every open leaf's sketch bytes
+are charged to ``stats.memory`` under ``stream/sketch/<node>``, and a
+configurable budget triggers *spills* (deepest open leaves drop their
+sketches and freeze) and *declines* (splits commit but their children
+open frozen, i.e. as pure accumulating leaves) — both accounted on the
+result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, BuilderConfig
+from repro.core.builder import adaptive_intervals
+from repro.core.gini import gini, gini_partition
+from repro.core.histogram import CategoryHistogram
+from repro.core.splits import CategoricalSplit, NumericSplit, Split
+from repro.core.tree import DecisionTree, Node, TreeAccount
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.io.metrics import BuildStats
+from repro.obs.metrics import MetricsRegistry
+from repro.stream.sketch import HeavyHitterSketch, QuantileSketch
+
+#: Ledger prefix for per-open-leaf sketch memory.
+SKETCH_LEDGER_PREFIX = "stream/sketch/"
+
+
+@dataclass(frozen=True)
+class SplitMeta:
+    """Provenance of one sketch-chosen split, for the verify harness.
+
+    ``candidate_edges`` holds, for **every** continuous attribute the
+    leaf scored (not just the winner), the exact candidate grid used —
+    the verification bound measures the oracle attribute's interval
+    populations on that grid instead of an analytic ``1/q`` term.
+    ``rank_errors`` / ``hh_errors`` are the summed per-class (resp.
+    total-count) error bounds of the sketches at decision time, in
+    absolute records.
+    """
+
+    node_id: int
+    split: Split
+    n_records: int
+    class_counts: tuple[float, ...]
+    candidate_edges: dict[int, np.ndarray]
+    rank_errors: dict[int, float]
+    hh_errors: dict[int, float]
+    eps: float
+    q: int
+
+
+@dataclass
+class StreamingResult:
+    """A finished streaming build: the tree plus its audit trail."""
+
+    tree: DecisionTree
+    stats: BuildStats
+    #: Per-internal-node provenance, keyed by node id.
+    split_meta: dict[int, SplitMeta]
+    #: Stream row indices absorbed by each split node while it was an
+    #: open leaf (present only when ``record_members=True``).
+    members: dict[int, np.ndarray] | None
+    #: Records consumed from the stream.
+    n_records: int
+    #: Open leaves that dropped their sketches under memory pressure.
+    spilled_nodes: list[int]
+    #: Splits whose children were opened frozen (no sketches) because
+    #: the budget had no room for two more open leaves.
+    declined_nodes: list[int]
+    #: High-water mark of total sketch bytes.
+    sketch_bytes_peak: int
+    #: Configured rank-error target.
+    eps: float
+
+
+class _OpenLeaf:
+    """Sketch state of one growing leaf."""
+
+    __slots__ = (
+        "node",
+        "qsketches",
+        "cats",
+        "n_since",
+        "next_attempt",
+        "member_chunks",
+        "frozen",
+    )
+
+    def __init__(
+        self,
+        node: Node,
+        schema: Schema,
+        eps: float,
+        hh_capacity: int,
+        next_attempt: int,
+        record_members: bool,
+    ) -> None:
+        c = schema.n_classes
+        self.node = node
+        self.qsketches: dict[int, list[QuantileSketch]] = {
+            j: [QuantileSketch(eps) for _ in range(c)]
+            for j in schema.continuous_indices()
+        }
+        self.cats: dict[int, HeavyHitterSketch] = {
+            j: HeavyHitterSketch(
+                max(hh_capacity, schema.attributes[j].cardinality), c
+            )
+            for j in schema.categorical_indices()
+        }
+        self.n_since = 0
+        self.next_attempt = next_attempt
+        self.member_chunks: list[np.ndarray] | None = (
+            [] if record_members else None
+        )
+        self.frozen = False
+
+    def observe(self, X: np.ndarray, y: np.ndarray, rows: np.ndarray) -> None:
+        if self.frozen:
+            return
+        self.n_since += len(y)
+        for j, per_class in self.qsketches.items():
+            col = X[:, j]
+            for c, sk in enumerate(per_class):
+                sel = y == c
+                if sel.any():
+                    sk.extend(col[sel])
+        for j, hh in self.cats.items():
+            hh.extend(X[:, j], y)
+        if self.member_chunks is not None:
+            self.member_chunks.append(rows.copy())
+
+    def nbytes(self) -> int:
+        total = 0
+        for per_class in self.qsketches.values():
+            total += sum(sk.nbytes() for sk in per_class)
+        total += sum(hh.nbytes() for hh in self.cats.values())
+        return total
+
+    def freeze(self) -> None:
+        """Drop the sketches; the leaf keeps accumulating counts only."""
+        self.frozen = True
+        self.qsketches = {}
+        self.cats = {}
+        self.member_chunks = None
+
+    def members(self) -> np.ndarray:
+        if self.member_chunks is None:
+            return np.empty(0, dtype=np.int64)
+        if not self.member_chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(self.member_chunks)
+
+
+class StreamingTrainer:
+    """Grow a CMP-S-style tree from a one-pass record stream.
+
+    Parameters
+    ----------
+    schema:
+        Attribute schema of the stream's records.
+    config:
+        Shared builder knobs (``n_intervals`` sizes the candidate grid
+        through the same :func:`~repro.core.builder.adaptive_intervals`
+        rule as the batch builders; ``min_records`` / ``min_gini`` /
+        ``min_gain`` / ``max_depth`` are the stopping rules).
+    eps:
+        Target quantile-sketch rank-error fraction per class sketch.
+    grace_records:
+        Records an open leaf absorbs before its first split attempt
+        (the streaming analogue of a level scan).  After a failed
+        attempt the trigger doubles, so attempts stay O(log n) per leaf.
+    memory_budget_bytes:
+        Ledger budget for all open-leaf sketches together (0 =
+        unbounded).  Over budget, the deepest open leaves spill (freeze
+        and drop sketches); splits decline to open sketched children
+        when there is no room for two fresh leaves.
+    record_members:
+        Record the stream row indices each split node absorbed —
+        required by :mod:`repro.verify.stream`, off by default (it holds
+        references proportional to the stream length).
+    metrics:
+        Optional registry for sketch-size gauges and spill counters.
+    """
+
+    name = "CMP-STREAM"
+
+    def __init__(
+        self,
+        schema: Schema,
+        config: BuilderConfig | None = None,
+        *,
+        eps: float = 0.02,
+        grace_records: int | None = None,
+        memory_budget_bytes: int = 0,
+        record_members: bool = False,
+        hh_capacity: int = 64,
+        metrics: MetricsRegistry | None = None,
+        tracer=None,
+    ) -> None:
+        self.schema = schema
+        self.config = config if config is not None else DEFAULT_CONFIG
+        if not 0.0 < eps < 1.0:
+            raise ValueError("eps must be in (0, 1)")
+        if memory_budget_bytes < 0:
+            raise ValueError("memory_budget_bytes must be non-negative")
+        if grace_records is None:
+            grace_records = max(4 * self.config.min_records, 200)
+        if grace_records < max(2, self.config.min_records):
+            raise ValueError("grace_records must cover min_records")
+        self.eps = float(eps)
+        self.grace_records = int(grace_records)
+        self.memory_budget_bytes = int(memory_budget_bytes)
+        self.record_members = bool(record_members)
+        self.hh_capacity = int(hh_capacity)
+        self.metrics = metrics
+        self.tracer = tracer
+
+    # -- public API ----------------------------------------------------------
+
+    def fit(self, dataset: Dataset, chunk_size: int = 2048) -> StreamingResult:
+        """One pass over ``dataset`` in row order (convenience wrapper)."""
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+
+        def chunks() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+            for start in range(0, dataset.n_records, chunk_size):
+                stop = min(start + chunk_size, dataset.n_records)
+                yield dataset.X[start:stop], dataset.y[start:stop]
+
+        return self.fit_stream(chunks())
+
+    def fit_stream(
+        self, chunks: Iterable[tuple[np.ndarray, np.ndarray]]
+    ) -> StreamingResult:
+        """Consume an iterable of ``(X, y)`` chunks exactly once."""
+        schema = self.schema
+        c = schema.n_classes
+        stats = BuildStats()
+        if self.tracer is not None:
+            stats.tracer = self.tracer
+        account = TreeAccount()
+        root = account.new_node(0, np.zeros(c, dtype=np.float64))
+        open_leaves: dict[int, _OpenLeaf] = {
+            root.node_id: _OpenLeaf(
+                root,
+                schema,
+                self.eps,
+                self.hh_capacity,
+                self.grace_records,
+                self.record_members,
+            )
+        }
+        split_meta: dict[int, SplitMeta] = {}
+        members: dict[int, np.ndarray] = {}
+        spilled: list[int] = []
+        declined: list[int] = []
+        sketch_peak = 0
+        offset = 0
+        start = time.perf_counter()
+
+        # Split attempts happen *between* chunks, so re-chunk coarse input
+        # to grace-record granularity — a caller handing the whole stream
+        # as one array still gets a full-depth tree, and a leaf's first
+        # attempt lands within a factor of two of its grace trigger.
+        step = max(64, self.grace_records // 2)
+
+        with stats.phase("stream"):
+            for X_in, y_in in chunks:
+                X_in = np.asarray(X_in, dtype=np.float64)
+                y_in = np.asarray(y_in, dtype=np.int64)
+                if len(X_in) != len(y_in):
+                    raise ValueError("chunk X and y must align")
+                for lo in range(0, len(y_in), step):
+                    X = X_in[lo : lo + step]
+                    y = y_in[lo : lo + step]
+                    if len(X) == 0:
+                        continue
+                    rows = np.arange(offset, offset + len(y), dtype=np.int64)
+                    offset += len(y)
+                    for node_id, idx in self._route(root, X, y, c).items():
+                        leaf = open_leaves.get(node_id)
+                        if leaf is not None:
+                            leaf.observe(X[idx], y[idx], rows[idx])
+                    self._attempt_splits(
+                        open_leaves, account, split_meta, members, declined, stats
+                    )
+                    sketch_peak = max(
+                        sketch_peak,
+                        self._enforce_budget(open_leaves, spilled, stats),
+                    )
+
+        # Post-stream: leaves stay leaves — there are no further records
+        # to route to children a late split would create.
+        for node_id, leaf in open_leaves.items():
+            stats.memory.release(f"{SKETCH_LEDGER_PREFIX}{node_id}")
+
+        tree = DecisionTree(root, schema)
+        stats.wall_seconds = time.perf_counter() - start
+        stats.nodes_created = account.created
+        stats.leaves = tree.n_leaves
+        stats.levels_built = tree.depth
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "cmp_stream_sketch_bytes_peak",
+                "High-water mark of streaming sketch memory.",
+            ).set(float(sketch_peak))
+            self.metrics.counter(
+                "cmp_stream_spills_total",
+                "Open leaves that dropped sketches under memory pressure.",
+            ).inc(float(len(spilled)))
+            self.metrics.counter(
+                "cmp_stream_declines_total",
+                "Splits whose children opened without sketches (budget).",
+            ).inc(float(len(declined)))
+        return StreamingResult(
+            tree=tree,
+            stats=stats,
+            split_meta=split_meta,
+            members=members if self.record_members else None,
+            n_records=offset,
+            spilled_nodes=spilled,
+            declined_nodes=declined,
+            sketch_bytes_peak=sketch_peak,
+            eps=self.eps,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _route(
+        self, root: Node, X: np.ndarray, y: np.ndarray, c: int
+    ) -> dict[int, np.ndarray]:
+        """Route a chunk to the current leaves, charging pass-through counts.
+
+        Every node on a record's path — internal or leaf — accumulates
+        the record into ``class_counts``, so a finished node's counts
+        always equal "training records that reached the node", the
+        :class:`~repro.core.tree.Node` contract.
+        """
+        out: dict[int, np.ndarray] = {}
+        stack: list[tuple[Node, np.ndarray]] = [(root, np.arange(len(y)))]
+        while stack:
+            node, idx = stack.pop()
+            if len(idx) == 0:
+                continue
+            node.class_counts += np.bincount(y[idx], minlength=c)
+            if node.is_leaf:
+                out[node.node_id] = idx
+                continue
+            split = node.split
+            goes_left = split.goes_left(X[idx])
+            stack.append((node.right, idx[~goes_left]))
+            stack.append((node.left, idx[goes_left]))
+        return out
+
+    def _attempt_splits(
+        self,
+        open_leaves: dict[int, _OpenLeaf],
+        account: TreeAccount,
+        split_meta: dict[int, SplitMeta],
+        members: dict[int, np.ndarray],
+        declined: list[int],
+        stats: BuildStats,
+    ) -> None:
+        cfg = self.config
+        # Sorted for determinism: dict order is insertion order, but a
+        # sorted walk makes the decision sequence independent of how
+        # leaves were re-inserted on earlier splits.
+        for node_id in sorted(open_leaves):
+            leaf = open_leaves[node_id]
+            if leaf.frozen or leaf.n_since < leaf.next_attempt:
+                continue
+            node = leaf.node
+            counts = node.class_counts
+            n = float(counts.sum())
+            node_gini = float(gini(counts))
+            if (
+                n < cfg.min_records
+                or node_gini <= cfg.min_gini
+                or node.depth >= cfg.max_depth
+            ):
+                self._retire(open_leaves, node_id, stats)
+                continue
+            chosen = self._choose_split(leaf, counts, n)
+            if chosen is None or node_gini - chosen[1] <= cfg.min_gain:
+                # Not worth splitting yet; try again after twice the
+                # absorbed mass (keeps attempts logarithmic per leaf).
+                leaf.next_attempt = max(leaf.next_attempt * 2, leaf.n_since + 1)
+                continue
+            split, score, meta = chosen
+            node.split = split
+            c = len(counts)
+            left = account.new_node(node.depth + 1, np.zeros(c))
+            right = account.new_node(node.depth + 1, np.zeros(c))
+            node.left, node.right = left, right
+            left.parent = right.parent = node
+            split_meta[node_id] = meta
+            if leaf.member_chunks is not None:
+                members[node_id] = leaf.members()
+            self._retire(open_leaves, node_id, stats)
+            open_children = True
+            if self.memory_budget_bytes:
+                current = sum(lf.nbytes() for lf in open_leaves.values())
+                fresh = 2 * self._empty_leaf_nbytes()
+                if current + fresh > self.memory_budget_bytes:
+                    open_children = False
+                    declined.append(node_id)
+            for child in (left, right):
+                child_leaf = _OpenLeaf(
+                    child,
+                    self.schema,
+                    self.eps,
+                    self.hh_capacity,
+                    self.grace_records,
+                    self.record_members,
+                )
+                if not open_children:
+                    child_leaf.freeze()
+                open_leaves[child.node_id] = child_leaf
+
+    def _retire(
+        self, open_leaves: dict[int, _OpenLeaf], node_id: int, stats: BuildStats
+    ) -> None:
+        open_leaves.pop(node_id, None)
+        stats.memory.release(f"{SKETCH_LEDGER_PREFIX}{node_id}")
+
+    def _empty_leaf_nbytes(self) -> int:
+        schema = self.schema
+        c = schema.n_classes
+        from repro.stream.sketch import _FIXED_OVERHEAD
+
+        return _FIXED_OVERHEAD * (
+            len(schema.continuous_indices()) * c
+            + len(schema.categorical_indices())
+        )
+
+    def _enforce_budget(
+        self,
+        open_leaves: dict[int, _OpenLeaf],
+        spilled: list[int],
+        stats: BuildStats,
+    ) -> int:
+        """Charge the ledger and spill deepest leaves while over budget."""
+        total = 0
+        for node_id, leaf in open_leaves.items():
+            if leaf.frozen:
+                continue
+            nbytes = leaf.nbytes()
+            stats.memory.allocate(f"{SKETCH_LEDGER_PREFIX}{node_id}", nbytes)
+            total += nbytes
+        if self.memory_budget_bytes and total > self.memory_budget_bytes:
+            # Deepest (newest) leaves spill first: the shallow frontier
+            # carries the most records and the most split value.
+            order = sorted(
+                (
+                    (leaf.node.depth, node_id)
+                    for node_id, leaf in open_leaves.items()
+                    if not leaf.frozen
+                ),
+                reverse=True,
+            )
+            for _, node_id in order:
+                if total <= self.memory_budget_bytes:
+                    break
+                active = sum(
+                    1 for lf in open_leaves.values() if not lf.frozen
+                )
+                if active <= 1:
+                    break
+                leaf = open_leaves[node_id]
+                total -= leaf.nbytes()
+                leaf.freeze()
+                spilled.append(node_id)
+                stats.memory.release(f"{SKETCH_LEDGER_PREFIX}{node_id}")
+        return total
+
+    def _choose_split(
+        self, leaf: _OpenLeaf, counts: np.ndarray, n: float
+    ) -> tuple[Split, float, SplitMeta] | None:
+        """Best approximate split over every attribute, or ``None``."""
+        cfg = self.config
+        q = adaptive_intervals(cfg.n_intervals, n)
+        best: tuple[float, int] | None = None
+        best_split: Split | None = None
+        candidate_edges: dict[int, np.ndarray] = {}
+        rank_errors: dict[int, float] = {}
+        hh_errors: dict[int, float] = {}
+
+        for j, per_class in leaf.qsketches.items():
+            populated = [sk for sk in per_class if sk.n_seen > 0]
+            if not populated:
+                continue
+            merged = populated[0]
+            for sk in populated[1:]:
+                merged = merged.merge(sk)
+            edges = merged.edges(q)
+            candidate_edges[j] = edges
+            rank_errors[j] = float(
+                sum(sk.rank_error_bound() for sk in per_class)
+            )
+            if len(edges) == 0:
+                continue
+            left = np.zeros((len(edges), len(counts)), dtype=np.float64)
+            for c, sk in enumerate(per_class):
+                if sk.n_seen == 0:
+                    continue
+                left[:, c] = np.clip(sk.rank(edges), 0.0, counts[c])
+            ginis = np.asarray(
+                gini_partition(left, counts[None, :] - left)
+            ).ravel()
+            i = int(np.argmin(ginis))
+            score = float(ginis[i])
+            if best is None or (score, j) < best:
+                best = (score, j)
+                best_split = NumericSplit(j, float(edges[i]))
+
+        for j, hh in leaf.cats.items():
+            hh_errors[j] = hh.error_bound()
+            card = self.schema.attributes[j].cardinality
+            hist = CategoryHistogram(card, len(counts))
+            hist.counts[:] = hh.matrix(card)
+            try:
+                mask, score = hist.best_subset_split()
+            except ValueError:
+                continue
+            score = float(score)
+            if best is None or (score, j) < best:
+                best = (score, j)
+                best_split = CategoricalSplit(j, tuple(bool(b) for b in mask))
+
+        if best is None or best_split is None:
+            return None
+        meta = SplitMeta(
+            node_id=leaf.node.node_id,
+            split=best_split,
+            n_records=int(n),
+            class_counts=tuple(float(v) for v in counts),
+            candidate_edges=candidate_edges,
+            rank_errors=rank_errors,
+            hh_errors=hh_errors,
+            eps=self.eps,
+            q=q,
+        )
+        return best_split, best[0], meta
+
+
+def stream_chunks(
+    dataset: Dataset, chunk_size: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield a dataset's rows as a one-pass chunk stream (test helper)."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    for start in range(0, dataset.n_records, chunk_size):
+        stop = min(start + chunk_size, dataset.n_records)
+        yield dataset.X[start:stop], dataset.y[start:stop]
+
+
+__all__ = [
+    "SplitMeta",
+    "StreamingResult",
+    "StreamingTrainer",
+    "stream_chunks",
+    "SKETCH_LEDGER_PREFIX",
+]

@@ -23,6 +23,10 @@ that claim into machine-checkable assertions:
   member bit-identical to its solo build and oracle-verified on its own
   bootstrap sample, plus a backend/worker bit-identity matrix for both
   ensemble trainers and packed-scoring parity.
+* :mod:`repro.verify.stream` — the streaming extension: every
+  sketch-chosen split of the one-pass trainer replayed against the exact
+  oracle within an explicit ε-derived bound, swept over seeds ×
+  generator functions × stream orders.
 * :mod:`repro.verify.runner` — the ``cmp-repro verify`` orchestration,
   wired into :mod:`repro.obs` tracing and metrics.
 
@@ -53,7 +57,12 @@ from repro.verify.forest import (
     forest_signatures,
     run_forest_differential,
 )
-from repro.verify.metamorphic import METAMORPHIC_CHECKS, run_metamorphic
+from repro.verify.metamorphic import (
+    METAMORPHIC_CHECKS,
+    STREAM_METAMORPHIC_CHECKS,
+    run_metamorphic,
+    run_stream_metamorphic,
+)
 from repro.verify.oracle import (
     OracleBuilder,
     OracleSplit,
@@ -63,6 +72,12 @@ from repro.verify.oracle import (
     oracle_best_split,
 )
 from repro.verify.runner import run_verify
+from repro.verify.stream import (
+    StreamBatteryReport,
+    check_streaming_tree,
+    run_stream_battery,
+    run_stream_differential,
+)
 
 __all__ = [
     "BUILDER_FACTORIES",
@@ -71,11 +86,14 @@ __all__ = [
     "Finding",
     "ForestReport",
     "METAMORPHIC_CHECKS",
+    "STREAM_METAMORPHIC_CHECKS",
+    "StreamBatteryReport",
     "OracleBuilder",
     "OracleSplit",
     "best_categorical_split",
     "best_linear_split",
     "best_numeric_split",
+    "check_streaming_tree",
     "check_tree_against_oracle",
     "default_checks",
     "forest_signatures",
@@ -87,6 +105,9 @@ __all__ = [
     "run_forest_differential",
     "run_fuzz",
     "run_metamorphic",
+    "run_stream_battery",
+    "run_stream_differential",
+    "run_stream_metamorphic",
     "run_verify",
     "save_case",
     "shrink_case",

@@ -580,8 +580,207 @@ def run_metamorphic(
     return report
 
 
+# ---------------------------------------------------------------------------
+# Streaming-trainer checks (sketch path)
+# ---------------------------------------------------------------------------
+#
+# The streaming trainer is order-*sensitive* by design (sketch compaction
+# depends on arrival order), so bit-identity under shuffle is the wrong
+# invariant.  Its stated invariants are:
+#
+# ``stream_shuffle``
+#     Any stream order must still produce a tree whose every
+#     sketch-chosen split passes the ε-derived oracle bound of
+#     :func:`repro.verify.stream.check_streaming_tree`, with training
+#     accuracy within ``accuracy_tol`` of the natural-order build.
+# ``stream_duplicate``
+#     Repeating every record ``k`` times leaves the value distribution
+#     unchanged, so sketch quantiles on the tiled stream must agree with
+#     the originals within the summed rank-error fractions.
+# ``stream_scale_pow2``
+#     Multiplying values by ``2**k`` (exact in binary floating point)
+#     commutes with the deterministic compactor: every retained item,
+#     every edge, and the error bound scale exactly.
+
+
+def check_stream_shuffle(
+    dataset: Dataset,
+    config: BuilderConfig,
+    rng: np.random.Generator,
+    accuracy_tol: float,
+    eps: float = 0.02,
+) -> list[Finding]:
+    from repro.verify.stream import run_stream_differential
+
+    cfg = _prepared(config, dataset.n_records)
+    base_result, findings, _ = run_stream_differential(dataset, cfg, eps=eps)
+    perm = rng.permutation(dataset.n_records)
+    shuffled = dataset.take(perm)
+    shuf_result, shuf_findings, _ = run_stream_differential(
+        shuffled, cfg, eps=eps
+    )
+    findings = list(findings) + list(shuf_findings)
+    acc_a = _train_accuracy(base_result.tree, dataset)
+    acc_b = _train_accuracy(shuf_result.tree, shuffled)
+    if abs(acc_a - acc_b) > accuracy_tol:
+        findings.append(
+            Finding(
+                "CMP-STREAM",
+                "stream_shuffle_accuracy_divergence",
+                f"training accuracy {acc_a:.4f} vs {acc_b:.4f} across "
+                "stream orders",
+                value=abs(acc_a - acc_b),
+                bound=accuracy_tol,
+            )
+        )
+    return findings
+
+
+def check_stream_duplicate(
+    dataset: Dataset,
+    config: BuilderConfig,
+    rng: np.random.Generator,
+    accuracy_tol: float,
+    eps: float = 0.02,
+    k: int = 3,
+) -> list[Finding]:
+    from repro.stream.sketch import QuantileSketch
+
+    findings: list[Finding] = []
+    probs = (0.1, 0.25, 0.5, 0.75, 0.9)
+    for j in dataset.schema.continuous_indices():
+        values = dataset.X[:, j]
+        n = len(values)
+        a = QuantileSketch(eps)
+        a.extend(values)
+        b = QuantileSketch(eps)
+        b.extend(np.repeat(values, k))
+        # Exact rank fractions of each sketch's reported quantiles must
+        # agree: duplication leaves the distribution unchanged.
+        tol = (
+            a.rank_error_bound() / n
+            + b.rank_error_bound() / (k * n)
+            + 2.0 * eps  # quantile selection granularity, both sketches
+        )
+        for p in probs:
+            fa = float(np.sum(values <= a.quantile(p))) / n
+            fb = float(np.sum(values <= b.quantile(p))) / n
+            if abs(fa - fb) > tol + EPS:
+                findings.append(
+                    Finding(
+                        "CMP-STREAM",
+                        "stream_duplicate_quantile_divergence",
+                        f"attr {j} p={p}: rank fractions {fa:.4f} vs {fb:.4f} "
+                        f"diverge under x{k} duplication",
+                        value=abs(fa - fb),
+                        bound=tol,
+                    )
+                )
+    return findings
+
+
+def check_stream_scale_pow2(
+    dataset: Dataset,
+    config: BuilderConfig,
+    rng: np.random.Generator,
+    accuracy_tol: float,
+    eps: float = 0.02,
+    power: int = 3,
+) -> list[Finding]:
+    from repro.stream.sketch import QuantileSketch
+
+    scale = float(2**power)
+    findings: list[Finding] = []
+    q = max(4, min(config.n_intervals, 16))
+    for j in dataset.schema.continuous_indices():
+        values = dataset.X[:, j]
+        a = QuantileSketch(eps)
+        a.extend(values)
+        b = QuantileSketch(eps)
+        b.extend(values * scale)
+        if a.rank_error_bound() != b.rank_error_bound():
+            findings.append(
+                Finding(
+                    "CMP-STREAM",
+                    "stream_scale_bound_divergence",
+                    f"attr {j}: rank-error bound changed under x{scale:g} "
+                    f"scaling ({a.rank_error_bound()} vs {b.rank_error_bound()})",
+                )
+            )
+        if not np.array_equal(a.edges(q) * scale, b.edges(q)):
+            findings.append(
+                Finding(
+                    "CMP-STREAM",
+                    "stream_scale_edge_divergence",
+                    f"attr {j}: sketch edges not exactly scaled by {scale:g}",
+                )
+            )
+    return findings
+
+
+#: Streaming-trainer checks; signature (dataset, config, rng, accuracy_tol,
+#: eps) -> findings.
+STREAM_METAMORPHIC_CHECKS = {
+    "stream_shuffle": check_stream_shuffle,
+    "stream_duplicate": check_stream_duplicate,
+    "stream_scale_pow2": check_stream_scale_pow2,
+}
+
+
+def run_stream_metamorphic(
+    dataset: Dataset,
+    config: BuilderConfig,
+    checks: tuple[str, ...] | None = None,
+    seed: int = 0,
+    accuracy_tol: float = 0.10,
+    eps: float = 0.02,
+) -> MetamorphicReport:
+    """Streaming counterpart of :func:`run_metamorphic` (one pseudo-builder).
+
+    ``accuracy_tol`` is looser than the batch default: one-pass trees
+    are order-sensitive by construction (split *timing* depends on when
+    each leaf crosses its grace period), so the ε-bound governs each
+    split against its own members, not global structural stability
+    across reorderings.
+    """
+    report = MetamorphicReport()
+    names = checks if checks is not None else tuple(STREAM_METAMORPHIC_CHECKS)
+    for name in names:
+        try:
+            func = STREAM_METAMORPHIC_CHECKS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown check {name!r}; choose from "
+                f"{sorted(STREAM_METAMORPHIC_CHECKS)}"
+            ) from None
+        rng = np.random.default_rng(
+            [seed, zlib.crc32(name.encode()), zlib.crc32(b"CMP-STREAM")]
+        )
+        try:
+            findings = func(dataset, config, rng, accuracy_tol, eps)
+        except Exception as exc:  # noqa: BLE001 - crashes become findings
+            findings = [
+                Finding(
+                    "CMP-STREAM", "crash", f"{name}: {type(exc).__name__}: {exc}"
+                )
+            ]
+        report.findings.extend(findings)
+        if not findings:
+            status = "ok"
+        elif any(f.severity == "error" for f in findings):
+            status = "FAIL"
+        else:
+            status = "warn"
+        report.rows.append(
+            {"check": name, "builder": "CMP-STREAM", "status": status}
+        )
+    return report
+
+
 __all__ = [
     "METAMORPHIC_CHECKS",
+    "STREAM_METAMORPHIC_CHECKS",
     "MetamorphicReport",
     "run_metamorphic",
+    "run_stream_metamorphic",
 ]

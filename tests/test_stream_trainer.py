@@ -1,0 +1,144 @@
+"""Tests for the one-pass bounded-memory streaming trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import BuilderConfig
+from repro.core.cmp_s import CMPSBuilder
+from repro.data.synthetic import generate_agrawal
+from repro.eval.metrics import accuracy
+from repro.stream import SKETCH_LEDGER_PREFIX, StreamingTrainer, stream_chunks
+
+
+@pytest.fixture(scope="module")
+def stream_config() -> BuilderConfig:
+    return BuilderConfig(n_intervals=32, max_depth=8, min_records=20)
+
+
+@pytest.fixture(scope="module")
+def f2_stream():
+    return generate_agrawal("F2", 12_000, seed=11)
+
+
+class TestStreamingTrainer:
+    def test_learns_and_is_deterministic(self, f2_stream, stream_config):
+        a = StreamingTrainer(f2_stream.schema, stream_config).fit(f2_stream)
+        b = StreamingTrainer(f2_stream.schema, stream_config).fit(f2_stream)
+        assert a.tree.render() == b.tree.render()
+        assert accuracy(a.tree, f2_stream) > 0.8
+        assert a.n_records == f2_stream.n_records
+        assert a.tree.n_nodes > a.tree.n_leaves
+
+    def test_chunking_robustness(self, f2_stream, stream_config):
+        """Split-attempt timing depends on chunk boundaries, so trees may
+        differ structurally across chunkings — but quality must not: the
+        internal re-chunking keeps even a single giant chunk growing a
+        full tree, and identical chunkings are bit-identical."""
+        one = StreamingTrainer(f2_stream.schema, stream_config).fit(
+            f2_stream, chunk_size=f2_stream.n_records
+        )
+        many = StreamingTrainer(f2_stream.schema, stream_config).fit_stream(
+            stream_chunks(f2_stream, 157)
+        )
+        again = StreamingTrainer(f2_stream.schema, stream_config).fit_stream(
+            stream_chunks(f2_stream, 157)
+        )
+        assert many.tree.render() == again.tree.render()
+        acc_one = accuracy(one.tree, f2_stream)
+        acc_many = accuracy(many.tree, f2_stream)
+        assert acc_one > 0.8 and acc_many > 0.8
+        assert abs(acc_one - acc_many) < 0.08
+
+    def test_ledger_balanced_after_fit(self, f2_stream, stream_config):
+        result = StreamingTrainer(f2_stream.schema, stream_config).fit(f2_stream)
+        assert result.stats.memory.current == 0
+        assert result.stats.memory.peak > 0
+        assert result.sketch_bytes_peak > 0
+        # Every ledger entry the trainer made is namespaced.
+        assert not result.spilled_nodes
+        assert not result.declined_nodes
+
+    def test_memory_budget_spills_and_declines(self, f2_stream, stream_config):
+        budget = 60_000
+        trainer = StreamingTrainer(
+            f2_stream.schema, stream_config, memory_budget_bytes=budget
+        )
+        result = trainer.fit(f2_stream)
+        assert result.spilled_nodes or result.declined_nodes
+        assert result.sketch_bytes_peak <= budget
+        assert result.stats.memory.current == 0
+        # Degraded, not destroyed: the tree still predicts usefully.
+        assert accuracy(result.tree, f2_stream) > 0.6
+
+    def test_split_meta_counts_match_members(self, f2_stream, stream_config):
+        trainer = StreamingTrainer(
+            f2_stream.schema, stream_config, record_members=True
+        )
+        result = trainer.fit(f2_stream, chunk_size=512)
+        assert result.members is not None
+        assert result.split_meta
+        nodes = {n.node_id: n for n in result.tree.iter_nodes()}
+        for node_id, meta in result.split_meta.items():
+            rows = result.members[node_id]
+            assert meta.n_records == len(rows)
+            observed = np.bincount(
+                f2_stream.y[rows], minlength=f2_stream.n_classes
+            )
+            np.testing.assert_array_equal(
+                observed, np.asarray(meta.class_counts, dtype=np.int64)
+            )
+            # Decision-time counts + post-split pass-through arrivals
+            # equal the node's final counts.
+            node = nodes[node_id]
+            child_total = np.zeros(f2_stream.n_classes)
+            for child in (node.left, node.right):
+                child_total += child.class_counts
+            np.testing.assert_allclose(
+                node.class_counts, np.asarray(meta.class_counts) + child_total
+            )
+
+    def test_root_counts_cover_stream(self, f2_stream, stream_config):
+        result = StreamingTrainer(f2_stream.schema, stream_config).fit(f2_stream)
+        np.testing.assert_array_equal(
+            result.tree.root.class_counts.astype(np.int64),
+            np.bincount(f2_stream.y, minlength=f2_stream.n_classes),
+        )
+
+    def test_accuracy_close_to_batch(self, f2_stream, stream_config):
+        streamed = StreamingTrainer(f2_stream.schema, stream_config).fit(f2_stream)
+        batch = CMPSBuilder(stream_config).build(f2_stream)
+        s_acc = accuracy(streamed.tree, f2_stream)
+        b_acc = accuracy(batch.tree, f2_stream)
+        # One-pass growth trades a bounded amount of accuracy for the
+        # rescan-free build (§1.1 trade-off, now with an explicit bound).
+        assert s_acc > b_acc - 0.12
+
+    def test_categorical_splits_supported(self, mixed_types, stream_config):
+        trainer = StreamingTrainer(mixed_types.schema, stream_config)
+        result = trainer.fit(mixed_types, chunk_size=256)
+        assert accuracy(result.tree, mixed_types) > 0.7
+
+    def test_sketch_ledger_prefix_used(self, f2_stream, stream_config, monkeypatch):
+        from repro.io.metrics import MemoryTracker
+
+        names: set[str] = set()
+        orig = MemoryTracker.allocate
+
+        def spy(self, name, nbytes):
+            names.add(name)
+            return orig(self, name, nbytes)
+
+        monkeypatch.setattr(MemoryTracker, "allocate", spy)
+        StreamingTrainer(f2_stream.schema, stream_config).fit(f2_stream)
+        assert names
+        assert all(n.startswith(SKETCH_LEDGER_PREFIX) for n in names)
+
+    def test_rank_error_metadata_exposed(self, f2_stream, stream_config):
+        result = StreamingTrainer(f2_stream.schema, stream_config).fit(f2_stream)
+        for meta in result.split_meta.values():
+            assert meta.eps == result.eps
+            assert meta.q >= 2
+            for err in meta.rank_errors.values():
+                assert 0 <= err <= 2 * meta.eps * meta.n_records * f2_stream.n_classes

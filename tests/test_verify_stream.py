@@ -1,0 +1,113 @@
+"""Tests for the streaming differential harness and metamorphic extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import BuilderConfig
+from repro.data.synthetic import generate_agrawal
+from repro.stream import StreamingTrainer
+from repro.verify.metamorphic import (
+    STREAM_METAMORPHIC_CHECKS,
+    run_stream_metamorphic,
+)
+from repro.verify.stream import (
+    STREAM_ORDERS,
+    _grid_nonatomic_frac,
+    check_streaming_tree,
+    run_stream_battery,
+    run_stream_differential,
+)
+
+CFG = BuilderConfig(n_intervals=32, max_depth=8, min_records=20)
+
+
+class TestGridNonatomicFrac:
+    def test_distinct_values_atomic(self):
+        values = np.arange(100, dtype=np.float64)
+        edges = np.array([24.0, 49.0, 74.0])
+        # Every interval holds many distinct values: fully non-atomic.
+        assert _grid_nonatomic_frac(values, edges) == pytest.approx(0.25)
+
+    def test_constant_interval_is_atomic(self):
+        # All mass on one value -> every interval is atomic -> frac 0.
+        values = np.full(50, 7.0)
+        edges = np.array([3.0, 7.0, 11.0])
+        assert _grid_nonatomic_frac(values, edges) == 0.0
+
+    def test_empty_edges(self):
+        assert _grid_nonatomic_frac(np.arange(10.0), np.array([])) == 1.0
+
+
+class TestCheckStreamingTree:
+    def test_requires_members(self):
+        data = generate_agrawal("F2", 2_000, seed=1)
+        result = StreamingTrainer(data.schema, CFG).fit(data)
+        findings, gaps = check_streaming_tree(result, data)
+        assert any(f.kind == "missing_members" for f in findings)
+
+    def test_clean_run_no_findings(self):
+        data = generate_agrawal("F2", 3_000, seed=2)
+        result, findings, gaps = run_stream_differential(data, CFG)
+        assert findings == []
+        assert gaps.n_internal >= 1
+        assert gaps.max_gap <= gaps.max_bound
+
+    def test_tampered_split_is_caught(self):
+        """Corrupt a recorded split's provenance; the harness must flag it."""
+        data = generate_agrawal("F2", 3_000, seed=3)
+        trainer = StreamingTrainer(data.schema, CFG, record_members=True)
+        result = trainer.fit(data, chunk_size=512)
+        assert result.split_meta
+        node_id = min(result.split_meta)
+        # Pretend the node absorbed the *last* rows of the stream instead
+        # of the ones it recorded (the root's true members are the first
+        # grace-period rows, so a prefix-based fake would be a no-op).
+        n = len(result.members[node_id])
+        result.members[node_id] = np.arange(data.n_records - n, data.n_records)
+        findings, _ = check_streaming_tree(result, data)
+        assert findings, "corrupted membership must produce findings"
+
+
+class TestStreamBattery:
+    def test_small_battery_clean(self):
+        report = run_stream_battery(n_seeds=6, n_records=2_000, config=CFG)
+        assert report.ok, [f.kind for f in report.findings]
+        assert report.n_splits > 0
+        assert len(report.rows) == 6
+        orders = {row["order"] for row in report.rows}
+        assert orders <= set(STREAM_ORDERS)
+        for row in report.rows:
+            assert row["max_gap"] <= row["max_bound"]
+
+    @pytest.mark.slow
+    def test_acceptance_battery_25_seeds(self):
+        """The ISSUE acceptance gate: 25 seeds x functions x orders."""
+        report = run_stream_battery(n_seeds=25, n_records=3_000, config=CFG)
+        assert report.ok, [
+            (f.kind, f.message) for f in report.findings if f.severity == "error"
+        ]
+        assert report.n_splits >= 25
+        assert len(report.rows) == 25
+
+
+class TestStreamMetamorphic:
+    def test_all_checks_pass(self, f2_small):
+        report = run_stream_metamorphic(f2_small, CFG, seed=0)
+        assert report.ok, [f.kind for f in report.findings]
+        assert {row["check"] for row in report.rows} == set(
+            STREAM_METAMORPHIC_CHECKS
+        )
+        assert all(row["status"] == "ok" for row in report.rows)
+
+    def test_check_subset_selection(self, f2_small):
+        report = run_stream_metamorphic(
+            f2_small, CFG, checks=("stream_scale_pow2",), seed=1
+        )
+        assert report.ok
+        assert [row["check"] for row in report.rows] == ["stream_scale_pow2"]
+
+    def test_unknown_check_rejected(self, f2_small):
+        with pytest.raises(ValueError):
+            run_stream_metamorphic(f2_small, CFG, checks=("nope",))

@@ -51,3 +51,45 @@ class TestWindowing:
         a = WindowingBuilder(fast_config).build(f2_small)
         b = WindowingBuilder(fast_config).build(f2_small)
         assert a.tree.render() == b.tree.render()
+
+    def test_ledger_released_before_each_reallocate(
+        self, f2_small, fast_config, monkeypatch
+    ):
+        """Regression: every window re-allocation must be preceded by a
+        release of the previous window's ledger entry, so the ledger holds
+        exactly one live window at a time and ends the build balanced."""
+        from repro.io.metrics import MemoryTracker
+
+        events: list[tuple[str, int]] = []
+        orig_alloc = MemoryTracker.allocate
+        orig_release = MemoryTracker.release
+
+        def spy_alloc(self, name, nbytes):
+            if name == "window/records":
+                events.append(("alloc", int(nbytes)))
+            return orig_alloc(self, name, nbytes)
+
+        def spy_release(self, name):
+            if name == "window/records":
+                events.append(("release", 0))
+            return orig_release(self, name)
+
+        monkeypatch.setattr(MemoryTracker, "allocate", spy_alloc)
+        monkeypatch.setattr(MemoryTracker, "release", spy_release)
+
+        result = WindowingBuilder(fast_config, initial_fraction=0.1).build(f2_small)
+
+        allocs = [e for e in events if e[0] == "alloc"]
+        assert len(allocs) >= 2, "expected more than one windowing iteration"
+        # Strict alternation: release, alloc, release, alloc, ..., release.
+        kinds = [kind for kind, _ in events]
+        assert kinds[0] == "release"
+        assert kinds[-1] == "release"
+        for prev, cur in zip(kinds, kinds[1:]):
+            assert prev != cur, f"ledger event sequence not alternating: {kinds}"
+        # Balanced ledger; peak reflects the largest single window, not a
+        # sum of leaked windows.
+        assert result.stats.memory.current == 0
+        sizes = [nbytes for _, nbytes in allocs]
+        assert sizes == sorted(sizes), "windows should only grow"
+        assert result.stats.memory.peak >= max(sizes)
